@@ -1,0 +1,178 @@
+//! Chain sampling (Babcock, Datar & Motwani, SODA 2002): uniform random
+//! sampling from a sequence-based sliding window.
+//!
+//! Section 2.3 of the paper cites this as the sliding-window replacement
+//! for reservoir sampling when a random *member* of the sampled group is
+//! wanted. It is also the noiseless sliding-window sampling baseline.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
+
+/// Uniform single-item sampler over the last `w` stream items.
+///
+/// Maintains the classic "chain": the current sample plus the
+/// pre-selected replacement for each chain element's expiry, giving
+/// expected `O(1)` state.
+///
+/// # Examples
+///
+/// ```
+/// use rds_baselines::ChainSampler;
+///
+/// let mut s: ChainSampler<u64> = ChainSampler::new(10, 42);
+/// for x in 0..100u64 {
+///     s.insert(x);
+/// }
+/// let sample = *s.sample().expect("window non-empty");
+/// assert!((90..100).contains(&sample));
+/// ```
+#[derive(Debug)]
+pub struct ChainSampler<T> {
+    w: u64,
+    seen: u64,
+    /// `(position, item)` pairs; the front is the current sample, each
+    /// following entry replaces the previous one when it expires.
+    chain: VecDeque<(u64, T)>,
+    /// The future position that will extend the chain when it arrives.
+    awaiting: Option<u64>,
+    rng: StdRng,
+}
+
+impl<T> ChainSampler<T> {
+    /// Creates a sampler over windows of the last `w` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == 0`.
+    pub fn new(w: u64, seed: u64) -> Self {
+        assert!(w >= 1, "window must have positive length");
+        Self {
+            w,
+            seen: 0,
+            chain: VecDeque::new(),
+            awaiting: None,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Feeds one item (positions are assigned 1, 2, 3, ... internally).
+    pub fn insert(&mut self, item: T) {
+        self.seen += 1;
+        let t = self.seen;
+        // Expire chain elements that left the window; the next chain
+        // element (pre-selected uniformly from the expiring element's
+        // successor window) becomes the sample.
+        while let Some(&(pos, _)) = self.chain.front() {
+            if pos + self.w <= t {
+                self.chain.pop_front();
+            } else {
+                break;
+            }
+        }
+        // If this position was pre-selected as the successor of the chain
+        // tail, append it and pre-select its own successor.
+        if self.awaiting == Some(t) {
+            self.chain.push_back((t, item));
+            self.awaiting = Some(self.rng.random_range(t + 1..=t + self.w));
+            return;
+        }
+        // Otherwise the item becomes the new sample with probability
+        // 1/min(t, w), restarting the chain.
+        let denom = t.min(self.w);
+        if self.rng.random_range(0..denom) == 0 {
+            self.chain.clear();
+            self.chain.push_back((t, item));
+            self.awaiting = Some(self.rng.random_range(t + 1..=t + self.w));
+        }
+    }
+
+    /// The current sample: a uniformly random item of the last `w`
+    /// positions. `None` only before the first insertion.
+    pub fn sample(&self) -> Option<&T> {
+        self.chain.front().map(|(_, item)| item)
+    }
+
+    /// Number of items inserted.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Current chain length (diagnostic; expected `O(1)`).
+    pub fn chain_len(&self) -> usize {
+        self.chain.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_is_always_inside_the_window() {
+        let w = 16u64;
+        let mut s: ChainSampler<u64> = ChainSampler::new(w, 7);
+        for x in 0..500u64 {
+            s.insert(x);
+            let &v = s.sample().expect("non-empty after first insert");
+            assert!(v + w > x, "sample {v} expired at time {x}");
+            assert!(v <= x);
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform_over_window() {
+        let w = 10u64;
+        let trials = 30_000u64;
+        let mut counts = vec![0u64; w as usize];
+        for seed in 0..trials {
+            let mut s: ChainSampler<u64> = ChainSampler::new(w, seed);
+            for x in 0..50u64 {
+                s.insert(x);
+            }
+            let &v = s.sample().expect("non-empty");
+            counts[(v - 40) as usize] += 1;
+        }
+        let expect = trials / w;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c.abs_diff(expect) < expect / 3,
+                "position {i}: {c} vs {expect} ({counts:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn short_streams_sample_uniformly_too() {
+        let trials = 20_000u64;
+        let mut counts = vec![0u64; 3];
+        for seed in 0..trials {
+            let mut s: ChainSampler<u64> = ChainSampler::new(100, seed * 13 + 1);
+            for x in 0..3u64 {
+                s.insert(x);
+            }
+            counts[*s.sample().expect("non-empty") as usize] += 1;
+        }
+        let expect = trials / 3;
+        for &c in &counts {
+            assert!(c.abs_diff(expect) < expect / 3, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn chain_stays_short() {
+        let mut s: ChainSampler<u64> = ChainSampler::new(64, 3);
+        let mut max_chain = 0;
+        for x in 0..10_000u64 {
+            s.insert(x);
+            max_chain = max_chain.max(s.chain_len());
+        }
+        assert!(max_chain < 40, "chain grew to {max_chain}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn zero_window_rejected() {
+        let _: ChainSampler<u64> = ChainSampler::new(0, 1);
+    }
+}

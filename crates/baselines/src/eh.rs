@@ -1,0 +1,229 @@
+//! Exponential histograms (Datar, Gionis, Indyk & Motwani, SICOMP 2002):
+//! basic counting over sliding windows.
+//!
+//! Remark 1 of the paper contrasts its hierarchical sliding-window
+//! structure with exponential histograms — "by a careful look one will
+//! notice that our algorithm is very different"; this implementation
+//! makes the comparison concrete (and is a useful noiseless baseline in
+//! its own right: it counts 1-bits in the window up to `1 ± eps`).
+
+use std::collections::VecDeque;
+
+/// An exponential histogram estimating the number of 1s among the last
+/// `w` bits of a 0/1 stream, with relative error `eps`.
+///
+/// Buckets hold exponentially growing counts (1, 1, 2, 2, ..., capped at
+/// `k/2 + 1` buckets per size with `k = ceil(1/eps)`); the estimate
+/// charges half of the oldest bucket.
+///
+/// # Examples
+///
+/// ```
+/// use rds_baselines::ExponentialHistogram;
+///
+/// let mut eh = ExponentialHistogram::new(100, 0.1);
+/// for t in 0..1000u64 {
+///     eh.insert(t, true);
+/// }
+/// let est = eh.estimate();
+/// assert!((est as f64 - 100.0).abs() <= 10.0 + 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ExponentialHistogram {
+    w: u64,
+    /// max buckets per size class before merging: `ceil(1/eps)/2 + 2`.
+    cap: usize,
+    /// `(timestamp_of_newest_1, size)` from newest to oldest.
+    buckets: VecDeque<(u64, u64)>,
+    last_time: Option<u64>,
+}
+
+impl ExponentialHistogram {
+    /// Creates a histogram over windows of the last `w` positions with
+    /// target relative error `eps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == 0` or `eps` is not in `(0, 1]`.
+    pub fn new(w: u64, eps: f64) -> Self {
+        assert!(w >= 1, "window must be positive");
+        assert!(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
+        let k = (1.0 / eps).ceil() as usize;
+        Self {
+            w,
+            cap: k / 2 + 2,
+            buckets: VecDeque::new(),
+            last_time: None,
+        }
+    }
+
+    /// Feeds the bit at time `t` (times must be non-decreasing; only
+    /// 1-bits change the structure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` decreases.
+    pub fn insert(&mut self, t: u64, bit: bool) {
+        if let Some(last) = self.last_time {
+            assert!(t >= last, "times must be non-decreasing");
+        }
+        self.last_time = Some(t);
+        self.expire(t);
+        if !bit {
+            return;
+        }
+        self.buckets.push_front((t, 1));
+        // merge oldest pairs of each size class while a class overflows
+        let mut size = 1u64;
+        loop {
+            let count = self.buckets.iter().filter(|&&(_, s)| s == size).count();
+            if count <= self.cap {
+                break;
+            }
+            // merge the two OLDEST buckets of this size
+            let mut idxs: Vec<usize> = self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &(_, s))| s == size)
+                .map(|(i, _)| i)
+                .collect();
+            let oldest = idxs.pop().expect("count > cap >= 2");
+            let second = idxs.pop().expect("count > cap >= 2");
+            // keep the newer timestamp of the merged pair (`second` is
+            // newer than `oldest` since the deque is newest-first)
+            let merged_time = self.buckets[second].0;
+            self.buckets[second] = (merged_time, size * 2);
+            self.buckets.remove(oldest);
+            size *= 2;
+        }
+    }
+
+    fn expire(&mut self, now: u64) {
+        while let Some(&(t, _)) = self.buckets.back() {
+            if t + self.w <= now {
+                self.buckets.pop_back();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The estimate of the number of 1s in the window: full sizes of all
+    /// but the oldest bucket, plus half the oldest.
+    pub fn estimate(&self) -> u64 {
+        match self.buckets.back() {
+            None => 0,
+            Some(&(_, oldest)) => {
+                let total: u64 = self.buckets.iter().map(|&(_, s)| s).sum();
+                total - oldest + oldest.div_ceil(2)
+            }
+        }
+    }
+
+    /// Number of buckets currently held (`O(log^2 w / eps)` bits of
+    /// state).
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The window length.
+    pub fn window(&self) -> u64 {
+        self.w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_estimates_zero() {
+        let eh = ExponentialHistogram::new(10, 0.5);
+        assert_eq!(eh.estimate(), 0);
+    }
+
+    #[test]
+    fn counts_exactly_while_few_ones() {
+        let mut eh = ExponentialHistogram::new(100, 0.1);
+        for t in 0..5u64 {
+            eh.insert(t * 3, true);
+        }
+        assert_eq!(eh.estimate(), 5);
+    }
+
+    #[test]
+    fn zeros_do_not_change_the_count() {
+        let mut eh = ExponentialHistogram::new(50, 0.2);
+        eh.insert(0, true);
+        for t in 1..30u64 {
+            eh.insert(t, false);
+        }
+        assert_eq!(eh.estimate(), 1);
+    }
+
+    #[test]
+    fn old_ones_expire() {
+        let mut eh = ExponentialHistogram::new(10, 0.2);
+        for t in 0..5u64 {
+            eh.insert(t, true);
+        }
+        // jump past the window
+        eh.insert(100, false);
+        assert_eq!(eh.estimate(), 0);
+    }
+
+    #[test]
+    fn estimate_is_within_eps_on_dense_streams() {
+        for &eps in &[0.5f64, 0.2, 0.1] {
+            let w = 256u64;
+            let mut eh = ExponentialHistogram::new(w, eps);
+            for t in 0..4096u64 {
+                eh.insert(t, true);
+            }
+            let est = eh.estimate() as f64;
+            let truth = w as f64;
+            assert!(
+                (est - truth).abs() <= eps * truth + 1.0,
+                "eps={eps}: estimate {est} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_tracks_sparse_patterns() {
+        let w = 128u64;
+        let mut eh = ExponentialHistogram::new(w, 0.1);
+        // every 4th position is a 1
+        for t in 0..2048u64 {
+            eh.insert(t, t % 4 == 0);
+        }
+        let truth = (w / 4) as f64;
+        let est = eh.estimate() as f64;
+        assert!(
+            (est - truth).abs() <= 0.1 * truth + 1.0,
+            "estimate {est} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn bucket_count_stays_logarithmic() {
+        let mut eh = ExponentialHistogram::new(1 << 16, 0.1);
+        for t in 0..(1u64 << 17) {
+            eh.insert(t, true);
+        }
+        assert!(
+            eh.n_buckets() < 200,
+            "buckets {} not polylog",
+            eh.n_buckets()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_time_rejected() {
+        let mut eh = ExponentialHistogram::new(8, 0.5);
+        eh.insert(5, true);
+        eh.insert(4, true);
+    }
+}

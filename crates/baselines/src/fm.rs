@@ -1,0 +1,140 @@
+//! The Flajolet–Martin probabilistic counter (JCSS 1985) — the classic
+//! bitmap F0 sketch whose sliding-window adaptation Section 5 of the
+//! paper builds on (it is also where the constant `phi = 0.77351` comes
+//! from).
+
+use rds_hashing::splitmix64;
+
+/// The Flajolet–Martin bias correction constant.
+pub const PHI: f64 = 0.77351;
+
+/// An FM sketch: `copies` bitmaps, each recording which trailing-zero
+/// counts were observed; the estimate is `2^{mean R} / phi` with `R` the
+/// index of the lowest unset bit.
+///
+/// # Examples
+///
+/// ```
+/// use rds_baselines::FmSketch;
+///
+/// let mut s = FmSketch::new(64, 9);
+/// for x in 0..2000u64 {
+///     s.process(x);
+/// }
+/// let est = s.estimate();
+/// assert!(est > 800.0 && est < 5000.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FmSketch {
+    bitmaps: Vec<u64>,
+    seed: u64,
+}
+
+impl FmSketch {
+    /// Creates a sketch with `copies` independent bitmaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copies == 0`.
+    pub fn new(copies: usize, seed: u64) -> Self {
+        assert!(copies >= 1, "need at least one bitmap");
+        Self {
+            bitmaps: vec![0; copies],
+            seed,
+        }
+    }
+
+    /// Feeds one item.
+    pub fn process(&mut self, item: u64) {
+        for (i, bm) in self.bitmaps.iter_mut().enumerate() {
+            let h = splitmix64(self.seed ^ item ^ ((i as u64) << 56).wrapping_add(i as u64));
+            let rho = h.trailing_zeros().min(63);
+            *bm |= 1u64 << rho;
+        }
+    }
+
+    /// Index of the lowest unset bit of one bitmap.
+    fn lowest_zero(bm: u64) -> u32 {
+        (!bm).trailing_zeros()
+    }
+
+    /// The distinct-count estimate `2^{mean R} / phi`.
+    pub fn estimate(&self) -> f64 {
+        let mean_r = self
+            .bitmaps
+            .iter()
+            .map(|&bm| Self::lowest_zero(bm) as f64)
+            .sum::<f64>()
+            / self.bitmaps.len() as f64;
+        2f64.powf(mean_r) / PHI
+    }
+
+    /// Number of bitmap copies.
+    pub fn copies(&self) -> usize {
+        self.bitmaps.len()
+    }
+
+    /// Words of memory in use.
+    pub fn words(&self) -> usize {
+        self.bitmaps.len() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch_estimates_near_one() {
+        let s = FmSketch::new(16, 1);
+        assert!(s.estimate() <= 2.0);
+    }
+
+    #[test]
+    fn duplicates_are_free() {
+        let mut a = FmSketch::new(32, 2);
+        let mut b = FmSketch::new(32, 2);
+        for x in 0..300u64 {
+            a.process(x);
+            b.process(x);
+            b.process(x);
+            b.process(x);
+        }
+        assert_eq!(a.estimate(), b.estimate());
+    }
+
+    #[test]
+    fn estimate_grows_with_cardinality() {
+        let mut small = FmSketch::new(64, 3);
+        let mut large = FmSketch::new(64, 3);
+        for x in 0..100u64 {
+            small.process(x);
+        }
+        for x in 0..10_000u64 {
+            large.process(x);
+        }
+        assert!(large.estimate() > 4.0 * small.estimate());
+    }
+
+    #[test]
+    fn estimate_is_order_of_magnitude_correct() {
+        let mut s = FmSketch::new(128, 4);
+        let truth = 4096.0;
+        for x in 0..4096u64 {
+            s.process(x.wrapping_mul(0x2545F4914F6CDD1D));
+        }
+        let est = s.estimate();
+        assert!(
+            est > truth / 3.0 && est < truth * 3.0,
+            "estimate {est} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn lowest_zero_hand_cases() {
+        assert_eq!(FmSketch::lowest_zero(0b0), 0);
+        assert_eq!(FmSketch::lowest_zero(0b1), 1);
+        assert_eq!(FmSketch::lowest_zero(0b111), 3);
+        assert_eq!(FmSketch::lowest_zero(0b1011), 2);
+    }
+}

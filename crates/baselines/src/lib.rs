@@ -1,0 +1,34 @@
+//! Noiseless-stream baselines for the comparison experiments.
+//!
+//! All of these treat items by exact identity; on data with
+//! near-duplicates they exhibit exactly the failures the paper's robust
+//! algorithms repair (group-size-biased sampling, inflated distinct
+//! counts):
+//!
+//! * [`MinRankL0Sampler`] / [`PointMinRankSampler`] — folklore min-rank
+//!   ℓ0 sampling;
+//! * [`Reservoir`] — Vitter's reservoir sampling over points;
+//! * [`ChainSampler`] — Babcock et al. sliding-window sampling;
+//! * [`ExponentialHistogram`] — Datar et al. basic counting (Remark 1's
+//!   point of comparison);
+//! * [`KmvDistinctEstimator`] — bottom-k (BJKST-family) F0;
+//! * [`FmSketch`] — Flajolet–Martin probabilistic counting;
+//! * [`HyperLogLog`] — HLL cardinality estimation.
+
+#![warn(missing_docs)]
+
+mod bjkst;
+mod chain;
+mod eh;
+mod fm;
+mod hll;
+mod minrank;
+mod reservoir;
+
+pub use bjkst::KmvDistinctEstimator;
+pub use chain::ChainSampler;
+pub use eh::ExponentialHistogram;
+pub use fm::{FmSketch, PHI};
+pub use hll::HyperLogLog;
+pub use minrank::{MinRankL0Sampler, PointMinRankSampler};
+pub use reservoir::Reservoir;

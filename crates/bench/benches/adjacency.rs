@@ -1,0 +1,62 @@
+//! Algorithms 6/7 (`SearchAdj` DFS with pruning) vs the naive `3^d`
+//! enumeration the paper's Section 6.2 argues against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rds_geometry::{adjacent_cells, Grid, Point};
+use std::hint::black_box;
+
+/// The naive enumeration: visit all 3^d neighbouring cells and test each.
+fn brute_force_adj(grid: &Grid, p: &Point, alpha: f64) -> Vec<Vec<i64>> {
+    let d = grid.dim();
+    let base: Vec<i64> = (0..d)
+        .map(|i| grid.grid_coord(p, i).floor() as i64)
+        .collect();
+    let mut out = Vec::new();
+    let total = 3usize.pow(d as u32);
+    for code in 0..total {
+        let mut cell = base.clone();
+        let mut x = code;
+        for c in cell.iter_mut() {
+            *c += (x % 3) as i64 - 1;
+            x /= 3;
+        }
+        if grid.dist_point_cell(p, &cell) <= alpha {
+            out.push(cell);
+        }
+    }
+    out
+}
+
+fn bench_adjacency(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut group = c.benchmark_group("adjacency");
+    for d in [2usize, 5, 8, 12] {
+        let alpha = 1.0 / (d as f64).powf(1.5);
+        let grid = Grid::random(d, alpha, &mut rng);
+        let points: Vec<Point> = (0..64)
+            .map(|_| Point::new((0..d).map(|_| rng.random_range(0.0..10.0)).collect()))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("searchadj_dfs", d), &d, |b, _| {
+            b.iter(|| {
+                for p in &points {
+                    black_box(adjacent_cells(&grid, p, alpha));
+                }
+            });
+        });
+        if d <= 8 {
+            group.bench_with_input(BenchmarkId::new("brute_3d", d), &d, |b, _| {
+                b.iter(|| {
+                    for p in &points {
+                        black_box(brute_force_adj(&grid, p, alpha));
+                    }
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adjacency);
+criterion_main!(benches);

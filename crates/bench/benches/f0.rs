@@ -1,0 +1,78 @@
+//! Robust F0 estimation (Section 5) vs the noiseless sketches: throughput
+//! and the accuracy/space trade-off in `eps`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rds_baselines::{HyperLogLog, KmvDistinctEstimator};
+use rds_core::{RobustF0Estimator, SamplerConfig};
+use rds_datasets::{rand_cloud, uniform_dups, Dataset};
+use rds_hashing::point_identity;
+use std::hint::black_box;
+
+fn noisy_dataset() -> Dataset {
+    let mut rng = StdRng::seed_from_u64(21);
+    let base = rand_cloud(150, 5, &mut rng);
+    let mut ds = uniform_dups("f0bench", &base, 12, &mut rng);
+    ds.shuffle(&mut rng);
+    ds
+}
+
+fn bench_robust_f0(c: &mut Criterion) {
+    let ds = noisy_dataset();
+    let mut group = c.benchmark_group("robust_f0_scan");
+    group.throughput(Throughput::Elements(ds.len() as u64));
+    group.sample_size(10);
+    for eps in [1.0f64, 0.5, 0.25] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("eps{eps}")),
+            &eps,
+            |b, &eps| {
+                b.iter(|| {
+                    let cfg = SamplerConfig::new(ds.dim, ds.alpha)
+                        .with_seed(3)
+                        .with_expected_len(ds.len() as u64);
+                    let mut est = RobustF0Estimator::new(cfg, eps, 3);
+                    for lp in &ds.points {
+                        est.process(black_box(&lp.point));
+                    }
+                    black_box(est.estimate())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_noiseless_sketches(c: &mut Criterion) {
+    let ds = noisy_dataset();
+    let ids: Vec<u64> = ds
+        .points
+        .iter()
+        .map(|lp| point_identity(lp.point.coords(), 9))
+        .collect();
+    let mut group = c.benchmark_group("noiseless_f0_scan");
+    group.throughput(Throughput::Elements(ids.len() as u64));
+    group.bench_function("kmv256", |b| {
+        b.iter(|| {
+            let mut e = KmvDistinctEstimator::new(256, 5);
+            for &id in &ids {
+                e.process(black_box(id));
+            }
+            black_box(e.estimate())
+        });
+    });
+    group.bench_function("hll_b12", |b| {
+        b.iter(|| {
+            let mut e = HyperLogLog::new(12, 5);
+            for &id in &ids {
+                e.process(black_box(id));
+            }
+            black_box(e.estimate())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_robust_f0, bench_noiseless_sketches);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Cost of the k-wise independent hash as a function of the independence
+//! parameter, and of the combined cell-sampling path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rds_hashing::{CellHasher, KWiseHash};
+use std::hint::black_box;
+
+fn bench_kwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kwise_hash");
+    group.throughput(Throughput::Elements(1024));
+    for k in [2usize, 8, 16, 32, 64] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let h = KWiseHash::new(k, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for x in 0..1024u64 {
+                    acc ^= h.hash(black_box(x));
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cell_sampling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let hasher = CellHasher::new(16, &mut rng);
+    let cells: Vec<[i64; 5]> = (0..1024)
+        .map(|i| [i, -i, 2 * i, i % 7, i / 3])
+        .collect();
+    c.bench_function("cell_sampled_level6", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for cell in &cells {
+                if hasher.sampled(black_box(cell), 6) {
+                    count += 1;
+                }
+            }
+            black_box(count)
+        });
+    });
+}
+
+criterion_group!(benches, bench_kwise, bench_cell_sampling);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Per-item processing cost of Algorithm 1 (the paper's Figure 13 metric)
+//! on scaled-down versions of the evaluation datasets.
+//!
+//! The full-size measurement (paper-comparable numbers) lives in the
+//! `figures` binary (`fig13`); this bench gives Criterion-quality
+//! statistics on smaller streams.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rds_core::{RobustL0Sampler, SamplerConfig};
+use rds_datasets::{rand_cloud, uniform_dups, yacht_like, Dataset};
+use std::hint::black_box;
+
+fn scaled_dataset(name: &str, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = match name {
+        "Rand5" => rand_cloud(200, 5, &mut rng),
+        "Rand20" => rand_cloud(200, 20, &mut rng),
+        "Yacht" => yacht_like(&mut rng),
+        _ => unreachable!(),
+    };
+    let mut ds = uniform_dups(name, &base, 10, &mut rng);
+    ds.shuffle(&mut rng);
+    ds
+}
+
+fn bench_ptime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_scan");
+    for name in ["Rand5", "Rand20", "Yacht"] {
+        let ds = scaled_dataset(name, 42);
+        group.throughput(Throughput::Elements(ds.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &ds, |b, ds| {
+            b.iter(|| {
+                let mut s = RobustL0Sampler::new(
+                    SamplerConfig::new(ds.dim, ds.alpha)
+                        .with_seed(7)
+                        .with_expected_len(ds.len() as u64),
+                );
+                for lp in &ds.points {
+                    s.process(black_box(&lp.point));
+                }
+                black_box(s.accept_set().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ptime);
+criterion_main!(benches);

@@ -1,0 +1,417 @@
+//! Library half of the `rds` command-line tool: argument parsing, CSV
+//! point decoding and the command runners, separated from `main` so they
+//! are unit-testable.
+
+#![warn(missing_docs)]
+
+use rds_core::{
+    RobustF0Estimator, RobustHeavyHitters, RobustL0Sampler, SamplerConfig, SlidingWindowSampler,
+};
+use rds_geometry::Point;
+use rds_stream::{Stamp, StreamItem, Window};
+use std::io::BufRead;
+
+/// Which command to run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Draw one (or `k`) uniform samples over entities.
+    Sample {
+        /// Number of distinct samples.
+        k: usize,
+    },
+    /// Estimate the number of distinct entities.
+    Count {
+        /// Target relative error.
+        eps: f64,
+    },
+    /// Report entities owning more than a `phi` fraction of the stream.
+    Heavy {
+        /// Frequency threshold.
+        phi: f64,
+    },
+}
+
+/// Parsed command line.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// The selected command.
+    pub command: Command,
+    /// Near-duplicate distance threshold.
+    pub alpha: f64,
+    /// Optional sliding window (`--window N`, sequence-based; `--time`
+    /// switches to timestamp expiry with the last column as timestamp).
+    pub window: Option<Window>,
+    /// PRNG seed.
+    pub seed: u64,
+    /// Expected stream length (tunes thresholds; an estimate is fine).
+    pub expected_len: u64,
+}
+
+/// Parses the command line. `args` excludes the program name.
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed input.
+pub fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut it = args.iter().peekable();
+    let cmd = it.next().ok_or_else(usage)?;
+    let mut k = 1usize;
+    let mut eps = 0.3f64;
+    let mut phi = 0.1f64;
+    let mut alpha = None;
+    let mut window_len: Option<u64> = None;
+    let mut time_based = false;
+    let mut seed = 1u64;
+    let mut expected_len = 1 << 20;
+
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} expects a value"))
+        };
+        match a.as_str() {
+            "--alpha" => alpha = Some(parse_num(val("--alpha")?, "--alpha")?),
+            "--k" => k = parse_num::<usize>(val("--k")?, "--k")?,
+            "--eps" => eps = parse_num(val("--eps")?, "--eps")?,
+            "--phi" => phi = parse_num(val("--phi")?, "--phi")?,
+            "--window" => window_len = Some(parse_num(val("--window")?, "--window")?),
+            "--time" => time_based = true,
+            "--seed" => seed = parse_num(val("--seed")?, "--seed")?,
+            "--expected-len" => {
+                expected_len = parse_num(val("--expected-len")?, "--expected-len")?
+            }
+            other => return Err(format!("unknown option {other}\n{}", usage())),
+        }
+    }
+    let alpha = alpha.ok_or("--alpha is required".to_string())?;
+    if alpha <= 0.0 {
+        return Err("--alpha must be positive".into());
+    }
+    let command = match cmd.as_str() {
+        "sample" => Command::Sample { k },
+        "count" => Command::Count { eps },
+        "heavy" => Command::Heavy { phi },
+        other => return Err(format!("unknown command {other}\n{}", usage())),
+    };
+    let window = window_len.map(|w| {
+        if time_based {
+            Window::Time(w)
+        } else {
+            Window::Sequence(w)
+        }
+    });
+    Ok(Cli {
+        command,
+        alpha,
+        window,
+        seed,
+        expected_len,
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, name: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{name}: invalid number {s}"))
+}
+
+/// The usage string.
+pub fn usage() -> String {
+    "usage: rds <sample|count|heavy> --alpha A [options] < points.csv\n\
+     \n\
+     Points arrive on stdin, one per line, comma- or whitespace-separated\n\
+     coordinates. With --time, the LAST column is the item's timestamp.\n\
+     \n\
+     commands:\n\
+     \x20 sample   print a uniform random entity (representative point)\n\
+     \x20 count    print the estimated number of distinct entities\n\
+     \x20 heavy    print entities above a frequency threshold\n\
+     options:\n\
+     \x20 --alpha A          near-duplicate distance threshold (required)\n\
+     \x20 --k N              number of distinct samples (sample; default 1)\n\
+     \x20 --eps E            accuracy target (count; default 0.3)\n\
+     \x20 --phi P            frequency threshold (heavy; default 0.1)\n\
+     \x20 --window W         restrict to the last W items\n\
+     \x20 --time             window is time-based (last column = timestamp)\n\
+     \x20 --seed S           PRNG seed (default 1)\n\
+     \x20 --expected-len M   expected stream length (default 2^20)\n"
+        .to_string()
+}
+
+/// Parses one CSV/whitespace line into coordinates (and, with
+/// `with_time`, splits off the trailing timestamp).
+///
+/// # Errors
+///
+/// Returns a message naming the offending token.
+pub fn parse_line(line: &str, with_time: bool) -> Result<Option<(Point, u64)>, String> {
+    let tokens: Vec<&str> = line
+        .split(|c: char| c == ',' || c.is_whitespace())
+        .filter(|t| !t.is_empty())
+        .collect();
+    if tokens.is_empty() || tokens[0].starts_with('#') {
+        return Ok(None);
+    }
+    let (coord_tokens, time) = if with_time {
+        let (last, rest) = tokens.split_last().ok_or("empty line")?;
+        let t: u64 = last
+            .parse()
+            .map_err(|_| format!("invalid timestamp {last}"))?;
+        (rest, t)
+    } else {
+        (&tokens[..], 0)
+    };
+    if coord_tokens.is_empty() {
+        return Err("line has a timestamp but no coordinates".into());
+    }
+    let coords: Result<Vec<f64>, String> = coord_tokens
+        .iter()
+        .map(|t| t.parse().map_err(|_| format!("invalid coordinate {t}")))
+        .collect();
+    Ok(Some((Point::new(coords?), time)))
+}
+
+/// Runs the tool against a reader, writing human-readable results to a
+/// writer. Returns the number of points processed.
+///
+/// # Errors
+///
+/// Propagates I/O and parse failures as strings.
+pub fn run<R: BufRead, W: std::io::Write>(
+    cli: &Cli,
+    input: R,
+    out: &mut W,
+) -> Result<u64, String> {
+    let with_time = matches!(cli.window, Some(Window::Time(_)));
+    let mut dim: Option<usize> = None;
+    let mut n = 0u64;
+
+    // lazily constructed once the dimension is known
+    let mut sampler: Option<RobustL0Sampler> = None;
+    let mut window_sampler: Option<SlidingWindowSampler> = None;
+    let mut counter: Option<RobustF0Estimator> = None;
+    let mut heavy: Option<RobustHeavyHitters> = None;
+
+    for line in input.lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let Some((point, time)) = parse_line(&line, with_time)? else {
+            continue;
+        };
+        let d = *dim.get_or_insert(point.dim());
+        if point.dim() != d {
+            return Err(format!(
+                "dimension changed from {d} to {} at line {n}",
+                point.dim()
+            ));
+        }
+        if sampler.is_none() && window_sampler.is_none() && counter.is_none() && heavy.is_none() {
+            let cfg = SamplerConfig::new(d, cli.alpha)
+                .with_seed(cli.seed)
+                .with_expected_len(cli.expected_len);
+            match (&cli.command, cli.window) {
+                (Command::Sample { k }, None) => {
+                    sampler = Some(RobustL0Sampler::new(cfg.with_k(*k)));
+                }
+                (Command::Sample { k }, Some(w)) => {
+                    window_sampler = Some(SlidingWindowSampler::new(cfg.with_k(*k), w));
+                }
+                (Command::Count { eps }, _) => {
+                    counter = Some(RobustF0Estimator::new(cfg, *eps, 5));
+                }
+                (Command::Heavy { phi }, _) => {
+                    heavy = Some(RobustHeavyHitters::new(*phi, cli.alpha));
+                }
+            }
+        }
+        let stamp = if with_time {
+            Stamp::new(n, time)
+        } else {
+            Stamp::at(n)
+        };
+        if let Some(s) = sampler.as_mut() {
+            s.process(&point);
+        }
+        if let Some(s) = window_sampler.as_mut() {
+            s.process(&StreamItem::new(point.clone(), stamp));
+        }
+        if let Some(c) = counter.as_mut() {
+            c.process(&point);
+        }
+        if let Some(h) = heavy.as_mut() {
+            h.process(&point);
+        }
+        n += 1;
+    }
+
+    let w = |out: &mut W, s: String| writeln!(out, "{s}").map_err(|e| e.to_string());
+    match &cli.command {
+        Command::Sample { k } => {
+            if let Some(mut s) = sampler {
+                for rec in s.query_k(*k) {
+                    w(out, format!("{:?} (seen {} times)", rec.rep.coords(), rec.count))?;
+                }
+            } else if let Some(mut s) = window_sampler {
+                for g in s.query_k(*k) {
+                    w(
+                        out,
+                        format!(
+                            "{:?} (seen {} times in window)",
+                            g.latest.coords(),
+                            g.count
+                        ),
+                    )?;
+                }
+            }
+        }
+        Command::Count { .. } => {
+            if let Some(c) = counter {
+                w(out, format!("{:.1}", c.estimate()))?;
+            }
+        }
+        Command::Heavy { .. } => {
+            if let Some(h) = heavy {
+                for g in h.heavy_hitters() {
+                    w(
+                        out,
+                        format!(
+                            "{:?} count>={} (+/-{})",
+                            g.rep.coords(),
+                            g.count.saturating_sub(g.error),
+                            g.error
+                        ),
+                    )?;
+                }
+            }
+        }
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_sample_command() {
+        let cli = parse_cli(&args("sample --alpha 0.5 --k 3 --seed 9")).expect("valid");
+        assert_eq!(cli.command, Command::Sample { k: 3 });
+        assert_eq!(cli.alpha, 0.5);
+        assert_eq!(cli.seed, 9);
+        assert!(cli.window.is_none());
+    }
+
+    #[test]
+    fn parses_windowed_time_command() {
+        let cli = parse_cli(&args("count --alpha 1.0 --eps 0.2 --window 100 --time"))
+            .expect("valid");
+        assert_eq!(cli.command, Command::Count { eps: 0.2 });
+        assert_eq!(cli.window, Some(Window::Time(100)));
+    }
+
+    #[test]
+    fn rejects_missing_alpha() {
+        assert!(parse_cli(&args("sample --k 2")).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_command() {
+        assert!(parse_cli(&args("frobnicate --alpha 1")).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        assert!(parse_cli(&args("sample --alpha banana")).is_err());
+        assert!(parse_cli(&args("sample --alpha 1 --k -3")).is_err());
+    }
+
+    #[test]
+    fn parses_csv_and_whitespace_lines() {
+        let (p, _) = parse_line("1.5, 2.5, -3", false).expect("valid").expect("point");
+        assert_eq!(p, Point::new(vec![1.5, 2.5, -3.0]));
+        let (p2, _) = parse_line("  4 5 6 ", false).expect("valid").expect("point");
+        assert_eq!(p2.dim(), 3);
+    }
+
+    #[test]
+    fn parses_trailing_timestamp() {
+        let (p, t) = parse_line("1,2,77", true).expect("valid").expect("point");
+        assert_eq!(p, Point::new(vec![1.0, 2.0]));
+        assert_eq!(t, 77);
+    }
+
+    #[test]
+    fn skips_blank_and_comment_lines() {
+        assert!(parse_line("", false).expect("ok").is_none());
+        assert!(parse_line("# header", false).expect("ok").is_none());
+    }
+
+    #[test]
+    fn rejects_garbage_coordinates() {
+        assert!(parse_line("1,two,3", false).is_err());
+        assert!(parse_line("1,2,notatime", true).is_err());
+    }
+
+    #[test]
+    fn end_to_end_sample() {
+        let cli = parse_cli(&args("sample --alpha 0.5 --seed 3")).expect("valid");
+        let mut input = String::new();
+        for i in 0..50 {
+            input.push_str(&format!("{}.0, 0.0\n", (i % 5) * 10));
+        }
+        let mut out = Vec::new();
+        let n = run(&cli, Cursor::new(input), &mut out).expect("runs");
+        assert_eq!(n, 50);
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("seen"), "output: {text}");
+    }
+
+    #[test]
+    fn end_to_end_count() {
+        let cli = parse_cli(&args("count --alpha 0.5 --eps 1.0")).expect("valid");
+        let mut input = String::new();
+        for i in 0..60 {
+            input.push_str(&format!("{}.0\n", (i % 6) * 10));
+        }
+        let mut out = Vec::new();
+        run(&cli, Cursor::new(input), &mut out).expect("runs");
+        let text = String::from_utf8(out).expect("utf8");
+        let est: f64 = text.trim().parse().expect("a number");
+        assert_eq!(est, 6.0);
+    }
+
+    #[test]
+    fn end_to_end_heavy() {
+        let cli = parse_cli(&args("heavy --alpha 0.5 --phi 0.4")).expect("valid");
+        let mut input = String::new();
+        for i in 0..100 {
+            let g = if i % 2 == 0 { 0 } else { 1 + i % 7 };
+            input.push_str(&format!("{}.0\n", g * 10));
+        }
+        let mut out = Vec::new();
+        run(&cli, Cursor::new(input), &mut out).expect("runs");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.lines().count() == 1, "only group 0 is heavy: {text}");
+    }
+
+    #[test]
+    fn end_to_end_windowed_sample() {
+        let cli = parse_cli(&args("sample --alpha 0.5 --window 10")).expect("valid");
+        let mut input = String::new();
+        for i in 0..40 {
+            input.push_str(&format!("{}.0\n", (i % 20) * 10));
+        }
+        let mut out = Vec::new();
+        run(&cli, Cursor::new(input), &mut out).expect("runs");
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn dimension_change_is_an_error() {
+        let cli = parse_cli(&args("sample --alpha 0.5")).expect("valid");
+        let input = "1,2\n1,2,3\n";
+        let mut out = Vec::new();
+        assert!(run(&cli, Cursor::new(input), &mut out).is_err());
+    }
+}

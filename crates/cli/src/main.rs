@@ -1,0 +1,35 @@
+//! `rds` — robust distinct sampling over CSV point streams.
+//!
+//! See `rds_cli::usage` (printed on `--help` / bad arguments) for the
+//! interface; the logic lives in the `rds_cli` library so it is
+//! unit-tested.
+
+use std::io::BufReader;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", rds_cli::usage());
+        return ExitCode::SUCCESS;
+    }
+    let cli = match rds_cli::parse_cli(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout().lock();
+    match rds_cli::run(&cli, BufReader::new(stdin.lock()), &mut stdout) {
+        Ok(n) => {
+            eprintln!("processed {n} points");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

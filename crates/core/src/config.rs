@@ -1,0 +1,304 @@
+//! Sampler configuration and the shared grid/hash context.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rds_geometry::{for_each_adjacent_cell, Grid, Point};
+use rds_hashing::{level_sampled, CellHasher, KWiseHash};
+
+/// Configuration shared by all samplers in this crate.
+///
+/// The defaults follow the paper: grid side `alpha` (the implementation
+/// regime of Section 6, where `adj(p)` is contained in the `3^d` lattice
+/// neighbourhood), acceptance-set threshold `kappa0 * k * log2(m)`
+/// (Algorithm 1 line 10 / Algorithm 3 line 10 and the k-sampling extension
+/// of Section 2.3), and `Θ(log m)`-wise independent hashing.
+///
+/// # Examples
+///
+/// ```
+/// use rds_core::SamplerConfig;
+///
+/// let cfg = SamplerConfig::new(5, 0.05)
+///     .with_seed(42)
+///     .with_expected_len(100_000);
+/// assert!(cfg.threshold() > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SamplerConfig {
+    /// Ambient dimension `d`.
+    pub dim: usize,
+    /// Group-diameter threshold `alpha`: points within `alpha` are
+    /// near-duplicates of the same entity.
+    pub alpha: f64,
+    /// Grid side length as a multiple of `alpha`. Default `1.0`; the
+    /// high-dimensional regime of Section 4 uses `d` ([`Self::high_dim`]).
+    pub side_factor: f64,
+    /// The constant `kappa_0` in the `kappa_0 log m` acceptance threshold.
+    pub kappa0: f64,
+    /// Number of distinct samples the caller intends to draw without
+    /// replacement per query (Section 2.3 scales the threshold by `k`).
+    pub k: usize,
+    /// Expected stream length `m` (drives the `log m` threshold and the
+    /// hash independence). An estimate is fine; the bound degrades
+    /// gracefully.
+    pub expected_len: u64,
+    /// Hash independence; `0` means auto (`max(8, 2 log2 m)`).
+    pub independence: usize,
+    /// PRNG seed for the grid offset, the hash function and query
+    /// randomness.
+    pub seed: u64,
+}
+
+impl SamplerConfig {
+    /// Creates a configuration with the paper's default parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `alpha` is not strictly positive and finite.
+    pub fn new(dim: usize, alpha: f64) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "alpha must be positive and finite"
+        );
+        Self {
+            dim,
+            alpha,
+            side_factor: 1.0,
+            kappa0: 4.0,
+            k: 1,
+            expected_len: 1 << 20,
+            independence: 0,
+            seed: 0xC0FF_EE00,
+        }
+    }
+
+    /// Sets the PRNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the expected stream length `m`.
+    pub fn with_expected_len(mut self, m: u64) -> Self {
+        self.expected_len = m.max(4);
+        self
+    }
+
+    /// Sets the threshold constant `kappa_0`.
+    pub fn with_kappa0(mut self, kappa0: f64) -> Self {
+        assert!(kappa0 > 0.0, "kappa0 must be positive");
+        self.kappa0 = kappa0;
+        self
+    }
+
+    /// Sets the number of without-replacement samples per query
+    /// (Section 2.3: the acceptance threshold becomes
+    /// `kappa_0 * k * log m`).
+    pub fn with_k(mut self, k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        self.k = k;
+        self
+    }
+
+    /// Sets the grid side length as a multiple of `alpha`.
+    pub fn with_side_factor(mut self, f: f64) -> Self {
+        assert!(f.is_finite() && f >= 1.0, "side factor must be >= 1");
+        self.side_factor = f;
+        self
+    }
+
+    /// Overrides the hash independence (0 = auto).
+    pub fn with_independence(mut self, k: usize) -> Self {
+        self.independence = k;
+        self
+    }
+
+    /// Switches to the high-dimensional regime of Section 4: grid side
+    /// `d * alpha`, for `(alpha, beta)`-sparse data with
+    /// `beta > d^{1.5} alpha`.
+    pub fn high_dim(mut self) -> Self {
+        self.side_factor = self.dim as f64;
+        self
+    }
+
+    /// `log2` of the expected stream length (at least 2).
+    pub fn log2_m(&self) -> f64 {
+        (self.expected_len.max(4) as f64).log2()
+    }
+
+    /// The acceptance-set size threshold `ceil(kappa_0 * k * log2 m)`
+    /// (Algorithm 1 line 10).
+    pub fn threshold(&self) -> usize {
+        (self.kappa0 * self.k as f64 * self.log2_m()).ceil() as usize
+    }
+
+    /// The effective hash independence.
+    pub fn effective_independence(&self) -> usize {
+        if self.independence > 0 {
+            self.independence
+        } else {
+            KWiseHash::suggested_independence(self.expected_len)
+        }
+    }
+
+    /// The grid side length `side_factor * alpha`.
+    pub fn side(&self) -> f64 {
+        self.side_factor * self.alpha
+    }
+}
+
+/// The immutable context shared by sampler instances: the random grid, the
+/// k-wise independent cell hash, and the configuration.
+///
+/// Algorithm 3 keeps `log w` sampler instances over the *same* grid and
+/// hash function (only the sample rate `1/R` differs per level), so the
+/// context is built once and shared.
+#[derive(Clone, Debug)]
+pub struct SamplerContext {
+    cfg: SamplerConfig,
+    grid: Grid,
+    hasher: CellHasher,
+}
+
+impl SamplerContext {
+    /// Builds the context: samples the grid offset and the hash function
+    /// from the configured seed.
+    pub fn new(cfg: SamplerConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let grid = Grid::random(cfg.dim, cfg.side(), &mut rng);
+        let hasher = CellHasher::new(cfg.effective_independence(), &mut rng);
+        Self { cfg, grid, hasher }
+    }
+
+    /// The configuration.
+    pub fn cfg(&self) -> &SamplerConfig {
+        &self.cfg
+    }
+
+    /// The shared grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The group-diameter threshold `alpha`.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.cfg.alpha
+    }
+
+    /// Hash of `cell(p)`; `scratch` avoids a per-call allocation.
+    #[inline]
+    pub fn cell_hash(&self, p: &Point, scratch: &mut Vec<i64>) -> u64 {
+        self.grid.cell_of_into(p, scratch);
+        self.hasher.hash_key(self.hasher.cell_key(scratch))
+    }
+
+    /// Whether a previously computed cell hash is sampled at rate
+    /// `2^-level` (`h_R(cell) = 0`).
+    #[inline]
+    pub fn hash_sampled(&self, cell_hash: u64, level: u32) -> bool {
+        level_sampled(cell_hash, level)
+    }
+
+    /// Whether some cell of `adj(p)` is sampled at rate `2^-level`
+    /// (the `∃ C ∈ adj(p): h_R(C) = 0` test of Algorithms 1 and 2),
+    /// using the early-exiting `SearchAdj` DFS.
+    pub fn any_adjacent_sampled(&self, p: &Point, level: u32) -> bool {
+        for_each_adjacent_cell(&self.grid, p, self.cfg.alpha, |cell| {
+            let h = self.hasher.hash_key(self.hasher.cell_key(cell));
+            level_sampled(h, level)
+        })
+    }
+
+    /// Words of memory attributable to the context (grid offset + hash
+    /// description), for `pSpace` accounting.
+    pub fn words(&self) -> usize {
+        self.cfg.dim + self.hasher.words() + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_scales_with_log_m_and_k() {
+        let base = SamplerConfig::new(2, 1.0).with_expected_len(1 << 10);
+        let long = base.clone().with_expected_len(1 << 20);
+        assert!(long.threshold() > base.threshold());
+        let k3 = base.clone().with_k(3);
+        assert_eq!(k3.threshold(), 3 * base.threshold());
+    }
+
+    #[test]
+    fn high_dim_uses_side_d_alpha() {
+        let cfg = SamplerConfig::new(8, 0.25).high_dim();
+        assert!((cfg.side() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn context_is_deterministic_in_seed() {
+        let cfg = SamplerConfig::new(3, 0.5).with_seed(7);
+        let a = SamplerContext::new(cfg.clone());
+        let b = SamplerContext::new(cfg);
+        let p = Point::new(vec![1.0, 2.0, 3.0]);
+        let mut s1 = Vec::new();
+        let mut s2 = Vec::new();
+        assert_eq!(a.cell_hash(&p, &mut s1), b.cell_hash(&p, &mut s2));
+        assert_eq!(a.grid().offset(), b.grid().offset());
+    }
+
+    #[test]
+    fn level_zero_always_sampled() {
+        let ctx = SamplerContext::new(SamplerConfig::new(2, 0.5));
+        let mut scratch = Vec::new();
+        for i in 0..20 {
+            let p = Point::new(vec![i as f64, -(i as f64)]);
+            let h = ctx.cell_hash(&p, &mut scratch);
+            assert!(ctx.hash_sampled(h, 0));
+        }
+    }
+
+    #[test]
+    fn own_cell_sampled_implies_adjacent_sampled() {
+        let ctx = SamplerContext::new(SamplerConfig::new(2, 0.5).with_seed(3));
+        let mut scratch = Vec::new();
+        for i in 0..200 {
+            let p = Point::new(vec![i as f64 * 0.37, i as f64 * 0.11]);
+            let h = ctx.cell_hash(&p, &mut scratch);
+            for level in 0..6 {
+                if ctx.hash_sampled(h, level) {
+                    assert!(ctx.any_adjacent_sampled(&p, level));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_sampling_is_monotone_in_level() {
+        // Fact 1(b) lifted to neighbourhoods: sampled sets nest, so a
+        // sampled adjacent cell at a finer rate is sampled at coarser ones.
+        let ctx = SamplerContext::new(SamplerConfig::new(3, 0.4).with_seed(11));
+        for i in 0..100 {
+            let p = Point::new(vec![i as f64 * 0.21, 1.7, -i as f64 * 0.43]);
+            for level in 1..6 {
+                if ctx.any_adjacent_sampled(&p, level) {
+                    assert!(ctx.any_adjacent_sampled(&p, level - 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn invalid_alpha_panics() {
+        let _ = SamplerConfig::new(2, 0.0);
+    }
+
+    #[test]
+    fn auto_independence_is_at_least_eight() {
+        let cfg = SamplerConfig::new(2, 1.0).with_expected_len(16);
+        assert!(cfg.effective_independence() >= 8);
+    }
+}

@@ -1,0 +1,403 @@
+//! Distributed robust distinct sampling: one sample over the *union* of
+//! several streams.
+//!
+//! The paper's related-work section cites distributed ℓ0-sampling
+//! (Chung & Tirthapura) and the distributed noisy-data model (Zhang,
+//! SPAA 2015) and notes that the existing distributed algorithms cannot
+//! handle near-duplicates. Because Algorithm 1's state is a function of
+//! a shared hash/grid plus the observed points, robust samplers *merge*:
+//! sites run ordinary [`RobustL0Sampler`]s built from the **same
+//! configuration** (hence identical grid and hash), and the coordinator
+//! unifies the site summaries at the coarsest rate, refilters with the
+//! shared hash (Fact 1b makes this sound), and deduplicates groups whose
+//! points were split across sites.
+//!
+//! The merged summary answers the same queries as a single sampler that
+//! had seen the concatenation of all site streams, up to the choice of
+//! representative for cross-site groups.
+
+use crate::config::{SamplerConfig, SamplerContext};
+use crate::infinite::{GroupRecord, RobustL0Sampler};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::SeedableRng;
+use rds_geometry::Point;
+use serde::{Deserialize, Serialize};
+
+/// A serializable snapshot of one site's sampler state — what a site
+/// ships to the coordinator over the wire.
+///
+/// Produced by [`DistributedSampling::summarize`]; any number of
+/// summaries with the same `config_seed` can be merged with
+/// [`DistributedSampling::merge_summaries`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SiteSummary {
+    /// The site's current rate exponent (`R = 2^level`).
+    pub level: u32,
+    /// The site's accept set.
+    pub acc: Vec<GroupRecord>,
+    /// The site's reject set.
+    pub rej: Vec<GroupRecord>,
+    /// Seed of the shared configuration (grids/hashes must agree).
+    pub config_seed: u64,
+}
+
+/// The coordinator-side result of merging site summaries.
+#[derive(Debug)]
+pub struct MergedSummary {
+    level: u32,
+    alpha: f64,
+    acc: Vec<GroupRecord>,
+    rej: Vec<GroupRecord>,
+    rng: StdRng,
+}
+
+impl MergedSummary {
+    /// Draws a robust ℓ0-sample of the union of the site streams.
+    pub fn query(&mut self) -> Option<&Point> {
+        self.acc.choose(&mut self.rng).map(|r| &r.rep)
+    }
+
+    /// `|Sacc| * R`: the robust F0 estimate for the union.
+    pub fn f0_estimate(&self) -> f64 {
+        self.acc.len() as f64 * (1u64 << self.level) as f64
+    }
+
+    /// Accepted groups of the union.
+    pub fn accept_set(&self) -> &[GroupRecord] {
+        &self.acc
+    }
+
+    /// Rejected groups of the union.
+    pub fn reject_set(&self) -> &[GroupRecord] {
+        &self.rej
+    }
+
+    /// The merge's common rate exponent.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// The shared duplicate threshold.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+/// Builds per-site samplers sharing one configuration, and merges their
+/// summaries.
+///
+/// # Examples
+///
+/// ```
+/// use rds_core::{DistributedSampling, SamplerConfig};
+/// use rds_geometry::Point;
+///
+/// let dist = DistributedSampling::new(SamplerConfig::new(1, 0.5).with_seed(9));
+/// let mut a = dist.new_site();
+/// let mut b = dist.new_site();
+/// a.process(&Point::new(vec![0.0]));
+/// b.process(&Point::new(vec![50.0]));
+/// let mut merged = dist.merge([&a, &b]).expect("same config");
+/// assert!(merged.query().is_some());
+/// assert_eq!(merged.f0_estimate(), 2.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DistributedSampling {
+    cfg: SamplerConfig,
+}
+
+impl DistributedSampling {
+    /// Creates the coordinator for a given shared configuration. The
+    /// configuration's seed determines the common grid and hash: all
+    /// sites **must** be created through [`Self::new_site`] (or with a
+    /// byte-identical configuration).
+    pub fn new(cfg: SamplerConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Creates a site-local sampler (identical grid/hash across sites).
+    pub fn new_site(&self) -> RobustL0Sampler {
+        RobustL0Sampler::new(self.cfg.clone())
+    }
+
+    /// Snapshots a site sampler's state for shipping to the coordinator
+    /// (e.g. via `serde_json`).
+    pub fn summarize(site: &RobustL0Sampler) -> SiteSummary {
+        SiteSummary {
+            level: site.level(),
+            acc: site.accept_set().to_vec(),
+            rej: site.reject_set().to_vec(),
+            config_seed: site.context().cfg().seed,
+        }
+    }
+
+    /// Merges site summaries into a coordinator summary over the union
+    /// of the streams.
+    ///
+    /// Returns `None` when the sites disagree on the configuration seed
+    /// (they would have incompatible grids/hashes).
+    pub fn merge<'a, I>(&self, sites: I) -> Option<MergedSummary>
+    where
+        I: IntoIterator<Item = &'a RobustL0Sampler>,
+    {
+        let summaries: Vec<SiteSummary> =
+            sites.into_iter().map(Self::summarize).collect();
+        self.merge_summaries(&summaries)
+    }
+
+    /// Merges deserialized [`SiteSummary`] snapshots (the wire-format
+    /// variant of [`Self::merge`]).
+    pub fn merge_summaries(&self, summaries: &[SiteSummary]) -> Option<MergedSummary> {
+        if summaries.iter().any(|s| s.config_seed != self.cfg.seed) {
+            return None;
+        }
+        // The coordinator rebuilds the shared context from the seed; it
+        // is identical to every site's (same deterministic construction).
+        let ctx = SamplerContext::new(self.cfg.clone());
+        // Unify at the coarsest rate present among the sites.
+        let level = summaries.iter().map(|s| s.level).max().unwrap_or(0);
+        let mut acc: Vec<GroupRecord> = Vec::new();
+        let mut rej: Vec<GroupRecord> = Vec::new();
+        let alpha = self.cfg.alpha;
+
+        // Refilter every site record at the common rate (Fact 1b: only
+        // removals), then deduplicate across sites by group membership.
+        for site in summaries {
+            for rec in &site.acc {
+                self.absorb(
+                    rec,
+                    rds_hashing::level_sampled(rec.cell_hash, level),
+                    level,
+                    alpha,
+                    &mut acc,
+                    &mut rej,
+                    &ctx,
+                );
+            }
+            for rec in &site.rej {
+                self.absorb(rec, false, level, alpha, &mut acc, &mut rej, &ctx);
+            }
+        }
+        Some(MergedSummary {
+            level,
+            alpha,
+            acc,
+            rej,
+            rng: StdRng::seed_from_u64(self.cfg.seed ^ 0xD157),
+        })
+    }
+
+    /// Places one site record into the merged accept/reject sets,
+    /// combining it with an existing record of the same group if the
+    /// group was observed by several sites.
+    #[allow(clippy::too_many_arguments)]
+    fn absorb(
+        &self,
+        rec: &GroupRecord,
+        own_cell_sampled: bool,
+        level: u32,
+        alpha: f64,
+        acc: &mut Vec<GroupRecord>,
+        rej: &mut Vec<GroupRecord>,
+        ctx: &crate::config::SamplerContext,
+    ) {
+        // cross-site duplicate? combine counts into the existing record
+        if let Some(existing) = acc
+            .iter_mut()
+            .find(|g| g.rep.within(&rec.rep, alpha))
+        {
+            existing.count += rec.count;
+            return;
+        }
+        if let Some(pos) = rej.iter().position(|g| g.rep.within(&rec.rep, alpha)) {
+            if own_cell_sampled {
+                // the group is sampled through this site's representative:
+                // promote the combined record to the accept set
+                let mut combined = rec.clone();
+                combined.count += rej.remove(pos).count;
+                acc.push(combined);
+            } else {
+                rej[pos].count += rec.count;
+            }
+            return;
+        }
+        // fresh group at the coordinator
+        if own_cell_sampled {
+            acc.push(rec.clone());
+        } else if ctx.any_adjacent_sampled(&rec.rep, level) {
+            rej.push(rec.clone());
+        }
+        // else: not a candidate at the common rate; dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grouped_point(i: u64, n_groups: u64) -> Point {
+        Point::new(vec![(i % n_groups) as f64 * 10.0 + 0.01 * ((i / n_groups) % 3) as f64])
+    }
+
+    #[test]
+    fn merge_of_disjoint_sites_counts_all_groups() {
+        let dist = DistributedSampling::new(
+            SamplerConfig::new(1, 0.5).with_seed(1).with_expected_len(200),
+        );
+        let mut a = dist.new_site();
+        let mut b = dist.new_site();
+        for i in 0..100u64 {
+            a.process(&grouped_point(i, 10)); // groups 0..10
+            b.process(&grouped_point(i, 20)); // groups 0..20 (overlap!)
+        }
+        let merged = dist.merge([&a, &b]).expect("same cfg");
+        // 20 distinct groups in the union; generous thresholds mean no
+        // subsampling happened
+        assert_eq!(merged.level(), 0);
+        assert_eq!(merged.f0_estimate(), 20.0);
+    }
+
+    #[test]
+    fn cross_site_groups_are_deduplicated() {
+        let dist = DistributedSampling::new(
+            SamplerConfig::new(1, 0.5).with_seed(2).with_expected_len(64),
+        );
+        let mut a = dist.new_site();
+        let mut b = dist.new_site();
+        // the same single group observed at both sites
+        for i in 0..32u64 {
+            a.process(&Point::new(vec![0.01 * (i % 3) as f64]));
+            b.process(&Point::new(vec![0.02]));
+        }
+        let merged = dist.merge([&a, &b]).expect("same cfg");
+        assert_eq!(merged.accept_set().len(), 1);
+        assert_eq!(merged.accept_set()[0].count, 64, "counts must add up");
+    }
+
+    #[test]
+    fn merge_unifies_mismatched_levels() {
+        let dist = DistributedSampling::new(
+            SamplerConfig::new(1, 0.5)
+                .with_seed(3)
+                .with_expected_len(4096)
+                .with_kappa0(0.5),
+        );
+        let mut a = dist.new_site();
+        let mut b = dist.new_site();
+        // site a sees many groups (forces doublings); b sees few
+        for i in 0..2000u64 {
+            a.process(&grouped_point(i, 512));
+        }
+        for i in 0..20u64 {
+            b.process(&grouped_point(i, 4));
+        }
+        assert!(a.level() > b.level());
+        let merged = dist.merge([&a, &b]).expect("same cfg");
+        assert_eq!(merged.level(), a.level());
+        // every merged accepted record passes the common rate
+        for rec in merged.accept_set() {
+            assert!(rds_hashing::level_sampled(rec.cell_hash, merged.level()));
+        }
+    }
+
+    #[test]
+    fn merged_query_is_some_when_any_site_nonempty() {
+        let dist = DistributedSampling::new(
+            SamplerConfig::new(1, 0.5).with_seed(4).with_expected_len(16),
+        );
+        let a = dist.new_site();
+        let mut b = dist.new_site();
+        b.process(&Point::new(vec![5.0]));
+        let mut merged = dist.merge([&a, &b]).expect("same cfg");
+        assert_eq!(merged.query(), Some(&Point::new(vec![5.0])));
+    }
+
+    #[test]
+    fn mismatched_configs_are_rejected() {
+        let dist = DistributedSampling::new(SamplerConfig::new(1, 0.5).with_seed(5));
+        let alien = RobustL0Sampler::new(SamplerConfig::new(1, 0.5).with_seed(6));
+        assert!(dist.merge([&alien]).is_none());
+    }
+
+    #[test]
+    fn merged_sampling_is_roughly_uniform_over_union() {
+        let n_union = 16u64;
+        let mut hist = rds_metrics::SampleHistogram::new(n_union as usize);
+        for run in 0..400u64 {
+            let dist = DistributedSampling::new(
+                SamplerConfig::new(1, 0.5)
+                    .with_seed(run * 97 + 7)
+                    .with_expected_len(256)
+                    .with_kappa0(1.0),
+            );
+            let mut a = dist.new_site();
+            let mut b = dist.new_site();
+            for i in 0..128u64 {
+                a.process(&grouped_point(i, 8)); // groups 0..8
+                b.process(&Point::new(vec![(8 + (i % 8)) as f64 * 10.0])); // groups 8..16
+            }
+            let mut merged = dist.merge([&a, &b]).expect("same cfg");
+            let q = merged.query().expect("non-empty").clone();
+            hist.record((q.get(0) / 10.0).round() as usize);
+        }
+        assert!(
+            hist.std_dev_nm() < 0.5,
+            "distributed sampling biased: {:?}",
+            hist.counts()
+        );
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+
+    #[test]
+    fn site_summary_round_trips_through_json() {
+        let dist = DistributedSampling::new(
+            SamplerConfig::new(2, 0.5).with_seed(21).with_expected_len(64),
+        );
+        let mut site = dist.new_site();
+        for i in 0..40u64 {
+            site.process(&Point::new(vec![(i % 8) as f64 * 10.0, 0.0]));
+        }
+        let summary = DistributedSampling::summarize(&site);
+        let wire = serde_json::to_string(&summary).expect("serializes");
+        let back: SiteSummary = serde_json::from_str(&wire).expect("deserializes");
+        assert_eq!(back.level, summary.level);
+        assert_eq!(back.acc.len(), summary.acc.len());
+        assert_eq!(back.config_seed, summary.config_seed);
+        // merging the deserialized summary works like merging the site
+        let mut merged = dist.merge_summaries(&[back]).expect("same seed");
+        assert!(merged.query().is_some());
+        assert_eq!(merged.f0_estimate(), 8.0);
+    }
+
+    #[test]
+    fn summaries_from_multiple_sites_merge_after_the_wire() {
+        let dist = DistributedSampling::new(
+            SamplerConfig::new(1, 0.5).with_seed(22).with_expected_len(64),
+        );
+        let mut a = dist.new_site();
+        let mut b = dist.new_site();
+        for i in 0..20u64 {
+            a.process(&Point::new(vec![(i % 4) as f64 * 10.0]));
+            b.process(&Point::new(vec![(4 + i % 4) as f64 * 10.0]));
+        }
+        let wire_a = serde_json::to_vec(&DistributedSampling::summarize(&a)).expect("ser");
+        let wire_b = serde_json::to_vec(&DistributedSampling::summarize(&b)).expect("ser");
+        let sa: SiteSummary = serde_json::from_slice(&wire_a).expect("de");
+        let sb: SiteSummary = serde_json::from_slice(&wire_b).expect("de");
+        let merged = dist.merge_summaries(&[sa, sb]).expect("same seed");
+        assert_eq!(merged.f0_estimate(), 8.0);
+    }
+
+    #[test]
+    fn wire_summary_with_wrong_seed_is_rejected() {
+        let dist = DistributedSampling::new(SamplerConfig::new(1, 0.5).with_seed(23));
+        let other = RobustL0Sampler::new(SamplerConfig::new(1, 0.5).with_seed(24));
+        let summary = DistributedSampling::summarize(&other);
+        assert!(dist.merge_summaries(&[summary]).is_none());
+    }
+}

@@ -1,0 +1,575 @@
+//! Algorithm 1: robust ℓ0-sampling in the infinite window.
+//!
+//! The sampler maintains the *accept set* `Sacc` (representatives of
+//! sampled groups) and the *reject set* `Srej` (representatives of groups
+//! that touch a sampled cell without their first point falling in one).
+//! When `|Sacc|` exceeds `kappa_0 log m` the cell sample rate `1/R` is
+//! halved (R doubles) and both sets are refiltered under the new rate; by
+//! the nesting of sampled cells (Fact 1b) refiltering only removes
+//! entries. At query time a uniformly random element of `Sacc` is
+//! returned — Theorem 2.4 shows this is a uniform sample over groups with
+//! probability `1 - 1/m`.
+
+use crate::config::{SamplerConfig, SamplerContext};
+use rand::rngs::StdRng;
+use rand::seq::{IndexedRandom, SliceRandom};
+use rand::{RngExt, SeedableRng};
+use rds_geometry::Point;
+use rds_metrics::SpaceMeter;
+use serde::{Deserialize, Serialize};
+
+/// Everything the sampler stores about one candidate group.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GroupRecord {
+    /// The group's representative: its first point in the stream.
+    pub rep: Point,
+    /// `h(cell(rep))`, kept so refiltering after rate doubling does not
+    /// rehash.
+    pub cell_hash: u64,
+    /// Number of stream points that landed in this group so far.
+    pub count: u64,
+    /// A uniformly random member of the group (reservoir sampling, the
+    /// "random point as group representative" extension of Section 2.3).
+    pub reservoir: Point,
+}
+
+impl GroupRecord {
+    fn new(rep: Point, cell_hash: u64) -> Self {
+        let reservoir = rep.clone();
+        Self {
+            rep,
+            cell_hash,
+            count: 1,
+            reservoir,
+        }
+    }
+
+    fn words(&self) -> usize {
+        // rep + reservoir coordinates, hash, count
+        2 * self.rep.words() + 2
+    }
+}
+
+/// What [`RobustL0Sampler::process`] did with a point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcessOutcome {
+    /// The point belongs to an already-tracked candidate group
+    /// (Algorithm 1 line 4: skipped, bookkeeping updated).
+    Duplicate,
+    /// The point became the representative of a newly *sampled* group
+    /// (line 6).
+    Accepted,
+    /// The point became the representative of a newly *rejected* group
+    /// (line 8).
+    Rejected,
+    /// The point's group has no sampled cell nearby; nothing stored.
+    Ignored,
+}
+
+/// Algorithm 1 of the paper: streaming robust ℓ0-sampler for the infinite
+/// window.
+///
+/// # Examples
+///
+/// ```
+/// use rds_core::{RobustL0Sampler, SamplerConfig};
+/// use rds_geometry::Point;
+///
+/// let cfg = SamplerConfig::new(2, 0.5).with_seed(1);
+/// let mut sampler = RobustL0Sampler::new(cfg);
+/// for i in 0..100 {
+///     // 10 groups of 10 near-duplicates each
+///     let base = (i % 10) as f64 * 10.0;
+///     sampler.process(&Point::new(vec![base, 0.01 * (i / 10) as f64]));
+/// }
+/// let sample = sampler.query().expect("non-empty stream");
+/// assert_eq!(sample.dim(), 2);
+/// ```
+#[derive(Debug)]
+pub struct RobustL0Sampler {
+    ctx: SamplerContext,
+    /// `log2 R`: cells are sampled when the low `level` bits of their hash
+    /// are zero.
+    level: u32,
+    /// Accept set: records of sampled groups.
+    acc: Vec<GroupRecord>,
+    /// Reject set: records of rejected groups.
+    rej: Vec<GroupRecord>,
+    /// `|Sacc|` bound that triggers rate doubling.
+    threshold: usize,
+    seen: u64,
+    rate_doublings: u32,
+    scratch: Vec<i64>,
+    rng: StdRng,
+    space: SpaceMeter,
+}
+
+impl RobustL0Sampler {
+    /// Creates the sampler with the configuration's default threshold
+    /// `kappa_0 * k * log2 m`.
+    pub fn new(cfg: SamplerConfig) -> Self {
+        let threshold = cfg.threshold();
+        Self::with_threshold(cfg, threshold)
+    }
+
+    /// Creates the sampler with an explicit `|Sacc|` threshold. Section 5
+    /// uses this to turn the sampler into an F0 estimator (threshold
+    /// `kappa_B / eps^2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold == 0`.
+    pub fn with_threshold(cfg: SamplerConfig, threshold: usize) -> Self {
+        assert!(threshold >= 1, "threshold must be at least 1");
+        let rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED_CAFE);
+        let ctx = SamplerContext::new(cfg);
+        Self {
+            ctx,
+            level: 0,
+            acc: Vec::new(),
+            rej: Vec::new(),
+            threshold,
+            seen: 0,
+            rate_doublings: 0,
+            scratch: Vec::new(),
+            rng,
+            space: SpaceMeter::new(),
+        }
+    }
+
+    /// Feeds one stream point (the body of Algorithm 1's arrival loop).
+    pub fn process(&mut self, p: &Point) -> ProcessOutcome {
+        self.seen += 1;
+        let alpha = self.ctx.alpha();
+
+        // Line 4: if p belongs to a tracked candidate group, update its
+        // bookkeeping (count + reservoir, Section 2.3) and skip it.
+        if let Some(rec) = self
+            .acc
+            .iter_mut()
+            .chain(self.rej.iter_mut())
+            .find(|r| r.rep.within(p, alpha))
+        {
+            rec.count += 1;
+            // Reservoir sampling: replace with probability 1/count.
+            if self.rng.random_range(0..rec.count) == 0 {
+                rec.reservoir = p.clone();
+            }
+            return ProcessOutcome::Duplicate;
+        }
+
+        // p is the first point of its group among the candidates.
+        let h = self.ctx.cell_hash(p, &mut self.scratch);
+        let outcome = if self.ctx.hash_sampled(h, self.level) {
+            // Line 6: the group's first point fell into a sampled cell.
+            self.acc.push(GroupRecord::new(p.clone(), h));
+            ProcessOutcome::Accepted
+        } else if self.ctx.any_adjacent_sampled(p, self.level) {
+            // Line 8: some adjacent cell is sampled; remember the group as
+            // rejected so later points of it are never mistaken for first
+            // points.
+            self.rej.push(GroupRecord::new(p.clone(), h));
+            ProcessOutcome::Rejected
+        } else {
+            ProcessOutcome::Ignored
+        };
+
+        // Lines 10-12: halve the sample rate while the accept set is too
+        // large (the level cap only guards against adversarial hash
+        // degeneracies).
+        while self.acc.len() > self.threshold && self.level < 60 {
+            self.double_rate();
+        }
+        self.space.observe(self.words());
+        outcome
+    }
+
+    /// Doubles `R` and refilters both sets under the new rate.
+    fn double_rate(&mut self) {
+        self.level += 1;
+        self.rate_doublings += 1;
+        let level = self.level;
+        // Groups whose own cell survives stay accepted (Fact 1b:
+        // survivors are a subset, never new cells).
+        let mut demoted: Vec<GroupRecord> = Vec::new();
+        self.acc.retain_mut(|rec| {
+            if rds_hashing::level_sampled(rec.cell_hash, level) {
+                true
+            } else {
+                demoted.push(rec.clone());
+                false
+            }
+        });
+        // A demoted group stays rejected if some adjacent cell is still
+        // sampled; otherwise it is dropped entirely (it would have been
+        // ignored had the rate been this low from the start).
+        for rec in demoted {
+            if self.ctx.any_adjacent_sampled(&rec.rep, level) {
+                self.rej.push(rec);
+            }
+        }
+        // Rejected groups stay only while they still witness a sampled
+        // adjacent cell.
+        let ctx = &self.ctx;
+        self.rej
+            .retain(|rec| ctx.any_adjacent_sampled(&rec.rep, level));
+    }
+
+    /// Draws one robust ℓ0-sample: the representative (first point) of a
+    /// uniformly random sampled group. `None` iff no point was processed.
+    pub fn query(&mut self) -> Option<&Point> {
+        self.query_record().map(|r| &r.rep)
+    }
+
+    /// Like [`Self::query`] but returns a uniformly random *member* of the
+    /// sampled group instead of its first point (Section 2.3, reservoir
+    /// extension).
+    pub fn query_random_member(&mut self) -> Option<&Point> {
+        self.query_record().map(|r| &r.reservoir)
+    }
+
+    /// Draws the full record of a uniformly random sampled group.
+    pub fn query_record(&mut self) -> Option<&GroupRecord> {
+        self.acc.choose(&mut self.rng)
+    }
+
+    /// Draws `min(k, |Sacc|)` distinct group records (sampling without
+    /// replacement, Section 2.3; configure [`SamplerConfig::with_k`] so the
+    /// threshold guarantees `|Sacc| >= k` w.h.p.).
+    pub fn query_k(&mut self, k: usize) -> Vec<&GroupRecord> {
+        let mut idx: Vec<usize> = (0..self.acc.len()).collect();
+        idx.shuffle(&mut self.rng);
+        idx.truncate(k);
+        idx.into_iter().map(|i| &self.acc[i]).collect()
+    }
+
+    /// The estimate `|Sacc| * R` of the number of distinct groups
+    /// (Section 5's infinite-window F0 estimator reads this).
+    pub fn f0_estimate(&self) -> f64 {
+        self.acc.len() as f64 * (1u64 << self.level) as f64
+    }
+
+    /// Number of points processed.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Current `log2 R`.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// How many times the sample rate was halved.
+    pub fn rate_doublings(&self) -> u32 {
+        self.rate_doublings
+    }
+
+    /// Current accept set (representatives of sampled groups).
+    pub fn accept_set(&self) -> &[GroupRecord] {
+        &self.acc
+    }
+
+    /// Current reject set.
+    pub fn reject_set(&self) -> &[GroupRecord] {
+        &self.rej
+    }
+
+    /// The `|Sacc|` threshold in force.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Current footprint in machine words (context + both candidate sets).
+    pub fn words(&self) -> usize {
+        let records: usize = self
+            .acc
+            .iter()
+            .chain(self.rej.iter())
+            .map(GroupRecord::words)
+            .sum();
+        self.ctx.words() + records + 4
+    }
+
+    /// Peak footprint observed so far (the paper's `pSpace`).
+    pub fn peak_words(&self) -> usize {
+        self.space.peak_words()
+    }
+
+    /// The sampler's immutable context (grid + hash).
+    pub fn context(&self) -> &SamplerContext {
+        &self.ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_datasets::{uniform_dups, rand_cloud};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds a small well-separated dataset and returns (points, labels,
+    /// n_groups, alpha).
+    fn small_dataset(seed: u64) -> (Vec<Point>, Vec<usize>, usize, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = rand_cloud(40, 4, &mut rng);
+        let mut ds = uniform_dups("t", &base, 8, &mut rng);
+        ds.shuffle(&mut rng);
+        let labels = ds.labels();
+        let pts = ds.points.iter().map(|lp| lp.point.clone()).collect();
+        (pts, labels, ds.n_groups, ds.alpha)
+    }
+
+    fn feed(sampler: &mut RobustL0Sampler, pts: &[Point]) {
+        for p in pts {
+            sampler.process(p);
+        }
+    }
+
+    #[test]
+    fn first_point_is_always_accepted() {
+        let mut s = RobustL0Sampler::new(SamplerConfig::new(2, 0.5));
+        // R starts at 1 so the very first point lands in Sacc.
+        assert_eq!(
+            s.process(&Point::new(vec![3.3, 4.4])),
+            ProcessOutcome::Accepted
+        );
+        assert_eq!(s.accept_set().len(), 1);
+    }
+
+    #[test]
+    fn duplicates_are_skipped_and_counted() {
+        let mut s = RobustL0Sampler::new(SamplerConfig::new(2, 0.5));
+        s.process(&Point::new(vec![0.0, 0.0]));
+        assert_eq!(
+            s.process(&Point::new(vec![0.1, 0.0])),
+            ProcessOutcome::Duplicate
+        );
+        assert_eq!(s.accept_set()[0].count, 2);
+    }
+
+    #[test]
+    fn query_is_none_only_before_any_point() {
+        let mut s = RobustL0Sampler::new(SamplerConfig::new(2, 0.5));
+        assert!(s.query().is_none());
+        s.process(&Point::new(vec![1.0, 1.0]));
+        assert!(s.query().is_some());
+    }
+
+    #[test]
+    fn sample_is_always_a_first_point_of_its_group() {
+        let (pts, labels, _n, alpha) = small_dataset(3);
+        let cfg = SamplerConfig::new(4, alpha)
+            .with_seed(17)
+            .with_expected_len(pts.len() as u64);
+        let mut s = RobustL0Sampler::new(cfg);
+        feed(&mut s, &pts);
+
+        // the representative of each ground-truth group = first occurrence
+        let mut first_of_group: Vec<Option<&Point>> = vec![None; 1 + labels.iter().max().unwrap()];
+        for (p, &g) in pts.iter().zip(labels.iter()) {
+            if first_of_group[g].is_none() {
+                first_of_group[g] = Some(p);
+            }
+        }
+        // Accepted representatives are always the first stream point of
+        // their group (a group whose first point was ignored can never be
+        // accepted later: its cells are inside adj(first point), none of
+        // which were sampled, and sampled sets only shrink).
+        for rec in s.accept_set() {
+            let found = first_of_group.iter().flatten().any(|fp| **fp == rec.rep);
+            assert!(found, "accepted representative is not a first point");
+        }
+        // Rejected representatives must at least come from the stream.
+        for rec in s.reject_set() {
+            assert!(pts.contains(&rec.rep));
+        }
+    }
+
+    #[test]
+    fn accept_set_respects_threshold_after_processing() {
+        let (pts, _, _, alpha) = small_dataset(4);
+        let cfg = SamplerConfig::new(4, alpha)
+            .with_seed(5)
+            .with_expected_len(pts.len() as u64)
+            .with_kappa0(1.0); // tight threshold to force doublings
+        let mut s = RobustL0Sampler::new(cfg);
+        feed(&mut s, &pts);
+        assert!(s.accept_set().len() <= s.threshold());
+        assert!(s.rate_doublings() > 0, "expected at least one doubling");
+    }
+
+    #[test]
+    fn accept_set_never_empty_after_first_point() {
+        // Lemma 2.5 (whp); with these seeds it must hold deterministically.
+        for seed in 0..10u64 {
+            let (pts, _, _, alpha) = small_dataset(seed);
+            let cfg = SamplerConfig::new(4, alpha)
+                .with_seed(seed.wrapping_mul(0x9E37))
+                .with_expected_len(pts.len() as u64);
+            let mut s = RobustL0Sampler::new(cfg);
+            for p in &pts {
+                s.process(p);
+                assert!(
+                    !s.accept_set().is_empty(),
+                    "Sacc empty at seed {seed} after {} points",
+                    s.seen()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_groups_are_distinct_groups() {
+        // No two stored records may be within alpha of each other: each
+        // candidate group has exactly one representative.
+        let (pts, _, _, alpha) = small_dataset(6);
+        let cfg = SamplerConfig::new(4, alpha)
+            .with_seed(23)
+            .with_expected_len(pts.len() as u64);
+        let mut s = RobustL0Sampler::new(cfg);
+        feed(&mut s, &pts);
+        let all: Vec<&GroupRecord> = s.accept_set().iter().chain(s.reject_set().iter()).collect();
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                assert!(
+                    !all[i].rep.within(&all[j].rep, alpha),
+                    "two records share a group"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn group_counts_sum_to_points_of_candidate_groups() {
+        let (pts, labels, n, alpha) = small_dataset(7);
+        let cfg = SamplerConfig::new(4, alpha)
+            .with_seed(29)
+            .with_expected_len(pts.len() as u64);
+        let mut s = RobustL0Sampler::new(cfg);
+        feed(&mut s, &pts);
+        // group sizes from ground truth
+        let mut sizes = vec![0u64; n];
+        for &g in &labels {
+            sizes[g] += 1;
+        }
+        for rec in s.accept_set() {
+            // find the ground-truth group of the representative
+            let gi = pts
+                .iter()
+                .zip(labels.iter())
+                .find(|(p, _)| **p == rec.rep)
+                .map(|(_, &g)| g)
+                .expect("representative came from the stream");
+            assert_eq!(
+                rec.count, sizes[gi],
+                "count mismatch for group {gi}"
+            );
+        }
+    }
+
+    #[test]
+    fn reservoir_member_is_in_the_same_group() {
+        let (pts, _, _, alpha) = small_dataset(8);
+        let cfg = SamplerConfig::new(4, alpha)
+            .with_seed(31)
+            .with_expected_len(pts.len() as u64);
+        let mut s = RobustL0Sampler::new(cfg);
+        feed(&mut s, &pts);
+        for rec in s.accept_set() {
+            assert!(
+                rec.rep.within(&rec.reservoir, alpha),
+                "reservoir point escaped its group"
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_distribution_is_roughly_uniform() {
+        // A scaled-down version of the paper's Figures 5-12.
+        let mut rng = StdRng::seed_from_u64(100);
+        let base = rand_cloud(25, 4, &mut rng);
+        let mut ds = uniform_dups("t", &base, 12, &mut rng);
+        ds.shuffle(&mut rng);
+        let pts: Vec<Point> = ds.points.iter().map(|lp| lp.point.clone()).collect();
+        let labels = ds.labels();
+
+        let runs = 600;
+        let mut hist = rds_metrics::SampleHistogram::new(ds.n_groups);
+        for run in 0..runs {
+            let cfg = SamplerConfig::new(4, ds.alpha)
+                .with_seed(run as u64 * 7919 + 13)
+                .with_expected_len(pts.len() as u64);
+            let mut s = RobustL0Sampler::new(cfg);
+            feed(&mut s, &pts);
+            let sample = s.query().expect("sample exists").clone();
+            let g = pts
+                .iter()
+                .zip(labels.iter())
+                .find(|(p, _)| **p == sample)
+                .map(|(_, &g)| g)
+                .expect("sample came from the stream");
+            hist.record(g);
+        }
+        // generous bound: with 600 runs over 25 groups, uniform sampling
+        // gives stdDevNm well below 0.5
+        assert!(
+            hist.std_dev_nm() < 0.5,
+            "stdDevNm {} too large",
+            hist.std_dev_nm()
+        );
+    }
+
+    #[test]
+    fn k_query_returns_distinct_groups() {
+        let (pts, _, _, alpha) = small_dataset(9);
+        let cfg = SamplerConfig::new(4, alpha)
+            .with_seed(37)
+            .with_expected_len(pts.len() as u64)
+            .with_k(3);
+        let mut s = RobustL0Sampler::new(cfg);
+        feed(&mut s, &pts);
+        let picks = s.query_k(3);
+        assert_eq!(picks.len(), 3);
+        for i in 0..picks.len() {
+            for j in (i + 1)..picks.len() {
+                assert!(!picks[i].rep.within(&picks[j].rep, alpha));
+            }
+        }
+    }
+
+    #[test]
+    fn f0_estimate_tracks_group_count() {
+        let (pts, _, n, alpha) = small_dataset(10);
+        let cfg = SamplerConfig::new(4, alpha)
+            .with_seed(41)
+            .with_expected_len(pts.len() as u64);
+        let mut s = RobustL0Sampler::new(cfg);
+        feed(&mut s, &pts);
+        // with the default generous threshold nothing is subsampled, so
+        // the estimate counts candidate groups exactly
+        if s.level() == 0 {
+            assert_eq!(s.f0_estimate() as usize, s.accept_set().len());
+            assert_eq!(s.accept_set().len() + s.reject_set().len(), n);
+        }
+    }
+
+    #[test]
+    fn space_is_bounded_and_tracked() {
+        let (pts, _, _, alpha) = small_dataset(11);
+        let cfg = SamplerConfig::new(4, alpha)
+            .with_seed(43)
+            .with_expected_len(pts.len() as u64)
+            .with_kappa0(1.0);
+        let mut s = RobustL0Sampler::new(cfg);
+        feed(&mut s, &pts);
+        assert!(s.peak_words() >= s.words());
+        assert!(s.peak_words() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be at least 1")]
+    fn zero_threshold_rejected() {
+        let _ = RobustL0Sampler::with_threshold(SamplerConfig::new(2, 1.0), 0);
+    }
+}

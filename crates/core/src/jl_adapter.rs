@@ -1,0 +1,177 @@
+//! Remark 2 of Section 4: robust sampling in very high dimension via
+//! Johnson–Lindenstrauss dimension reduction.
+//!
+//! For `(alpha, beta)`-sparse data with `beta >= c * log^{1.5} m * alpha`,
+//! project every point into `k = O(log m / eps^2)` dimensions first; the
+//! projection preserves the sparsity structure up to `1 ± eps` w.h.p., so
+//! the core sampler can run in the reduced space with a slightly widened
+//! threshold `alpha' = (1 + eps) * alpha`.
+
+use crate::config::SamplerConfig;
+use crate::infinite::{ProcessOutcome, RobustL0Sampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rds_geometry::{JlProjection, Point};
+
+/// A robust ℓ0-sampler for high-dimensional data that projects each point
+/// with a JL map before feeding the core Algorithm 1 structure.
+///
+/// The sampler keeps the group decision in the projected space; queries
+/// return the *original* high-dimensional points.
+#[derive(Debug)]
+pub struct JlRobustSampler {
+    projection: JlProjection,
+    inner: RobustL0Sampler,
+    /// original points of the accepted representatives, parallel to the
+    /// inner accept set is not possible (the inner structure reorders), so
+    /// we map projected reps back via exact match on demand.
+    originals: Vec<(Point, Point)>, // (projected rep, original rep)
+    eps: f64,
+}
+
+impl JlRobustSampler {
+    /// Creates the sampler.
+    ///
+    /// * `in_dim` — the ambient dimension of the stream;
+    /// * `alpha` — the group threshold in the *original* space;
+    /// * `eps` — JL distortion; the projected space uses
+    ///   `alpha' = (1 + eps) * alpha` and dimension
+    ///   `k = ceil(8 ln m / eps^2)` (capped at `in_dim`).
+    pub fn new(in_dim: usize, alpha: f64, eps: f64, cfg: SamplerConfig) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+        assert_eq!(cfg.dim, in_dim, "config dimension must match input");
+        let out_dim = JlProjection::suggested_dim(cfg.expected_len, eps).min(in_dim);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x4A4C_5EED);
+        let projection = JlProjection::new(in_dim, out_dim, &mut rng);
+        let inner_cfg = SamplerConfig {
+            dim: out_dim,
+            alpha: (1.0 + eps) * alpha,
+            ..cfg
+        };
+        Self {
+            projection,
+            inner: RobustL0Sampler::new(inner_cfg),
+            originals: Vec::new(),
+            eps,
+        }
+    }
+
+    /// Feeds one high-dimensional point.
+    pub fn process(&mut self, p: &Point) -> ProcessOutcome {
+        let projected = self.projection.project(p);
+        let outcome = self.inner.process(&projected);
+        if matches!(outcome, ProcessOutcome::Accepted | ProcessOutcome::Rejected) {
+            self.originals.push((projected, p.clone()));
+        }
+        outcome
+    }
+
+    /// Draws a robust ℓ0-sample and maps it back to the original space.
+    pub fn query(&mut self) -> Option<&Point> {
+        let rep = self.inner.query()?.clone();
+        self.originals
+            .iter()
+            .find(|(proj, _)| *proj == rep)
+            .map(|(_, orig)| orig)
+    }
+
+    /// The projected dimension in use.
+    pub fn projected_dim(&self) -> usize {
+        self.projection.out_dim()
+    }
+
+    /// The JL distortion parameter.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The inner (projected-space) sampler.
+    pub fn inner(&self) -> &RobustL0Sampler {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_geometry::standard_normal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Well-separated groups in high dimension: centers on a scaled
+    /// simplex, members jittered within alpha/2.
+    fn hd_stream(n_groups: usize, per_group: usize, dim: usize, seed: u64) -> Vec<(Point, usize)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers: Vec<Point> = (0..n_groups)
+            .map(|g| {
+                let mut c = vec![0.0; dim];
+                c[g % dim] = 100.0 * (1.0 + (g / dim) as f64);
+                Point::new(c)
+            })
+            .collect();
+        let mut out = Vec::new();
+        for (g, c) in centers.iter().enumerate() {
+            for _ in 0..per_group {
+                let jitter: Vec<f64> = (0..dim)
+                    .map(|_| standard_normal(&mut rng) * 0.002)
+                    .collect();
+                out.push((c.add(&Point::new(jitter)), g));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn projected_sampler_returns_original_points() {
+        let dim = 128;
+        let stream = hd_stream(10, 6, dim, 1);
+        let cfg = SamplerConfig::new(dim, 0.5)
+            .with_seed(9)
+            .with_expected_len(stream.len() as u64);
+        let mut s = JlRobustSampler::new(dim, 0.5, 0.5, cfg);
+        for (p, _) in &stream {
+            s.process(p);
+        }
+        let q = s.query().expect("non-empty");
+        assert_eq!(q.dim(), dim);
+        assert!(stream.iter().any(|(p, _)| p == q));
+    }
+
+    #[test]
+    fn projection_reduces_dimension() {
+        let dim = 512;
+        let cfg = SamplerConfig::new(dim, 0.5)
+            .with_seed(10)
+            .with_expected_len(1 << 10);
+        let s = JlRobustSampler::new(dim, 0.5, 0.5, cfg);
+        assert!(s.projected_dim() < dim);
+        assert!(s.projected_dim() > 0);
+    }
+
+    #[test]
+    fn groups_survive_projection() {
+        // all points of a group must stay near-duplicates in the
+        // projected space (distance <= (1+eps) alpha)
+        let dim = 128;
+        let stream = hd_stream(8, 8, dim, 2);
+        let cfg = SamplerConfig::new(dim, 0.5)
+            .with_seed(11)
+            .with_expected_len(stream.len() as u64);
+        let mut s = JlRobustSampler::new(dim, 0.5, 0.5, cfg);
+        let mut accepted_or_rejected = 0;
+        for (p, _) in &stream {
+            match s.process(p) {
+                ProcessOutcome::Accepted | ProcessOutcome::Rejected => accepted_or_rejected += 1,
+                _ => {}
+            }
+        }
+        // exactly one representative per group => at most 8 registrations
+        assert!(accepted_or_rejected <= 8, "groups fragmented after JL");
+    }
+
+    #[test]
+    #[should_panic(expected = "config dimension must match")]
+    fn mismatched_dim_rejected() {
+        let _ = JlRobustSampler::new(64, 0.5, 0.5, SamplerConfig::new(32, 0.5));
+    }
+}

@@ -1,0 +1,194 @@
+//! Section 2.3: drawing `k` robust ℓ0-samples per query.
+//!
+//! * **Without replacement** — raise the accept-set threshold to
+//!   `kappa_0 * k * log m` (so `|Sacc| >= k` w.h.p.) and draw `k` distinct
+//!   groups; this is [`SamplerConfig::with_k`] plus
+//!   [`RobustL0Sampler::query_k`] / [`SlidingWindowSampler::query_k`]. The
+//!   [`KDistinctSampler`] wrapper packages the pattern.
+//! * **With replacement** — run `k` independent one-sample instances in
+//!   parallel ([`KWithReplacementSampler`]).
+
+use crate::config::SamplerConfig;
+use crate::infinite::{GroupRecord, RobustL0Sampler};
+use rds_geometry::Point;
+
+/// Draws `k` distinct groups per query (sampling without replacement) in
+/// the infinite window.
+///
+/// # Examples
+///
+/// ```
+/// use rds_core::{KDistinctSampler, SamplerConfig};
+/// use rds_geometry::Point;
+///
+/// let mut s = KDistinctSampler::new(SamplerConfig::new(1, 0.5).with_seed(1), 3);
+/// for i in 0..200 {
+///     s.process(&Point::new(vec![(i % 20) as f64 * 10.0]));
+/// }
+/// assert_eq!(s.sample().len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct KDistinctSampler {
+    inner: RobustL0Sampler,
+    k: usize,
+}
+
+impl KDistinctSampler {
+    /// Creates the sampler; the threshold scales with `k` as in
+    /// Section 2.3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(cfg: SamplerConfig, k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        Self {
+            inner: RobustL0Sampler::new(cfg.with_k(k)),
+            k,
+        }
+    }
+
+    /// Feeds one stream point.
+    pub fn process(&mut self, p: &Point) {
+        self.inner.process(p);
+    }
+
+    /// Draws `min(k, |Sacc|)` distinct groups.
+    pub fn sample(&mut self) -> Vec<GroupRecord> {
+        let k = self.k;
+        self.inner
+            .query_k(k)
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The configured `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The wrapped single-sample structure.
+    pub fn inner(&self) -> &RobustL0Sampler {
+        &self.inner
+    }
+}
+
+/// Draws `k` samples with replacement: `k` independent copies of
+/// Algorithm 1, one sample from each (Section 2.3).
+#[derive(Debug)]
+pub struct KWithReplacementSampler {
+    copies: Vec<RobustL0Sampler>,
+}
+
+impl KWithReplacementSampler {
+    /// Creates `k` independent copies with derived seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(cfg: SamplerConfig, k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        let copies = (0..k)
+            .map(|i| {
+                let cfg_i = cfg
+                    .clone()
+                    .with_seed(cfg.seed.wrapping_add(0xABCD * (i as u64 + 1)));
+                RobustL0Sampler::new(cfg_i)
+            })
+            .collect();
+        Self { copies }
+    }
+
+    /// Feeds one stream point to every copy.
+    pub fn process(&mut self, p: &Point) {
+        for c in &mut self.copies {
+            c.process(p);
+        }
+    }
+
+    /// One independent sample per copy (`k` samples, possibly repeating
+    /// groups).
+    pub fn sample(&mut self) -> Vec<Point> {
+        self.copies
+            .iter_mut()
+            .filter_map(|c| c.query().cloned())
+            .collect()
+    }
+
+    /// The configured `k`.
+    pub fn k(&self) -> usize {
+        self.copies.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_groups(n_points: u64, n_groups: u64, f: &mut impl FnMut(&Point)) {
+        for i in 0..n_points {
+            f(&Point::new(vec![(i % n_groups) as f64 * 10.0]));
+        }
+    }
+
+    #[test]
+    fn without_replacement_returns_distinct() {
+        let mut s = KDistinctSampler::new(SamplerConfig::new(1, 0.5).with_seed(2), 5);
+        feed_groups(400, 40, &mut |p| s.process(p));
+        let picks = s.sample();
+        assert_eq!(picks.len(), 5);
+        for i in 0..picks.len() {
+            for j in (i + 1)..picks.len() {
+                assert!(!picks[i].rep.within(&picks[j].rep, 0.5));
+            }
+        }
+    }
+
+    #[test]
+    fn without_replacement_saturates_at_group_count() {
+        // only 2 groups exist; asking for 5 yields 2
+        let mut s = KDistinctSampler::new(SamplerConfig::new(1, 0.5).with_seed(3), 5);
+        feed_groups(50, 2, &mut |p| s.process(p));
+        assert_eq!(s.sample().len(), 2);
+    }
+
+    #[test]
+    fn threshold_scales_with_k() {
+        let one = KDistinctSampler::new(SamplerConfig::new(1, 0.5), 1);
+        let five = KDistinctSampler::new(SamplerConfig::new(1, 0.5), 5);
+        assert_eq!(five.inner().threshold(), 5 * one.inner().threshold());
+    }
+
+    #[test]
+    fn with_replacement_returns_k_samples() {
+        let mut s = KWithReplacementSampler::new(SamplerConfig::new(1, 0.5).with_seed(4), 4);
+        feed_groups(300, 30, &mut |p| s.process(p));
+        assert_eq!(s.sample().len(), 4);
+        assert_eq!(s.k(), 4);
+    }
+
+    #[test]
+    fn with_replacement_copies_are_independent() {
+        // over several reconstructions the k draws must not always agree
+        let mut agreements = 0;
+        for seed in 0..20u64 {
+            let mut s = KWithReplacementSampler::new(
+                SamplerConfig::new(1, 0.5).with_seed(seed * 31 + 1),
+                2,
+            );
+            feed_groups(200, 20, &mut |p| s.process(p));
+            let picks = s.sample();
+            if picks[0] == picks[1] {
+                agreements += 1;
+            }
+        }
+        assert!(agreements < 15, "copies look correlated: {agreements}/20");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_rejected() {
+        let _ = KDistinctSampler::new(SamplerConfig::new(1, 0.5), 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Robust distinct sampling on streams with near-duplicates.
+//!
+//! Implementation of Chen & Zhang, *"Distinct Sampling on Streaming Data
+//! with Near-Duplicates"* (PODS 2018).
+
+#![warn(missing_docs)]
+
+mod config;
+mod distributed;
+mod heavy;
+mod infinite;
+mod sw_fixed;
+mod f0;
+mod jl_adapter;
+mod ksample;
+mod lsh;
+mod sw_hier;
+
+pub use config::{SamplerConfig, SamplerContext};
+pub use distributed::{DistributedSampling, MergedSummary, SiteSummary};
+pub use heavy::{HeavyGroup, RobustHeavyHitters};
+pub use infinite::{GroupRecord, ProcessOutcome, RobustL0Sampler};
+pub use sw_fixed::{FixedRateWindowSampler, WindowGroupEntry};
+pub use f0::{RobustF0Estimator, SlidingWindowF0, DEFAULT_KAPPA_B, FM_PHI};
+pub use jl_adapter::JlRobustSampler;
+pub use ksample::{KDistinctSampler, KWithReplacementSampler};
+pub use lsh::{LshPartitioner, MetricGroup, MetricRobustSampler, SimHashPartitioner};
+pub use sw_hier::{GroupSample, SlidingWindowSampler};

@@ -1,0 +1,495 @@
+//! Section 7 (future work) implemented: robust ℓ0-sampling in general
+//! metric spaces via locality-sensitive partitions.
+//!
+//! The paper observes that the random grid is "a particular
+//! locality-sensitive hash function, and it is possible to generalize our
+//! algorithms to general metric spaces that are equipped with efficient
+//! locality-sensitive hash functions", leaving the generalization as
+//! future work. This module provides that generalization:
+//!
+//! * [`LshPartitioner`] — the interface a space must offer: a bucket
+//!   (cell) per point, enumeration of all buckets that could contain a
+//!   near-duplicate (the analogue of `adj(p)`), and the duplicate
+//!   predicate itself;
+//! * [`SimHashPartitioner`] — sign-random-projection (SimHash) buckets
+//!   for the **angular** metric. The analogue of the `SearchAdj` DFS is
+//!   exact here too: a point within angle `theta` of `p` can flip only
+//!   the hyperplane bits whose angular margin at `p` is at most `theta`,
+//!   so adjacency enumerates sign patterns over the low-margin bits with
+//!   early exit;
+//! * [`MetricRobustSampler`] — Algorithm 1 re-done over an arbitrary
+//!   partitioner.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::SeedableRng;
+use rds_geometry::{standard_normal, Point};
+use rds_hashing::{level_sampled, splitmix64, KWiseHash};
+
+/// A locality-sensitive partition of a metric space: the generalization
+/// of the random grid that Algorithm 1 needs.
+pub trait LshPartitioner {
+    /// Stable 64-bit key of the bucket containing `p`.
+    fn bucket_key(&self, p: &Point) -> u64;
+
+    /// Visits the key of every bucket that could contain a point of
+    /// `p`'s group (including `p`'s own bucket); stops early when `visit`
+    /// returns `true` and reports whether it did.
+    fn for_each_adjacent_bucket(&self, p: &Point, visit: &mut dyn FnMut(u64) -> bool) -> bool;
+
+    /// Whether two points are near-duplicates (same group).
+    fn same_group(&self, a: &Point, b: &Point) -> bool;
+}
+
+/// SimHash (sign random projection) partitioner for the angular metric:
+/// two unit vectors are near-duplicates when their angle is at most
+/// `theta` radians.
+///
+/// # Examples
+///
+/// ```
+/// use rds_core::{LshPartitioner, SimHashPartitioner};
+/// use rds_geometry::Point;
+///
+/// let part = SimHashPartitioner::new(16, 8, 0.05, 3);
+/// let p = Point::new(vec![1.0; 16]);
+/// assert!(part.same_group(&p, &p));
+/// let key = part.bucket_key(&p);
+/// // own bucket is always adjacent
+/// let mut found = false;
+/// part.for_each_adjacent_bucket(&p, &mut |k| { found |= k == key; false });
+/// assert!(found);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimHashPartitioner {
+    dim: usize,
+    theta: f64,
+    /// `n_bits` random unit normals, row-major.
+    normals: Vec<Point>,
+    seed: u64,
+}
+
+impl SimHashPartitioner {
+    /// Creates a partitioner over `R^dim` with `n_bits` hyperplanes and
+    /// group threshold `theta` (radians).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < theta < pi/8` and `1 <= n_bits <= 24` (more
+    /// bits would make the adjacency enumeration explode in the worst
+    /// case).
+    pub fn new(dim: usize, n_bits: usize, theta: f64, seed: u64) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(
+            theta > 0.0 && theta < std::f64::consts::FRAC_PI_8,
+            "theta must be in (0, pi/8)"
+        );
+        assert!((1..=24).contains(&n_bits), "n_bits must be in 1..=24");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let normals = (0..n_bits)
+            .map(|_| {
+                let v = Point::new((0..dim).map(|_| standard_normal(&mut rng)).collect());
+                v.scale(1.0 / v.norm().max(f64::MIN_POSITIVE))
+            })
+            .collect();
+        Self {
+            dim,
+            theta,
+            normals,
+            seed,
+        }
+    }
+
+    /// The group threshold in radians.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Angle between two vectors.
+    fn angle(a: &Point, b: &Point) -> f64 {
+        let dot: f64 = a
+            .coords()
+            .iter()
+            .zip(b.coords().iter())
+            .map(|(x, y)| x * y)
+            .sum();
+        let denom = (a.norm() * b.norm()).max(f64::MIN_POSITIVE);
+        (dot / denom).clamp(-1.0, 1.0).acos()
+    }
+
+    /// Sign bits and angular margins of `p` against every hyperplane.
+    fn signature(&self, p: &Point) -> (u32, Vec<f64>) {
+        let norm = p.norm().max(f64::MIN_POSITIVE);
+        let mut bits = 0u32;
+        let mut margins = Vec::with_capacity(self.normals.len());
+        for (i, h) in self.normals.iter().enumerate() {
+            let proj: f64 = h
+                .coords()
+                .iter()
+                .zip(p.coords().iter())
+                .map(|(x, y)| x * y)
+                .sum();
+            if proj >= 0.0 {
+                bits |= 1 << i;
+            }
+            // angular distance of p to the hyperplane boundary
+            margins.push((proj.abs() / norm).clamp(-1.0, 1.0).asin());
+        }
+        (bits, margins)
+    }
+
+    fn key_of_bits(&self, bits: u32) -> u64 {
+        splitmix64(self.seed ^ 0x5161_u64 ^ bits as u64)
+    }
+}
+
+impl LshPartitioner for SimHashPartitioner {
+    fn bucket_key(&self, p: &Point) -> u64 {
+        assert_eq!(p.dim(), self.dim, "dimension mismatch");
+        let (bits, _) = self.signature(p);
+        self.key_of_bits(bits)
+    }
+
+    /// Exact adjacency for the angular metric: a point `q` with
+    /// `angle(p, q) <= theta` can disagree with `p` only on hyperplanes
+    /// whose boundary lies within angle `theta` of `p`; enumerate all
+    /// sign patterns over that (small) set of flippable bits.
+    fn for_each_adjacent_bucket(&self, p: &Point, visit: &mut dyn FnMut(u64) -> bool) -> bool {
+        let (bits, margins) = self.signature(p);
+        let flippable: Vec<usize> = margins
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m <= self.theta)
+            .map(|(i, _)| i)
+            .collect();
+        // enumerate subsets of flippable bits (like SearchAdj's 3^d walk,
+        // but over 2^|flippable| patterns), visiting each resulting bucket
+        let n = flippable.len();
+        debug_assert!(n <= 32);
+        for mask in 0..(1u64 << n) {
+            let mut b = bits;
+            for (j, &bit) in flippable.iter().enumerate() {
+                if mask & (1 << j) != 0 {
+                    b ^= 1 << bit;
+                }
+            }
+            if visit(self.key_of_bits(b)) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn same_group(&self, a: &Point, b: &Point) -> bool {
+        Self::angle(a, b) <= self.theta
+    }
+}
+
+/// What [`MetricRobustSampler::process`] did with a point (mirrors
+/// [`crate::ProcessOutcome`]).
+pub use crate::infinite::ProcessOutcome as MetricProcessOutcome;
+
+/// Algorithm 1 generalized to any [`LshPartitioner`]: buckets play the
+/// role of grid cells, `for_each_adjacent_bucket` plays `adj(p)`.
+#[derive(Debug)]
+pub struct MetricRobustSampler<P: LshPartitioner> {
+    partitioner: P,
+    hash: KWiseHash,
+    level: u32,
+    threshold: usize,
+    acc: Vec<MetricGroup>,
+    rej: Vec<MetricGroup>,
+    rng: StdRng,
+    seen: u64,
+}
+
+/// A tracked group in the metric sampler.
+#[derive(Clone, Debug)]
+pub struct MetricGroup {
+    /// The group's first point.
+    pub rep: Point,
+    /// Hash of the representative's bucket.
+    pub bucket_hash: u64,
+    /// Points observed in the group.
+    pub count: u64,
+}
+
+impl<P: LshPartitioner> MetricRobustSampler<P> {
+    /// Creates the sampler; `threshold` bounds `|Sacc|` as in Algorithm 1
+    /// (use `kappa_0 log m`).
+    pub fn new(partitioner: P, threshold: usize, seed: u64) -> Self {
+        assert!(threshold >= 1, "threshold must be at least 1");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x004C_5348);
+        let hash = KWiseHash::new(16, &mut rng);
+        Self {
+            partitioner,
+            hash,
+            level: 0,
+            threshold,
+            acc: Vec::new(),
+            rej: Vec::new(),
+            rng,
+            seen: 0,
+        }
+    }
+
+    /// Feeds one point.
+    pub fn process(&mut self, p: &Point) -> MetricProcessOutcome {
+        self.seen += 1;
+        if let Some(g) = self
+            .acc
+            .iter_mut()
+            .chain(self.rej.iter_mut())
+            .find(|g| self.partitioner.same_group(&g.rep, p))
+        {
+            g.count += 1;
+            return MetricProcessOutcome::Duplicate;
+        }
+        let h = self.hash.hash(self.partitioner.bucket_key(p));
+        let outcome = if level_sampled(h, self.level) {
+            self.acc.push(MetricGroup {
+                rep: p.clone(),
+                bucket_hash: h,
+                count: 1,
+            });
+            MetricProcessOutcome::Accepted
+        } else if self.any_adjacent_sampled(p) {
+            self.rej.push(MetricGroup {
+                rep: p.clone(),
+                bucket_hash: h,
+                count: 1,
+            });
+            MetricProcessOutcome::Rejected
+        } else {
+            MetricProcessOutcome::Ignored
+        };
+        while self.acc.len() > self.threshold && self.level < 60 {
+            self.double_rate();
+        }
+        outcome
+    }
+
+    fn any_adjacent_sampled(&self, p: &Point) -> bool {
+        let hash = &self.hash;
+        let level = self.level;
+        self.partitioner
+            .for_each_adjacent_bucket(p, &mut |key| level_sampled(hash.hash(key), level))
+    }
+
+    fn double_rate(&mut self) {
+        self.level += 1;
+        let level = self.level;
+        let mut demoted = Vec::new();
+        self.acc.retain_mut(|g| {
+            if level_sampled(g.bucket_hash, level) {
+                true
+            } else {
+                demoted.push(g.clone());
+                false
+            }
+        });
+        // borrow dance: collect reps first, then test adjacency
+        for g in demoted {
+            if self.any_adjacent_sampled_at(&g.rep, level) {
+                self.rej.push(g);
+            }
+        }
+        let keep: Vec<bool> = self
+            .rej
+            .iter()
+            .map(|g| self.any_adjacent_sampled_at(&g.rep, level))
+            .collect();
+        let mut it = keep.iter();
+        self.rej.retain(|_| *it.next().expect("parallel iteration"));
+    }
+
+    fn any_adjacent_sampled_at(&self, p: &Point, level: u32) -> bool {
+        let hash = &self.hash;
+        self.partitioner
+            .for_each_adjacent_bucket(p, &mut |key| level_sampled(hash.hash(key), level))
+    }
+
+    /// Draws a uniformly random sampled group's representative.
+    pub fn query(&mut self) -> Option<&Point> {
+        self.acc.choose(&mut self.rng).map(|g| &g.rep)
+    }
+
+    /// The accept set.
+    pub fn accept_set(&self) -> &[MetricGroup] {
+        &self.acc
+    }
+
+    /// The reject set.
+    pub fn reject_set(&self) -> &[MetricGroup] {
+        &self.rej
+    }
+
+    /// Points processed.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The partitioner in use.
+    pub fn partitioner(&self) -> &P {
+        &self.partitioner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    /// Unit vectors clustered around well-separated directions.
+    fn angular_stream(
+        n_groups: usize,
+        per_group: usize,
+        dim: usize,
+        jitter: f64,
+        seed: u64,
+    ) -> Vec<(Point, usize)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers: Vec<Point> = (0..n_groups)
+            .map(|_| {
+                let v = Point::new((0..dim).map(|_| standard_normal(&mut rng)).collect());
+                v.scale(1.0 / v.norm())
+            })
+            .collect();
+        let mut out = Vec::new();
+        for (g, c) in centers.iter().enumerate() {
+            for _ in 0..per_group {
+                let noise = Point::new(
+                    (0..dim)
+                        .map(|_| standard_normal(&mut rng) * jitter)
+                        .collect(),
+                );
+                let v = c.add(&noise);
+                out.push((v.scale(1.0 / v.norm()), g));
+            }
+        }
+        for i in (1..out.len()).rev() {
+            let j = rng.random_range(0..=i);
+            out.swap(i, j);
+        }
+        out
+    }
+
+    #[test]
+    fn identical_vectors_share_bucket() {
+        let part = SimHashPartitioner::new(8, 12, 0.05, 1);
+        let p = Point::new(vec![0.5; 8]);
+        assert_eq!(part.bucket_key(&p), part.bucket_key(&p));
+        assert!(part.same_group(&p, &p.scale(3.0)), "angle 0 regardless of norm");
+    }
+
+    #[test]
+    fn opposite_vectors_are_different_groups() {
+        let part = SimHashPartitioner::new(4, 8, 0.1, 2);
+        let p = Point::new(vec![1.0, 0.0, 0.0, 0.0]);
+        assert!(!part.same_group(&p, &p.scale(-1.0)));
+    }
+
+    #[test]
+    fn near_duplicates_bucket_is_adjacent() {
+        // any q within theta of p must land in a bucket enumerated by
+        // for_each_adjacent_bucket(p) — the exactness property the grid
+        // version has via SearchAdj
+        let dim = 16;
+        let theta = 0.05;
+        let part = SimHashPartitioner::new(dim, 12, theta, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let p = Point::new((0..dim).map(|_| standard_normal(&mut rng)).collect());
+            let p = p.scale(1.0 / p.norm());
+            // random perturbation inside the theta-cone
+            let noise = Point::new(
+                (0..dim)
+                    .map(|_| standard_normal(&mut rng) * theta / (3.0 * (dim as f64).sqrt()))
+                    .collect(),
+            );
+            let q = p.add(&noise);
+            let q = q.scale(1.0 / q.norm());
+            if !part.same_group(&p, &q) {
+                continue; // perturbation overshot the cone
+            }
+            let qk = part.bucket_key(&q);
+            let mut found = false;
+            part.for_each_adjacent_bucket(&p, &mut |k| {
+                found |= k == qk;
+                found
+            });
+            assert!(found, "near-duplicate bucket missed by adjacency");
+        }
+    }
+
+    #[test]
+    fn metric_sampler_tracks_groups_once() {
+        let stream = angular_stream(15, 8, 24, 0.003, 5);
+        let part = SimHashPartitioner::new(24, 12, 0.05, 6);
+        let mut s = MetricRobustSampler::new(part, 64, 7);
+        for (p, _) in &stream {
+            s.process(p);
+        }
+        assert_eq!(s.accept_set().len() + s.reject_set().len(), 15);
+        assert!(s.query().is_some());
+        // counts cover the stream
+        let total: u64 = s
+            .accept_set()
+            .iter()
+            .chain(s.reject_set().iter())
+            .map(|g| g.count)
+            .sum();
+        assert_eq!(total, stream.len() as u64);
+    }
+
+    #[test]
+    fn metric_sampler_subsamples_under_tight_threshold() {
+        let stream = angular_stream(60, 3, 24, 0.002, 8);
+        let part = SimHashPartitioner::new(24, 14, 0.04, 9);
+        let mut s = MetricRobustSampler::new(part, 8, 10);
+        for (p, _) in &stream {
+            s.process(p);
+        }
+        assert!(s.accept_set().len() <= 8);
+        assert!(!s.accept_set().is_empty());
+    }
+
+    #[test]
+    fn metric_sampling_is_roughly_uniform() {
+        let stream = angular_stream(12, 6, 16, 0.003, 11);
+        let mut hist = rds_metrics::SampleHistogram::new(12);
+        // With a threshold this small the "Sacc never empties" guarantee
+        // (Lemma 2.5) only holds with probability 1 - 2^-threshold per
+        // doubling; tolerate the occasional empty accept set.
+        let mut misses = 0u32;
+        for run in 0..400u64 {
+            let part = SimHashPartitioner::new(16, 12, 0.05, run * 13 + 1);
+            let mut s = MetricRobustSampler::new(part, 6, run * 17 + 3);
+            for (p, _) in &stream {
+                s.process(p);
+            }
+            let Some(q) = s.query().cloned() else {
+                misses += 1;
+                continue;
+            };
+            let g = stream
+                .iter()
+                .find(|(p, _)| *p == q)
+                .map(|(_, g)| *g)
+                .expect("from stream");
+            hist.record(g);
+        }
+        assert!(misses < 30, "accept set emptied {misses}/400 times");
+        assert!(
+            hist.std_dev_nm() < 0.6,
+            "angular sampling biased: {:?}",
+            hist.counts()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "n_bits must be in 1..=24")]
+    fn too_many_bits_rejected() {
+        let _ = SimHashPartitioner::new(4, 30, 0.05, 1);
+    }
+}

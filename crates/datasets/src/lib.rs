@@ -1,0 +1,158 @@
+//! Evaluation datasets for robust distinct sampling.
+//!
+//! Reproduces the data pipeline of Section 6.1 of the paper: base point
+//! clouds ([`rand_cloud`], [`yacht_like`], [`seeds_like`]) rescaled to
+//! minimum pairwise distance 1, near-duplicate injection with uniform
+//! ([`uniform_dups`]) or power-law ([`powerlaw_dups`]) group sizes, and
+//! ground-truth partition utilities ([`partition`]).
+
+#![warn(missing_docs)]
+
+mod generators;
+mod noise;
+pub mod partition;
+
+pub use generators::{min_pairwise_distance, rand_cloud, rescale_min_dist, seeds_like, yacht_like};
+pub use noise::{
+    alpha_for, dup_radius, near_duplicate, powerlaw_dups, uniform_dups, Dataset, LabeledPoint,
+};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The number of near-duplicates per point in the paper's first
+/// transformation (`k_i ~ Uniform{1..=100}`).
+pub const PAPER_MAX_DUPS: usize = 100;
+
+/// Which of the paper's eight evaluation datasets to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PaperDataset {
+    /// 500 uniform points in `R^5`, uniform duplicate counts.
+    Rand5,
+    /// 500 uniform points in `R^20`, uniform duplicate counts.
+    Rand20,
+    /// 308-point yacht-hydrodynamics stand-in in `R^7`, uniform counts.
+    Yacht,
+    /// 210-point seeds stand-in in `R^8`, uniform counts.
+    Seeds,
+    /// Rand5 base with power-law duplicate counts.
+    Rand5Pl,
+    /// Rand20 base with power-law duplicate counts.
+    Rand20Pl,
+    /// Yacht base with power-law duplicate counts.
+    YachtPl,
+    /// Seeds base with power-law duplicate counts.
+    SeedsPl,
+}
+
+impl PaperDataset {
+    /// All eight datasets in the paper's presentation order.
+    pub const ALL: [PaperDataset; 8] = [
+        PaperDataset::Rand5,
+        PaperDataset::Rand20,
+        PaperDataset::Yacht,
+        PaperDataset::Seeds,
+        PaperDataset::Rand5Pl,
+        PaperDataset::Rand20Pl,
+        PaperDataset::YachtPl,
+        PaperDataset::SeedsPl,
+    ];
+
+    /// The dataset's display name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PaperDataset::Rand5 => "Rand5",
+            PaperDataset::Rand20 => "Rand20",
+            PaperDataset::Yacht => "Yacht",
+            PaperDataset::Seeds => "Seeds",
+            PaperDataset::Rand5Pl => "Rand5-pl",
+            PaperDataset::Rand20Pl => "Rand20-pl",
+            PaperDataset::YachtPl => "Yacht-pl",
+            PaperDataset::SeedsPl => "Seeds-pl",
+        }
+    }
+
+    /// Number of runs the paper used for this dataset's sampling-
+    /// distribution figure (200k for the random clouds, 500k for the
+    /// UCI-derived sets).
+    pub fn paper_runs(&self) -> u64 {
+        match self {
+            PaperDataset::Rand5 | PaperDataset::Rand20 => 200_000,
+            PaperDataset::Rand5Pl | PaperDataset::Rand20Pl => 200_000,
+            _ => 500_000,
+        }
+    }
+
+    /// Generates the dataset (base + near-duplicates + shuffle) from a
+    /// seed. Identical seeds give identical datasets.
+    pub fn generate(&self, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD15C_7A11_5EED_0000);
+        let base = match self {
+            PaperDataset::Rand5 | PaperDataset::Rand5Pl => rand_cloud(500, 5, &mut rng),
+            PaperDataset::Rand20 | PaperDataset::Rand20Pl => rand_cloud(500, 20, &mut rng),
+            PaperDataset::Yacht | PaperDataset::YachtPl => yacht_like(&mut rng),
+            PaperDataset::Seeds | PaperDataset::SeedsPl => seeds_like(&mut rng),
+        };
+        let mut ds = match self {
+            PaperDataset::Rand5
+            | PaperDataset::Rand20
+            | PaperDataset::Yacht
+            | PaperDataset::Seeds => uniform_dups(self.name(), &base, PAPER_MAX_DUPS, &mut rng),
+            _ => powerlaw_dups(self.name(), &base, &mut rng),
+        };
+        ds.shuffle(&mut rng);
+        ds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_eight_datasets_generate() {
+        for which in PaperDataset::ALL {
+            let ds = which.generate(1);
+            assert!(!ds.is_empty(), "{} is empty", which.name());
+            assert!(ds.n_groups > 0);
+            assert_eq!(ds.name, which.name());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = PaperDataset::Seeds.generate(42);
+        let b = PaperDataset::Seeds.generate(42);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.points[0].point, b.points[0].point);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = PaperDataset::Rand5.generate(1);
+        let b = PaperDataset::Rand5.generate(2);
+        assert_ne!(a.points[0].point, b.points[0].point);
+    }
+
+    #[test]
+    fn group_counts_match_bases() {
+        assert_eq!(PaperDataset::Rand5.generate(3).n_groups, 500);
+        assert_eq!(PaperDataset::Yacht.generate(3).n_groups, 308);
+        assert_eq!(PaperDataset::Seeds.generate(3).n_groups, 210);
+    }
+
+    #[test]
+    fn dims_match_paper() {
+        assert_eq!(PaperDataset::Rand5.generate(4).dim, 5);
+        assert_eq!(PaperDataset::Rand20.generate(4).dim, 20);
+        assert_eq!(PaperDataset::Yacht.generate(4).dim, 7);
+        assert_eq!(PaperDataset::SeedsPl.generate(4).dim, 8);
+    }
+
+    #[test]
+    fn paper_runs_match_figures() {
+        assert_eq!(PaperDataset::Rand5.paper_runs(), 200_000);
+        assert_eq!(PaperDataset::Yacht.paper_runs(), 500_000);
+    }
+}

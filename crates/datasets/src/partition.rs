@@ -1,0 +1,272 @@
+//! Ground-truth group partitions.
+//!
+//! * [`connected_partition`] — transitive closure of the "within `alpha`"
+//!   relation; for a well-separated dataset (Definition 1.2) this is the
+//!   *natural partition* of Definition 1.3.
+//! * [`greedy_partition`] — the greedy ball-peeling process of
+//!   Definition 3.2, used by the Section 3 analysis of general datasets.
+//! * [`min_partition_size_brute`] — exact minimum-cardinality partition
+//!   size (Definition 1.4) by exhaustive search, for small instances in
+//!   tests (Lemma 3.3 checks).
+//! * [`is_sparse`] — the `(alpha, beta)`-sparsity test of Definition 1.1.
+
+use rds_geometry::Point;
+
+/// Union-find over point indices.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Partitions `points` into the connected components of the graph that
+/// joins every pair at distance `<= alpha`. Returns a group id per point
+/// (ids are consecutive from 0).
+///
+/// For a *well-separated* dataset this equals the natural partition; for
+/// general datasets it may merge chains of overlapping balls.
+pub fn connected_partition(points: &[Point], alpha: f64) -> Vec<usize> {
+    let n = points.len();
+    let mut uf = UnionFind::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if points[i].within(&points[j], alpha) {
+                uf.union(i, j);
+            }
+        }
+    }
+    normalize((0..n).map(|i| uf.find(i)).collect())
+}
+
+/// The greedy partition of Definition 3.2, processing points in the given
+/// order: repeatedly take the first unassigned point `p` and form the
+/// group `Ball(p, alpha) ∩ S` from the unassigned points.
+///
+/// Returns a group id per point (ids ordered by group creation).
+pub fn greedy_partition(points: &[Point], alpha: f64) -> Vec<usize> {
+    let n = points.len();
+    let mut group = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for i in 0..n {
+        if group[i] != usize::MAX {
+            continue;
+        }
+        group[i] = next;
+        for j in (i + 1)..n {
+            if group[j] == usize::MAX && points[i].within(&points[j], alpha) {
+                group[j] = next;
+            }
+        }
+        next += 1;
+    }
+    group
+}
+
+/// Number of groups in a partition given as per-point group ids.
+pub fn partition_size(labels: &[usize]) -> usize {
+    let mut seen: Vec<usize> = labels.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+/// Exact size of the minimum-cardinality partition into groups of diameter
+/// `<= alpha` (Definition 1.4), by branch-and-bound over assignments.
+///
+/// Exponential in `n`; intended for `n <= 12` in tests.
+pub fn min_partition_size_brute(points: &[Point], alpha: f64) -> usize {
+    let n = points.len();
+    if n == 0 {
+        return 0;
+    }
+    // compatibility matrix
+    let mut compat = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            compat[i][j] = points[i].within(&points[j], alpha);
+        }
+    }
+    // groups[g] = members of group g; assign points in order
+    let mut best = n;
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    fn rec(
+        i: usize,
+        n: usize,
+        compat: &[Vec<bool>],
+        groups: &mut Vec<Vec<usize>>,
+        best: &mut usize,
+    ) {
+        if groups.len() >= *best {
+            return; // cannot improve
+        }
+        if i == n {
+            *best = groups.len();
+            return;
+        }
+        for g in 0..groups.len() {
+            if groups[g].iter().all(|&m| compat[m][i]) {
+                groups[g].push(i);
+                rec(i + 1, n, compat, groups, best);
+                groups[g].pop();
+            }
+        }
+        groups.push(vec![i]);
+        rec(i + 1, n, compat, groups, best);
+        groups.pop();
+    }
+    rec(0, n, &compat, &mut groups, &mut best);
+    best
+}
+
+/// Whether the dataset is `(alpha, beta)`-sparse (Definition 1.1): every
+/// pairwise distance is either `<= alpha` or `> beta`.
+pub fn is_sparse(points: &[Point], alpha: f64, beta: f64) -> bool {
+    assert!(beta >= alpha, "beta must be at least alpha");
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let d = points[i].distance(&points[j]);
+            if d > alpha && d <= beta {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether the dataset is *well-separated* (Definition 1.2): the
+/// separation ratio exceeds 2, i.e. the set is `(alpha, 2 alpha)`-sparse
+/// (with strict inequality beyond `2 alpha`).
+pub fn is_well_separated(points: &[Point], alpha: f64) -> bool {
+    is_sparse(points, alpha, 2.0 * alpha)
+}
+
+/// Renumbers arbitrary group ids to consecutive ids starting at 0,
+/// in order of first appearance.
+fn normalize(labels: Vec<usize>) -> Vec<usize> {
+    let mut map: Vec<(usize, usize)> = Vec::new();
+    let mut out = Vec::with_capacity(labels.len());
+    for l in labels {
+        let id = match map.iter().find(|(k, _)| *k == l) {
+            Some(&(_, v)) => v,
+            None => {
+                let v = map.len();
+                map.push((l, v));
+                v
+            }
+        };
+        out.push(id);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(xs: &[f64]) -> Vec<Point> {
+        xs.iter().map(|&x| Point::new(vec![x])).collect()
+    }
+
+    #[test]
+    fn connected_partition_separates_far_points() {
+        let p = pts(&[0.0, 0.5, 10.0, 10.4]);
+        let labels = connected_partition(&p, 1.0);
+        assert_eq!(labels, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn connected_partition_merges_chains() {
+        // 0 - 0.9 - 1.8: a chain where endpoints are 1.8 > alpha apart but
+        // transitively connected
+        let p = pts(&[0.0, 0.9, 1.8]);
+        let labels = connected_partition(&p, 1.0);
+        assert_eq!(partition_size(&labels), 1);
+    }
+
+    #[test]
+    fn greedy_partition_respects_order() {
+        // greedy from the left: {0, 0.9}, {1.8}
+        let p = pts(&[0.0, 0.9, 1.8]);
+        let labels = greedy_partition(&p, 1.0);
+        assert_eq!(labels, vec![0, 0, 1]);
+        // greedy from the middle point first: {0.9, 0, 1.8} -> 1 group
+        let p2 = pts(&[0.9, 0.0, 1.8]);
+        let labels2 = greedy_partition(&p2, 1.0);
+        assert_eq!(partition_size(&labels2), 1);
+    }
+
+    #[test]
+    fn greedy_group_count_within_factor_of_optimal() {
+        // Lemma 3.3: n_gdy <= n_opt (in fact) and n_opt = O(n_gdy).
+        let p = pts(&[0.0, 0.4, 0.8, 1.2, 1.6, 5.0, 5.3, 9.9]);
+        let alpha = 0.5;
+        let gdy = partition_size(&greedy_partition(&p, alpha));
+        let opt = min_partition_size_brute(&p, alpha);
+        assert!(gdy <= opt, "greedy {gdy} > opt {opt}");
+        assert!(opt <= 3 * gdy, "opt {opt} not O(greedy {gdy})");
+    }
+
+    #[test]
+    fn min_partition_brute_hand_cases() {
+        // three collinear points within 1.0 pairwise need 1 group
+        assert_eq!(min_partition_size_brute(&pts(&[0.0, 0.5, 1.0]), 1.0), 1);
+        // chain 0, 0.9, 1.8: diameter constraint forces 2 groups
+        assert_eq!(min_partition_size_brute(&pts(&[0.0, 0.9, 1.8]), 1.0), 2);
+        assert_eq!(min_partition_size_brute(&[], 1.0), 0);
+    }
+
+    #[test]
+    fn sparsity_checks() {
+        let p = pts(&[0.0, 0.3, 5.0, 5.2]);
+        assert!(is_sparse(&p, 0.4, 2.0));
+        assert!(!is_sparse(&p, 0.1, 2.0)); // 0.3 falls in (0.1, 2.0]
+        assert!(is_well_separated(&p, 0.4));
+    }
+
+    #[test]
+    fn well_separated_detects_violation() {
+        // distance 0.7 lies in (0.4, 0.8]: separation ratio < 2
+        let p = pts(&[0.0, 0.7]);
+        assert!(!is_well_separated(&p, 0.4));
+    }
+
+    #[test]
+    fn normalize_orders_by_first_appearance() {
+        assert_eq!(normalize(vec![7, 7, 3, 7, 9, 3]), vec![0, 0, 1, 0, 2, 1]);
+    }
+
+    #[test]
+    fn partition_functions_agree_on_well_separated_data() {
+        // two tight clusters
+        let p = pts(&[0.0, 0.1, 0.2, 4.0, 4.1]);
+        let alpha = 0.5;
+        assert!(is_well_separated(&p, alpha));
+        let c = partition_size(&connected_partition(&p, alpha));
+        let g = partition_size(&greedy_partition(&p, alpha));
+        let m = min_partition_size_brute(&p, alpha);
+        assert_eq!(c, 2);
+        assert_eq!(g, 2);
+        assert_eq!(m, 2);
+    }
+}

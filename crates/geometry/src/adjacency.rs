@@ -1,0 +1,279 @@
+//! Computing `adj(p) = { C in G : d(p, C) <= alpha }`.
+//!
+//! Section 6.2 of the paper describes a depth-first enumeration with
+//! distance pruning (Algorithms 6 and 7, `SearchAdj`): along each dimension
+//! the nearest point of an adjacent cell is reached by moving the coordinate
+//! to `floor(x_i)`, to `ceil(x_i)`, or not at all; the search prunes as soon
+//! as the accumulated squared movement exceeds `alpha^2`.
+//!
+//! The DFS visits only the `3^d` lattice neighbourhood of `cell(p)`, which
+//! covers all of `adj(p)` **iff the grid side length is at least `alpha`**.
+//! For smaller sides (e.g. the `alpha/2` side used by the 2-D theory in
+//! Section 2.1) use [`adjacent_cells_bfs`], a reference implementation that
+//! is correct for every side length.
+
+use crate::{Grid, Point};
+use std::collections::{HashSet, VecDeque};
+
+/// Visits every cell `C` with `d(p, C) <= alpha` in the `3^d` neighbourhood
+/// of `cell(p)`, calling `visit` with the cell's coordinates.
+///
+/// Returns `true` if `visit` returned `true` for some cell, in which case
+/// the enumeration stops early. This early exit is what makes the
+/// "is some adjacent cell sampled?" test of Algorithms 1 and 2 cheap: the
+/// caller's predicate typically hashes the cell and checks the sample bit.
+///
+/// This is Algorithms 6 and 7 of the paper implemented on integer cell
+/// coordinates (so no boundary nudging is needed: moving to `floor` selects
+/// the lower neighbouring cell index, moving to `ceil` the upper one).
+///
+/// # Panics
+///
+/// Panics if `grid.side() < alpha` (the 3^d neighbourhood would then not
+/// cover `adj(p)`); use [`adjacent_cells_bfs`] in that regime.
+pub fn for_each_adjacent_cell<F>(grid: &Grid, p: &Point, alpha: f64, mut visit: F) -> bool
+where
+    F: FnMut(&[i64]) -> bool,
+{
+    assert!(
+        grid.side() >= alpha,
+        "SearchAdj DFS requires side >= alpha (side={}, alpha={}); use adjacent_cells_bfs",
+        grid.side(),
+        alpha
+    );
+    let dim = grid.dim();
+    debug_assert_eq!(p.dim(), dim, "dimension mismatch");
+    let mut cell = vec![0i64; dim];
+    let mut state = SearchState {
+        grid,
+        p,
+        limit_sq: alpha * alpha,
+        cell: &mut cell,
+        visit: &mut visit,
+    };
+    search(&mut state, 0, 0.0)
+}
+
+struct SearchState<'a, F> {
+    grid: &'a Grid,
+    p: &'a Point,
+    limit_sq: f64,
+    cell: &'a mut [i64],
+    visit: &'a mut F,
+}
+
+fn search<F>(st: &mut SearchState<'_, F>, depth: usize, acc_sq: f64) -> bool
+where
+    F: FnMut(&[i64]) -> bool,
+{
+    // Prune: the movement so far already exceeds alpha.
+    if acc_sq > st.limit_sq {
+        return false;
+    }
+    if depth == st.grid.dim() {
+        return (st.visit)(st.cell);
+    }
+    let g = st.grid.grid_coord(st.p, depth);
+    let base = g.floor() as i64;
+    let side = st.grid.side();
+    let down = (g - g.floor()) * side; // cost of moving to the lower boundary
+    let up = (g.floor() + 1.0 - g) * side; // cost of moving to the upper boundary
+
+    // Stay in the current cell along this dimension: zero cost.
+    st.cell[depth] = base;
+    if search(st, depth + 1, acc_sq) {
+        return true;
+    }
+    // Move to the lower neighbour.
+    st.cell[depth] = base - 1;
+    if search(st, depth + 1, acc_sq + down * down) {
+        return true;
+    }
+    // Move to the upper neighbour.
+    st.cell[depth] = base + 1;
+    if search(st, depth + 1, acc_sq + up * up) {
+        return true;
+    }
+    false
+}
+
+/// Collects `adj(p)` using the pruned DFS ([`for_each_adjacent_cell`]).
+///
+/// The cell containing `p` itself is always part of the result (it is at
+/// distance zero).
+pub fn adjacent_cells(grid: &Grid, p: &Point, alpha: f64) -> Vec<Box<[i64]>> {
+    let mut cells = Vec::new();
+    for_each_adjacent_cell(grid, p, alpha, |c| {
+        cells.push(c.to_vec().into_boxed_slice());
+        false
+    });
+    cells
+}
+
+/// Reference implementation of `adj(p)` that is correct for **any** grid
+/// side length: a breadth-first flood fill over lattice cells starting at
+/// `cell(p)`, keeping cells with `d(p, C) <= alpha`.
+///
+/// The kept region is axis-convex around `cell(p)` (per-dimension distance
+/// contributions decrease monotonically toward the base cell), so expanding
+/// only through kept cells via the `2d` axis neighbours reaches all of
+/// `adj(p)`.
+///
+/// This is `O(|adj(p)| * d)` but with hashing overhead; it exists as the
+/// oracle for property tests and for the small-side theory configuration.
+pub fn adjacent_cells_bfs(grid: &Grid, p: &Point, alpha: f64) -> Vec<Box<[i64]>> {
+    let dim = grid.dim();
+    debug_assert_eq!(p.dim(), dim, "dimension mismatch");
+    let limit_sq = alpha * alpha;
+    let start: Vec<i64> = (0..dim)
+        .map(|i| grid.grid_coord(p, i).floor() as i64)
+        .collect();
+    let mut seen: HashSet<Vec<i64>> = HashSet::new();
+    let mut queue: VecDeque<Vec<i64>> = VecDeque::new();
+    let mut out = Vec::new();
+    seen.insert(start.clone());
+    queue.push_back(start);
+    while let Some(cell) = queue.pop_front() {
+        if grid.dist_sq_point_cell(p, &cell) > limit_sq {
+            continue;
+        }
+        out.push(cell.clone().into_boxed_slice());
+        for i in 0..dim {
+            for delta in [-1i64, 1] {
+                let mut next = cell.clone();
+                next[i] += delta;
+                if !seen.contains(&next) {
+                    seen.insert(next.clone());
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use std::collections::BTreeSet;
+
+    fn to_set(cells: Vec<Box<[i64]>>) -> BTreeSet<Vec<i64>> {
+        cells.into_iter().map(|c| c.to_vec()).collect()
+    }
+
+    #[test]
+    fn own_cell_is_always_adjacent() {
+        let g = Grid::with_offset(2, 1.0, vec![0.0, 0.0]);
+        let p = Point::new(vec![0.5, 0.5]);
+        let cells = to_set(adjacent_cells(&g, &p, 0.1));
+        assert!(cells.contains(&vec![0, 0]));
+    }
+
+    #[test]
+    fn centered_point_with_small_alpha_has_single_adjacent_cell() {
+        let g = Grid::with_offset(3, 1.0, vec![0.0; 3]);
+        let p = Point::new(vec![0.5, 0.5, 0.5]);
+        let cells = adjacent_cells(&g, &p, 0.4);
+        assert_eq!(cells.len(), 1);
+    }
+
+    #[test]
+    fn corner_point_touches_incident_cells() {
+        let g = Grid::with_offset(2, 1.0, vec![0.0, 0.0]);
+        // near the lattice corner (1, 1): the four cells incident to the
+        // corner are within ~0.0014; the cells at index 2 are ~0.999 away
+        // and excluded by alpha = 0.9.
+        let p = Point::new(vec![1.001, 1.001]);
+        let cells = to_set(adjacent_cells(&g, &p, 0.9));
+        assert_eq!(
+            cells,
+            BTreeSet::from([vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]])
+        );
+    }
+
+    #[test]
+    fn point_exactly_on_boundary() {
+        let g = Grid::with_offset(1, 1.0, vec![0.0]);
+        let p = Point::new(vec![2.0]); // boundary between cells 1 and 2
+        let cells = to_set(adjacent_cells(&g, &p, 0.5));
+        // cell 2 contains p; cell 1 touches it at distance 0; cell 3 is at
+        // distance 1 > alpha.
+        assert_eq!(cells, BTreeSet::from([vec![1], vec![2]]));
+    }
+
+    #[test]
+    fn two_dim_alpha_half_side_shape() {
+        let g = Grid::with_offset(2, 1.0, vec![0.0, 0.0]);
+        let p = Point::new(vec![0.1, 0.5]);
+        let cells = to_set(adjacent_cells(&g, &p, 0.5));
+        // left cell at distance 0.1; up/down at 0.5; diagonals at
+        // sqrt(0.1^2+0.5^2) ~ 0.51 > 0.5; right at 0.9.
+        assert_eq!(
+            cells,
+            BTreeSet::from([vec![-1, 0], vec![0, -1], vec![0, 0], vec![0, 1]])
+        );
+    }
+
+    #[test]
+    fn early_exit_stops_enumeration() {
+        let g = Grid::with_offset(2, 1.0, vec![0.0, 0.0]);
+        let p = Point::new(vec![1.0001, 1.0001]);
+        let mut visited = 0usize;
+        let stopped = for_each_adjacent_cell(&g, &p, 0.9, |_| {
+            visited += 1;
+            visited == 2
+        });
+        assert!(stopped);
+        assert_eq!(visited, 2);
+    }
+
+    #[test]
+    fn dfs_agrees_with_bfs_on_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for dim in 1..=4usize {
+            for _ in 0..40 {
+                let side = rng.random_range(0.5..2.0);
+                let alpha = rng.random_range(0.01..side);
+                let g = Grid::random(dim, side, &mut rng);
+                let p = Point::new((0..dim).map(|_| rng.random_range(-5.0..5.0)).collect());
+                let dfs = to_set(adjacent_cells(&g, &p, alpha));
+                let bfs = to_set(adjacent_cells_bfs(&g, &p, alpha));
+                assert_eq!(dfs, bfs, "dim={dim} side={side} alpha={alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_supports_sides_smaller_than_alpha() {
+        let g = Grid::with_offset(1, 0.5, vec![0.0]);
+        let p = Point::new(vec![0.25]);
+        let cells = to_set(adjacent_cells_bfs(&g, &p, 1.0));
+        // cells are [k*0.5, (k+1)*0.5); within distance 1.0 of x=0.25 are
+        // cells covering [-0.75, 1.25] => indices -2..=2.
+        assert_eq!(
+            cells,
+            BTreeSet::from([vec![-2], vec![-1], vec![0], vec![1], vec![2]])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "side >= alpha")]
+    fn dfs_rejects_small_side() {
+        let g = Grid::with_offset(1, 0.5, vec![0.0]);
+        let p = Point::new(vec![0.25]);
+        let _ = adjacent_cells(&g, &p, 1.0);
+    }
+
+    #[test]
+    fn all_reported_cells_are_within_alpha() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = Grid::random(3, 1.0, &mut rng);
+        let p = Point::new(vec![0.3, -2.4, 7.7]);
+        let alpha = 0.8;
+        for c in adjacent_cells(&g, &p, alpha) {
+            assert!(g.dist_point_cell(&p, &c) <= alpha + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Randomly shifted axis-aligned grids over `R^d`.
+//!
+//! Section 2.1 of the paper posts a random grid of side length `Θ(alpha)`
+//! over the point set and samples *cells* (rather than groups) with a hash
+//! function. A cell is identified by its integer coordinate vector
+//! `c = (c_1, ..., c_d)` with `c_i = floor((x_i - offset_i) / side)`.
+
+use crate::Point;
+use rand::{Rng, RngExt};
+
+/// Integer coordinates of a grid cell.
+///
+/// Cells are identified by the lattice coordinates of their lower corner, in
+/// units of the grid side length.
+pub type CellCoord = Box<[i64]>;
+
+/// A randomly shifted axis-aligned grid with a fixed side length.
+///
+/// # Examples
+///
+/// ```
+/// use rds_geometry::{Grid, Point};
+///
+/// let grid = Grid::with_offset(2, 1.0, vec![0.0, 0.0]);
+/// let cell = grid.cell_of(&Point::new(vec![2.5, -0.5]));
+/// assert_eq!(&*cell, &[2, -1]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Grid {
+    dim: usize,
+    side: f64,
+    offset: Box<[f64]>,
+}
+
+impl Grid {
+    /// Creates a grid with a uniformly random offset in `[0, side)^dim`.
+    ///
+    /// The random shift is what makes the "cell cut by a group" events
+    /// probabilistic in Lemma 4.2 of the paper.
+    pub fn random<R: Rng + ?Sized>(dim: usize, side: f64, rng: &mut R) -> Self {
+        assert!(side.is_finite() && side > 0.0, "grid side must be positive");
+        let offset = (0..dim).map(|_| rng.random_range(0.0..side)).collect();
+        Self { dim, side, offset }
+    }
+
+    /// Creates a grid with an explicit offset (useful for deterministic
+    /// tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset.len() != dim`, if `side <= 0`, or if any offset
+    /// coordinate is outside `[0, side)`.
+    pub fn with_offset(dim: usize, side: f64, offset: Vec<f64>) -> Self {
+        assert!(side.is_finite() && side > 0.0, "grid side must be positive");
+        assert_eq!(offset.len(), dim, "offset dimension mismatch");
+        assert!(
+            offset.iter().all(|o| (0.0..side).contains(o)),
+            "offsets must lie in [0, side)"
+        );
+        Self {
+            dim,
+            side,
+            offset: offset.into_boxed_slice(),
+        }
+    }
+
+    /// Dimension of the ambient space.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Side length of each cell.
+    #[inline]
+    pub fn side(&self) -> f64 {
+        self.side
+    }
+
+    /// The grid's offset vector.
+    #[inline]
+    pub fn offset(&self) -> &[f64] {
+        &self.offset
+    }
+
+    /// Coordinate of `p` along dimension `i` in grid units (so that cell
+    /// boundaries lie at integers).
+    #[inline]
+    pub fn grid_coord(&self, p: &Point, i: usize) -> f64 {
+        (p.get(i) - self.offset[i]) / self.side
+    }
+
+    /// Writes the cell coordinates of `p` into `out` (cleared first).
+    ///
+    /// This is the allocation-free variant for hot paths.
+    pub fn cell_of_into(&self, p: &Point, out: &mut Vec<i64>) {
+        debug_assert_eq!(p.dim(), self.dim, "dimension mismatch");
+        out.clear();
+        out.extend((0..self.dim).map(|i| self.grid_coord(p, i).floor() as i64));
+    }
+
+    /// The cell containing `p` (`cell(p)` in the paper's notation).
+    pub fn cell_of(&self, p: &Point) -> CellCoord {
+        let mut out = Vec::with_capacity(self.dim);
+        self.cell_of_into(p, &mut out);
+        out.into_boxed_slice()
+    }
+
+    /// Squared distance from `p` to the closed cell with coordinates `cell`.
+    ///
+    /// The nearest point of the cell is the coordinate-wise clamp of `p` to
+    /// the cell's box, which is exactly the "sequential movement" description
+    /// in Section 6.2 of the paper.
+    pub fn dist_sq_point_cell(&self, p: &Point, cell: &[i64]) -> f64 {
+        debug_assert_eq!(cell.len(), self.dim, "cell dimension mismatch");
+        let mut acc = 0.0;
+        for (i, &ci) in cell.iter().enumerate() {
+            let g = self.grid_coord(p, i);
+            let lo = ci as f64;
+            let hi = lo + 1.0;
+            let delta = if g < lo {
+                lo - g
+            } else if g > hi {
+                g - hi
+            } else {
+                0.0
+            };
+            let d = delta * self.side;
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Distance from `p` to the closed cell `cell` (`d(p, C)` in the paper).
+    pub fn dist_point_cell(&self, p: &Point, cell: &[i64]) -> f64 {
+        self.dist_sq_point_cell(p, cell).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn unit_grid(dim: usize) -> Grid {
+        Grid::with_offset(dim, 1.0, vec![0.0; dim])
+    }
+
+    #[test]
+    fn cell_of_simple_cases() {
+        let g = unit_grid(2);
+        assert_eq!(&*g.cell_of(&Point::new(vec![0.5, 0.5])), &[0, 0]);
+        assert_eq!(&*g.cell_of(&Point::new(vec![-0.5, 1.5])), &[-1, 1]);
+        // boundary points belong to the upper cell (floor semantics)
+        assert_eq!(&*g.cell_of(&Point::new(vec![1.0, 2.0])), &[1, 2]);
+    }
+
+    #[test]
+    fn offset_shifts_cells() {
+        let g = Grid::with_offset(1, 1.0, vec![0.25]);
+        assert_eq!(&*g.cell_of(&Point::new(vec![0.2])), &[-1]);
+        assert_eq!(&*g.cell_of(&Point::new(vec![0.3])), &[0]);
+    }
+
+    #[test]
+    fn side_scales_cells() {
+        let g = Grid::with_offset(1, 2.0, vec![0.0]);
+        assert_eq!(&*g.cell_of(&Point::new(vec![3.9])), &[1]);
+        assert_eq!(&*g.cell_of(&Point::new(vec![4.0])), &[2]);
+    }
+
+    #[test]
+    fn dist_to_own_cell_is_zero() {
+        let g = unit_grid(3);
+        let p = Point::new(vec![0.3, 0.7, 0.999]);
+        let c = g.cell_of(&p);
+        assert_eq!(g.dist_sq_point_cell(&p, &c), 0.0);
+    }
+
+    #[test]
+    fn dist_to_adjacent_cell() {
+        let g = unit_grid(2);
+        let p = Point::new(vec![0.25, 0.5]);
+        // cell to the left: distance is 0.25 (to the boundary x=0)
+        assert!((g.dist_point_cell(&p, &[-1, 0]) - 0.25).abs() < 1e-12);
+        // diagonal cell (-1, -1): sqrt(0.25^2 + 0.5^2)
+        let expect = (0.25_f64 * 0.25 + 0.5 * 0.5).sqrt();
+        assert!((g.dist_point_cell(&p, &[-1, -1]) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dist_respects_side_length() {
+        let g = Grid::with_offset(1, 2.0, vec![0.0]);
+        let p = Point::new(vec![1.0]); // middle of cell 0 = [0, 2)
+        assert!((g.dist_point_cell(&p, &[1]) - 1.0).abs() < 1e-12);
+        assert!((g.dist_point_cell(&p, &[2]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_offsets_are_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            let g = Grid::random(4, 2.5, &mut rng);
+            assert!(g.offset().iter().all(|&o| (0.0..2.5).contains(&o)));
+        }
+    }
+
+    #[test]
+    fn reusable_buffer_matches_allocating_variant() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = Grid::random(5, 0.7, &mut rng);
+        let mut buf = Vec::new();
+        for _ in 0..64 {
+            let p = Point::new((0..5).map(|_| rng.random_range(-10.0..10.0)).collect());
+            g.cell_of_into(&p, &mut buf);
+            assert_eq!(&buf[..], &*g.cell_of(&p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "side must be positive")]
+    fn zero_side_panics() {
+        let _ = Grid::with_offset(1, 0.0, vec![0.0]);
+    }
+}

@@ -1,0 +1,26 @@
+//! Geometric substrate for robust distinct sampling on noisy streams.
+//!
+//! This crate implements the Euclidean-space machinery of
+//! *"Distinct Sampling on Streaming Data with Near-Duplicates"*
+//! (Chen & Zhang, PODS 2018):
+//!
+//! * [`Point`] and [`Ball`] — points in `R^d` and the `Ball(p, alpha)`
+//!   neighbourhoods used by the sampling guarantees;
+//! * [`Grid`] — the randomly shifted grid of side `Θ(alpha)` posted over
+//!   the point set (Section 2.1);
+//! * [`for_each_adjacent_cell`] — the pruned depth-first enumeration of
+//!   `adj(p) = { C : d(p, C) <= alpha }` (Algorithms 6 and 7, Section 6.2),
+//!   plus a flood-fill reference implementation;
+//! * [`JlProjection`] — Gaussian dimension reduction (Remark 2, Section 4).
+
+#![warn(missing_docs)]
+
+mod adjacency;
+mod grid;
+mod jl;
+mod point;
+
+pub use adjacency::{adjacent_cells, adjacent_cells_bfs, for_each_adjacent_cell};
+pub use grid::{CellCoord, Grid};
+pub use jl::{standard_normal, JlProjection};
+pub use point::{Ball, Point};

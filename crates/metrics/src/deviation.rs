@@ -1,0 +1,229 @@
+//! Accuracy metrics for empirical sampling distributions.
+//!
+//! Section 6.1 of the paper measures how far the empirical sampling
+//! distribution of an ℓ0-sampler is from uniform, using two statistics
+//! adopted from Cormode & Firmani:
+//!
+//! * `stdDevNm` — the standard deviation of the empirical sampling
+//!   distribution, normalized by the target probability `f* = 1/F0`;
+//! * `maxDevNm` — the maximum relative deviation
+//!   `max_i |f_i - f*| / f*`.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts how many times each of `F0` groups was sampled over repeated
+/// runs, and computes the paper's deviation statistics.
+///
+/// # Examples
+///
+/// ```
+/// use rds_metrics::SampleHistogram;
+///
+/// let mut h = SampleHistogram::new(4);
+/// for g in [0, 1, 2, 3, 0, 1, 2, 3] {
+///     h.record(g);
+/// }
+/// assert_eq!(h.runs(), 8);
+/// assert_eq!(h.std_dev_nm(), 0.0); // perfectly uniform
+/// assert_eq!(h.max_dev_nm(), 0.0);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SampleHistogram {
+    counts: Vec<u64>,
+    runs: u64,
+}
+
+impl SampleHistogram {
+    /// Creates a histogram over `n_groups` groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_groups == 0`.
+    pub fn new(n_groups: usize) -> Self {
+        assert!(n_groups > 0, "need at least one group");
+        Self {
+            counts: vec![0; n_groups],
+            runs: 0,
+        }
+    }
+
+    /// Records that `group` was sampled in one run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn record(&mut self, group: usize) {
+        self.counts[group] += 1;
+        self.runs += 1;
+    }
+
+    /// Merges another histogram over the same groups into this one
+    /// (used by the multi-threaded experiment harness).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group counts differ.
+    pub fn merge(&mut self, other: &SampleHistogram) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "histogram size mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.runs += other.runs;
+    }
+
+    /// Number of groups `F0`.
+    pub fn n_groups(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of recorded runs.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Raw per-group sample counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Empirical sampling frequencies `f_i = counts_i / runs`.
+    ///
+    /// Returns an all-zero vector when no runs were recorded.
+    pub fn frequencies(&self) -> Vec<f64> {
+        if self.runs == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        let r = self.runs as f64;
+        self.counts.iter().map(|&c| c as f64 / r).collect()
+    }
+
+    /// `stdDevNm`: standard deviation of the empirical distribution,
+    /// normalized by `f* = 1/F0`.
+    ///
+    /// Since the frequencies sum to 1, their mean is exactly `f*`, so this
+    /// is `sqrt(mean((f_i - f*)^2)) / f*`.
+    pub fn std_dev_nm(&self) -> f64 {
+        let f_star = 1.0 / self.counts.len() as f64;
+        let freqs = self.frequencies();
+        let var = freqs
+            .iter()
+            .map(|f| {
+                let d = f - f_star;
+                d * d
+            })
+            .sum::<f64>()
+            / freqs.len() as f64;
+        var.sqrt() / f_star
+    }
+
+    /// `maxDevNm`: `max_i |f_i - f*| / f*`.
+    pub fn max_dev_nm(&self) -> f64 {
+        let f_star = 1.0 / self.counts.len() as f64;
+        self.frequencies()
+            .iter()
+            .map(|f| (f - f_star).abs() / f_star)
+            .fold(0.0, f64::max)
+    }
+
+    /// A χ²-style uniformity statistic: `sum_i (c_i - E)^2 / E` with
+    /// `E = runs / F0`. Under uniform sampling it concentrates around
+    /// `F0 - 1`; tests use it with generous slack.
+    pub fn chi_square(&self) -> f64 {
+        if self.runs == 0 {
+            return 0.0;
+        }
+        let expect = self.runs as f64 / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expect;
+                d * d / expect
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_counts_have_zero_deviation() {
+        let mut h = SampleHistogram::new(5);
+        for g in 0..5 {
+            for _ in 0..10 {
+                h.record(g);
+            }
+        }
+        assert_eq!(h.std_dev_nm(), 0.0);
+        assert_eq!(h.max_dev_nm(), 0.0);
+        assert_eq!(h.chi_square(), 0.0);
+    }
+
+    #[test]
+    fn all_mass_on_one_group() {
+        let mut h = SampleHistogram::new(4);
+        for _ in 0..100 {
+            h.record(2);
+        }
+        // f = (0, 0, 1, 0), f* = 1/4: max dev = (1 - 1/4) / (1/4) = 3
+        assert!((h.max_dev_nm() - 3.0).abs() < 1e-12);
+        // variance = (3*(1/16) + (3/4)^2)/4 = (3/16 + 9/16)/4 = 3/16
+        let expect_std = (3.0f64 / 16.0).sqrt() / 0.25;
+        assert!((h.std_dev_nm() - expect_std).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let mut h = SampleHistogram::new(7);
+        for i in 0..1000 {
+            h.record(i % 7);
+        }
+        let s: f64 = h.frequencies().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let h = SampleHistogram::new(3);
+        assert_eq!(h.frequencies(), vec![0.0; 3]);
+        assert_eq!(h.runs(), 0);
+        // with zero runs every group deviates fully: |0 - f*|/f* = 1
+        assert!((h.max_dev_nm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SampleHistogram::new(2);
+        a.record(0);
+        let mut b = SampleHistogram::new(2);
+        b.record(1);
+        b.record(1);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 2]);
+        assert_eq!(a.runs(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn merge_rejects_different_sizes() {
+        let mut a = SampleHistogram::new(2);
+        let b = SampleHistogram::new(3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn chi_square_detects_skew() {
+        let mut skewed = SampleHistogram::new(10);
+        let mut uniform = SampleHistogram::new(10);
+        for i in 0..1000 {
+            uniform.record(i % 10);
+            skewed.record(if i % 2 == 0 { 0 } else { i % 10 });
+        }
+        assert!(skewed.chi_square() > 10.0 * uniform.chi_square() + 1.0);
+    }
+}

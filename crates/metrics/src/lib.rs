@@ -1,0 +1,16 @@
+//! Measurement harness reproducing the paper's evaluation metrics.
+//!
+//! * [`ItemTimer`] — `pTime`, processing time per item (ms);
+//! * [`SpaceMeter`] — `pSpace`, peak space in machine words;
+//! * [`SampleHistogram`] — empirical sampling distribution with the
+//!   `stdDevNm` / `maxDevNm` statistics of Section 6.1.
+
+#![warn(missing_docs)]
+
+mod deviation;
+mod space;
+mod timer;
+
+pub use deviation::SampleHistogram;
+pub use space::SpaceMeter;
+pub use timer::{ItemTimer, RunningTimer};

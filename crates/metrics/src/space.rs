@@ -1,0 +1,89 @@
+//! Word-level space accounting (the paper's `pSpace` metric).
+//!
+//! The paper reports *peak space usage throughout the streaming process,
+//! measured by words*. Samplers in this workspace expose their current
+//! footprint in words; [`SpaceMeter`] tracks the running peak.
+
+use serde::{Deserialize, Serialize};
+
+/// Tracks the peak of a word-valued quantity over time.
+///
+/// # Examples
+///
+/// ```
+/// use rds_metrics::SpaceMeter;
+///
+/// let mut m = SpaceMeter::new();
+/// m.observe(10);
+/// m.observe(25);
+/// m.observe(5);
+/// assert_eq!(m.peak_words(), 25);
+/// assert_eq!(m.current_words(), 5);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SpaceMeter {
+    current: usize,
+    peak: usize,
+}
+
+impl SpaceMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the current footprint in words.
+    #[inline]
+    pub fn observe(&mut self, words: usize) {
+        self.current = words;
+        if words > self.peak {
+            self.peak = words;
+        }
+    }
+
+    /// The most recently observed footprint.
+    pub fn current_words(&self) -> usize {
+        self.current
+    }
+
+    /// The peak footprint observed so far.
+    pub fn peak_words(&self) -> usize {
+        self.peak
+    }
+
+    /// Resets the meter.
+    pub fn reset(&mut self) {
+        self.current = 0;
+        self.peak = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_is_monotone() {
+        let mut m = SpaceMeter::new();
+        for w in [3, 1, 4, 1, 5, 9, 2, 6] {
+            m.observe(w);
+        }
+        assert_eq!(m.peak_words(), 9);
+        assert_eq!(m.current_words(), 6);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut m = SpaceMeter::new();
+        m.observe(100);
+        m.reset();
+        assert_eq!(m.peak_words(), 0);
+        assert_eq!(m.current_words(), 0);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let m = SpaceMeter::default();
+        assert_eq!(m.peak_words(), 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Stream and window models for robust distinct sampling.
+//!
+//! The paper studies three computational models (Section 1):
+//!
+//! * the **infinite window** (standard streaming) model;
+//! * the **sequence-based sliding window**: the last `w` *points*;
+//! * the **time-based sliding window**: the points of the last `w` *time
+//!   steps*.
+//!
+//! Its sliding-window algorithms work in both window flavours — "the only
+//! difference is the definition of the expiration of a point". This crate
+//! encodes that difference once ([`Window`]) so the samplers can be written
+//! window-agnostically.
+
+#![warn(missing_docs)]
+
+use rds_geometry::Point;
+
+/// The position of a stream item in both window clocks: its sequence number
+/// (arrival index) and its timestamp.
+///
+/// For sequence-based windows only `seq` matters; for time-based windows
+/// only `time`. Items must arrive with non-decreasing stamps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Stamp {
+    /// Arrival index (0-based, strictly increasing).
+    pub seq: u64,
+    /// Timestamp (non-decreasing; multiple items may share one time step).
+    pub time: u64,
+}
+
+impl Stamp {
+    /// Creates a stamp with equal sequence number and time, the common case
+    /// where one item arrives per time step.
+    pub fn at(seq: u64) -> Self {
+        Self { seq, time: seq }
+    }
+
+    /// Creates a stamp with distinct sequence number and timestamp.
+    pub fn new(seq: u64, time: u64) -> Self {
+        Self { seq, time }
+    }
+}
+
+/// A point together with its arrival stamp.
+#[derive(Clone, Debug)]
+pub struct StreamItem {
+    /// The data point.
+    pub point: Point,
+    /// When it arrived.
+    pub stamp: Stamp,
+}
+
+impl StreamItem {
+    /// Convenience constructor.
+    pub fn new(point: Point, stamp: Stamp) -> Self {
+        Self { point, stamp }
+    }
+}
+
+/// A window model over the stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Window {
+    /// The whole stream (standard streaming model).
+    Infinite,
+    /// The last `w` points (`w >= 1`).
+    Sequence(u64),
+    /// The points with timestamps in `(now - w, now]` (`w >= 1`).
+    Time(u64),
+}
+
+impl Window {
+    /// Whether an item stamped `stamp` is still inside the window when the
+    /// current clock reads `now`.
+    ///
+    /// * `Infinite`: always.
+    /// * `Sequence(w)`: the live items are the `w` most recent, i.e. those
+    ///   with `seq > now.seq - w`.
+    /// * `Time(w)`: the live items are those received in the last `w` time
+    ///   steps, i.e. with `time > now.time - w`.
+    #[inline]
+    pub fn live(&self, stamp: Stamp, now: Stamp) -> bool {
+        match *self {
+            Window::Infinite => true,
+            Window::Sequence(w) => stamp.seq + w > now.seq,
+            Window::Time(w) => stamp.time + w > now.time,
+        }
+    }
+
+    /// Whether the window provably contains no items — never true for
+    /// the window models here (every model keeps at least the newest
+    /// item), provided for `len`/`is_empty` API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The window length parameter `w`, if bounded.
+    pub fn len(&self) -> Option<u64> {
+        match *self {
+            Window::Infinite => None,
+            Window::Sequence(w) | Window::Time(w) => Some(w),
+        }
+    }
+
+    /// Whether this is the infinite window.
+    pub fn is_infinite(&self) -> bool {
+        matches!(self, Window::Infinite)
+    }
+}
+
+/// Wraps a sequence of points into stream items stamped `0, 1, 2, ...`
+/// (sequence number == timestamp).
+pub fn enumerate_stream<I>(points: I) -> Vec<StreamItem>
+where
+    I: IntoIterator<Item = Point>,
+{
+    points
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| StreamItem::new(p, Stamp::at(i as u64)))
+        .collect()
+}
+
+/// Wraps `(point, time)` pairs into stream items with sequential arrival
+/// indices and the given timestamps.
+///
+/// # Panics
+///
+/// Panics if the timestamps are not non-decreasing.
+pub fn timed_stream<I>(points: I) -> Vec<StreamItem>
+where
+    I: IntoIterator<Item = (Point, u64)>,
+{
+    let mut last = 0u64;
+    points
+        .into_iter()
+        .enumerate()
+        .map(|(i, (p, t))| {
+            assert!(t >= last, "timestamps must be non-decreasing");
+            last = t;
+            StreamItem::new(p, Stamp::new(i as u64, t))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinite_window_never_expires() {
+        let w = Window::Infinite;
+        assert!(w.live(Stamp::at(0), Stamp::at(u64::MAX - 1)));
+        assert!(w.len().is_none());
+        assert!(w.is_infinite());
+    }
+
+    #[test]
+    fn sequence_window_keeps_exactly_w_items() {
+        let w = Window::Sequence(3);
+        let now = Stamp::at(10);
+        // live items: seq 8, 9, 10
+        assert!(w.live(Stamp::at(8), now));
+        assert!(w.live(Stamp::at(10), now));
+        assert!(!w.live(Stamp::at(7), now));
+    }
+
+    #[test]
+    fn sequence_window_of_one() {
+        let w = Window::Sequence(1);
+        let now = Stamp::at(5);
+        assert!(w.live(Stamp::at(5), now));
+        assert!(!w.live(Stamp::at(4), now));
+    }
+
+    #[test]
+    fn time_window_uses_timestamps_not_sequence() {
+        let w = Window::Time(5);
+        let now = Stamp::new(100, 50);
+        // seq is irrelevant; time 46..=50 is live
+        assert!(w.live(Stamp::new(0, 46), now));
+        assert!(!w.live(Stamp::new(99, 45), now));
+    }
+
+    #[test]
+    fn time_window_with_bursts() {
+        // several items share a timestamp; all expire together
+        let w = Window::Time(2);
+        let now = Stamp::new(10, 7);
+        for seq in 0..5 {
+            assert!(w.live(Stamp::new(seq, 6), now));
+            assert!(!w.live(Stamp::new(seq, 5), now));
+        }
+    }
+
+    #[test]
+    fn enumerate_stream_stamps_sequentially() {
+        let pts = vec![Point::origin(2), Point::new(vec![1.0, 1.0])];
+        let items = enumerate_stream(pts);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].stamp, Stamp::at(0));
+        assert_eq!(items[1].stamp, Stamp::at(1));
+    }
+
+    #[test]
+    fn timed_stream_accepts_bursts() {
+        let items = timed_stream(vec![
+            (Point::origin(1), 3),
+            (Point::origin(1), 3),
+            (Point::origin(1), 8),
+        ]);
+        assert_eq!(items[1].stamp, Stamp::new(1, 3));
+        assert_eq!(items[2].stamp, Stamp::new(2, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn timed_stream_rejects_decreasing_time() {
+        let _ = timed_stream(vec![(Point::origin(1), 5), (Point::origin(1), 4)]);
+    }
+
+    #[test]
+    fn window_len_reports_parameter() {
+        assert_eq!(Window::Sequence(9).len(), Some(9));
+        assert_eq!(Window::Time(4).len(), Some(4));
+    }
+}

@@ -1,0 +1,58 @@
+//! # robust-distinct-sampling
+//!
+//! Robust ℓ0-sampling and distinct-element estimation on streams with
+//! near-duplicates — a Rust implementation of Chen & Zhang,
+//! *"Distinct Sampling on Streaming Data with Near-Duplicates"*
+//! (PODS 2018).
+//!
+//! Points within a user-chosen distance `alpha` are treated as
+//! near-duplicates of one *group* (entity). The library answers, in
+//! space polylogarithmic in the stream length:
+//!
+//! * "give me a uniformly random **entity**" — [`core::RobustL0Sampler`]
+//!   (whole stream) and [`core::SlidingWindowSampler`] (last `w` items or
+//!   time units);
+//! * "how many distinct entities are there?" — [`core::RobustF0Estimator`]
+//!   and [`core::SlidingWindowF0`];
+//! * "which entities dominate the stream?" — [`core::RobustHeavyHitters`];
+//! * distributed unions ([`core::DistributedSampling`]), `k`-sampling,
+//!   high-dimensional and angular-metric variants.
+//!
+//! This umbrella crate re-exports the workspace members; depend on the
+//! individual `rds-*` crates for narrower builds.
+//!
+//! ```
+//! use robust_distinct_sampling::core::{RobustL0Sampler, SamplerConfig};
+//! use robust_distinct_sampling::geometry::Point;
+//!
+//! let cfg = SamplerConfig::new(2, 0.1).with_seed(7);
+//! let mut sampler = RobustL0Sampler::new(cfg);
+//! for i in 0..1000 {
+//!     // 10 entities, each emitting 100 noisy observations
+//!     let entity = (i % 10) as f64 * 5.0;
+//!     let jitter = 0.001 * (i / 10) as f64;
+//!     sampler.process(&Point::new(vec![entity + jitter, entity]));
+//! }
+//! let sample = sampler.query().expect("stream non-empty");
+//! assert_eq!(sample.dim(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use rds_baselines as baselines;
+pub use rds_core as core;
+pub use rds_datasets as datasets;
+pub use rds_geometry as geometry;
+pub use rds_hashing as hashing;
+pub use rds_metrics as metrics;
+pub use rds_stream as stream;
+
+/// Commonly used types.
+pub mod prelude {
+    pub use rds_core::{
+        RobustF0Estimator, RobustHeavyHitters, RobustL0Sampler, SamplerConfig,
+        SlidingWindowF0, SlidingWindowSampler,
+    };
+    pub use rds_geometry::{Grid, Point};
+    pub use rds_stream::{Stamp, StreamItem, Window};
+}
