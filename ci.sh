@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the workspace, as one command. Everything runs offline
+# against the vendored shims; no network access is required.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q (workspace, includes doctests)"
+cargo test -q --workspace
+
+echo "==> cargo clippy -- -D warnings (all targets)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> benches compile"
+cargo bench -p rds-bench --no-run
+
+echo "==> examples run"
+for ex in quickstart f0_monitor tweet_window video_dedup; do
+    cargo run -q --release --example "$ex" > /dev/null
+done
+
+echo "ci.sh: all green"

@@ -104,9 +104,9 @@ pub fn sampling_distribution(
     let lookup = GroupLookup::new(ds);
     let global = Mutex::new(SampleHistogram::new(ds.n_groups));
     let next = std::sync::atomic::AtomicU64::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 let mut local = SampleHistogram::new(ds.n_groups);
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -119,8 +119,7 @@ pub fn sampling_distribution(
                 global.lock().merge(&local);
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
     global.into_inner()
 }
 

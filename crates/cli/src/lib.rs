@@ -5,7 +5,8 @@
 #![warn(missing_docs)]
 
 use rds_core::{
-    RobustF0Estimator, RobustHeavyHitters, RobustL0Sampler, SamplerConfig, SlidingWindowSampler,
+    RobustF0Estimator, RobustHeavyHitters, RobustL0Sampler, SamplerConfig, SlidingWindowF0,
+    SlidingWindowSampler,
 };
 use rds_geometry::Point;
 use rds_stream::{Stamp, StreamItem, Window};
@@ -99,6 +100,9 @@ pub fn parse_cli(args: &[String]) -> Result<Cli, String> {
             Window::Sequence(w)
         }
     });
+    if matches!(command, Command::Heavy { .. }) && window.is_some() {
+        return Err("heavy does not support --window".into());
+    }
     Ok(Cli {
         command,
         alpha,
@@ -187,6 +191,7 @@ pub fn run<R: BufRead, W: std::io::Write>(
     let mut sampler: Option<RobustL0Sampler> = None;
     let mut window_sampler: Option<SlidingWindowSampler> = None;
     let mut counter: Option<RobustF0Estimator> = None;
+    let mut window_counter: Option<SlidingWindowF0> = None;
     let mut heavy: Option<RobustHeavyHitters> = None;
 
     for line in input.lines() {
@@ -201,7 +206,12 @@ pub fn run<R: BufRead, W: std::io::Write>(
                 point.dim()
             ));
         }
-        if sampler.is_none() && window_sampler.is_none() && counter.is_none() && heavy.is_none() {
+        if sampler.is_none()
+            && window_sampler.is_none()
+            && counter.is_none()
+            && window_counter.is_none()
+            && heavy.is_none()
+        {
             let cfg = SamplerConfig::new(d, cli.alpha)
                 .with_seed(cli.seed)
                 .with_expected_len(cli.expected_len);
@@ -212,9 +222,15 @@ pub fn run<R: BufRead, W: std::io::Write>(
                 (Command::Sample { k }, Some(w)) => {
                     window_sampler = Some(SlidingWindowSampler::new(cfg.with_k(*k), w));
                 }
-                (Command::Count { eps }, _) => {
+                (Command::Count { eps }, None) => {
                     counter = Some(RobustF0Estimator::new(cfg, *eps, 5));
                 }
+                // `count --window`: estimate over the live window, not the
+                // whole stream (Section 5's sliding-window F0).
+                (Command::Count { eps }, Some(w)) => {
+                    window_counter = Some(SlidingWindowF0::new(cfg, w, *eps));
+                }
+                // parse_cli rejects heavy + --window before streaming starts.
                 (Command::Heavy { phi }, _) => {
                     heavy = Some(RobustHeavyHitters::new(*phi, cli.alpha));
                 }
@@ -233,6 +249,9 @@ pub fn run<R: BufRead, W: std::io::Write>(
         }
         if let Some(c) = counter.as_mut() {
             c.process(&point);
+        }
+        if let Some(c) = window_counter.as_mut() {
+            c.process(&StreamItem::new(point.clone(), stamp));
         }
         if let Some(h) = heavy.as_mut() {
             h.process(&point);
@@ -262,6 +281,8 @@ pub fn run<R: BufRead, W: std::io::Write>(
         }
         Command::Count { .. } => {
             if let Some(c) = counter {
+                w(out, format!("{:.1}", c.estimate()))?;
+            } else if let Some(c) = window_counter {
                 w(out, format!("{:.1}", c.estimate()))?;
             }
         }
@@ -393,6 +414,45 @@ mod tests {
         run(&cli, Cursor::new(input), &mut out).expect("runs");
         let text = String::from_utf8(out).expect("utf8");
         assert!(text.lines().count() == 1, "only group 0 is heavy: {text}");
+    }
+
+    #[test]
+    fn end_to_end_windowed_count_sees_only_live_points() {
+        // 25 points cycling 5 far-apart groups, then 10 points all in group
+        // 0. With a sequence window of 10 only group 0 is live, so the
+        // windowed estimate must be far below the whole-stream 5 groups.
+        let cli = parse_cli(&args("count --alpha 0.5 --window 10")).expect("valid");
+        let mut input = String::new();
+        for i in 0..25 {
+            input.push_str(&format!("{}.0\n", (i % 5) * 10));
+        }
+        for _ in 0..10 {
+            input.push_str("0.0\n");
+        }
+        let mut out = Vec::new();
+        run(&cli, Cursor::new(input), &mut out).expect("runs");
+        let text = String::from_utf8(out).expect("utf8");
+        let est: f64 = text.trim().parse().expect("a number");
+        assert!((1.0..2.0).contains(&est), "windowed estimate: {est}");
+    }
+
+    #[test]
+    fn end_to_end_time_windowed_count_expires_old_timestamps() {
+        // Timestamps 1, 2, 9 with a time window of 3: only the last point
+        // (time 9) is live at the end of the stream.
+        let cli = parse_cli(&args("count --alpha 0.5 --window 3 --time")).expect("valid");
+        let input = "0,0,1\n5,5,2\n9,1,9\n";
+        let mut out = Vec::new();
+        run(&cli, Cursor::new(input), &mut out).expect("runs");
+        let text = String::from_utf8(out).expect("utf8");
+        let est: f64 = text.trim().parse().expect("a number");
+        assert!((1.0..2.0).contains(&est), "time-windowed estimate: {est}");
+    }
+
+    #[test]
+    fn rejects_heavy_with_window_at_parse_time() {
+        let err = parse_cli(&args("heavy --alpha 0.5 --window 5")).expect_err("invalid");
+        assert!(err.contains("--window"), "error: {err}");
     }
 
     #[test]

@@ -80,10 +80,12 @@ impl Window {
     ///   steps, i.e. with `time > now.time - w`.
     #[inline]
     pub fn live(&self, stamp: Stamp, now: Stamp) -> bool {
+        // Saturating: a width near u64::MAX (a de-facto infinite window)
+        // must not overflow `stamp + w` and wrongly expire everything.
         match *self {
             Window::Infinite => true,
-            Window::Sequence(w) => stamp.seq + w > now.seq,
-            Window::Time(w) => stamp.time + w > now.time,
+            Window::Sequence(w) => stamp.seq.saturating_add(w) > now.seq,
+            Window::Time(w) => stamp.time.saturating_add(w) > now.time,
         }
     }
 

@@ -1,0 +1,241 @@
+//! Offline vendored shim for the `criterion` API surface this workspace's
+//! benches use.
+//!
+//! The statistical machinery of real criterion is replaced by a simple
+//! timed loop: each benchmark runs a short calibration pass, then a fixed
+//! number of measurement iterations, and prints mean time per iteration
+//! (plus throughput when configured). Good enough to keep `cargo bench`
+//! meaningful for relative comparisons while building fully offline.
+//!
+//! Set `RDS_BENCH_FAST=1` to run every benchmark body exactly once
+//! (used by CI to smoke-test the benches without waiting on timing loops).
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export used by some criterion setups; identical to
+/// [`std::hint::black_box`].
+pub use std::hint::black_box;
+
+const TARGET_MEASURE_TIME: Duration = Duration::from_millis(300);
+
+fn fast_mode() -> bool {
+    std::env::var_os("RDS_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+/// Iteration driver handed to benchmark closures.
+pub struct Bencher {
+    iters_done: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, first calibrating an iteration count so the
+    /// measurement loop takes roughly 300 ms.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if fast_mode() {
+            let start = Instant::now();
+            black_box(routine());
+            self.total = start.elapsed();
+            self.iters_done = 1;
+            return;
+        }
+        // Calibration: one untimed warm-up, then estimate cost.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_MEASURE_TIME.as_nanos() / once.as_nanos())
+            .clamp(1, 1000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters_done = iters;
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, like `name/param`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        run_one(&id.to_string(), None, f);
+    }
+}
+
+/// A group of benchmarks sharing a name and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for criterion compatibility; the shim picks its own
+    /// iteration counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for criterion compatibility; ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, f);
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (report flushing is a no-op in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher {
+        iters_done: 0,
+        total: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iters_done == 0 {
+        eprintln!("  {label}: no measurement (b.iter never called)");
+        return;
+    }
+    let per_iter = bencher.total.as_secs_f64() / bencher.iters_done as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 / per_iter)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!("  {:>12.0} B/s", n as f64 / per_iter)
+        }
+        _ => String::new(),
+    };
+    eprintln!(
+        "  {label}: {:.3} ms/iter ({} iters){rate}",
+        per_iter * 1e3,
+        bencher.iters_done
+    );
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        std::env::set_var("RDS_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        std::env::set_var("RDS_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10)).sample_size(5);
+        let input = 3u64;
+        group.bench_with_input(BenchmarkId::from_parameter(input), &input, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.bench_with_input(BenchmarkId::new("named", 7), &input, |b, &x| {
+            b.iter(|| x + 1)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,160 @@
+//! Offline vendored shim for serde's derive macros.
+//!
+//! Generates `Serialize`/`Deserialize` impls for the vendored value-model
+//! `serde` crate. Written against `proc_macro` directly (no `syn`/`quote`
+//! available offline), so it supports exactly what this workspace derives:
+//! non-generic structs with named fields.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Parses `struct Name { field: Type, ... }` out of a derive input stream,
+/// skipping attributes and visibility modifiers.
+fn parse_struct(input: TokenStream, trait_name: &str) -> StructShape {
+    let mut iter = input.into_iter().peekable();
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            // `#[attr]` / doc comments: skip the bracket group that follows.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" {
+                    match iter.next() {
+                        Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                        other => panic!("derive({trait_name}): expected struct name, got {other:?}"),
+                    }
+                    break;
+                } else if s == "enum" || s == "union" {
+                    panic!("derive({trait_name}) shim supports only structs with named fields");
+                }
+                // `pub`, `pub(crate)` etc.: the group after `pub` is consumed
+                // by the generic skip below.
+            }
+            _ => {}
+        }
+    }
+    let name = name.unwrap_or_else(|| panic!("derive({trait_name}): no `struct` found"));
+
+    // After the name: optional generics (unsupported), then the brace group.
+    let mut body = None;
+    for tt in iter {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("derive({trait_name}) shim does not support generic structs");
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                body = Some(g.stream());
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => {
+                panic!("derive({trait_name}) shim supports only named-field structs");
+            }
+            _ => {}
+        }
+    }
+    let body = body.unwrap_or_else(|| panic!("derive({trait_name}): no struct body"));
+
+    // Fields: [attrs] [vis] name `:` type `,` — scan at depth 0.
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        let field_name = loop {
+            match toks.next() {
+                None => break None,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(_)) = toks.peek() {
+                        toks.next();
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break Some(id.to_string()),
+                Some(other) => panic!("derive({trait_name}): unexpected token {other:?} in struct body"),
+            }
+        };
+        let Some(field_name) = field_name else { break };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive({trait_name}): expected `:` after field `{field_name}`, got {other:?}"),
+        }
+        // Consume the type up to the next top-level comma. Generic argument
+        // lists never contain a bare top-level `,` here because angle
+        // brackets arrive as individual puncts — track their depth.
+        let mut angle_depth = 0i32;
+        for tt in toks.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(field_name);
+    }
+
+    StructShape { name, fields }
+}
+
+/// Derives the vendored `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input, "Serialize");
+    let entries: String = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    let name = &shape.name;
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Map(vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input, "Deserialize");
+    let fields: String = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\
+                     value.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+                     .map_err(|e| ::serde::DeError::custom(\
+                         format!(\"field `{f}`: {{e}}\")))?,"
+            )
+        })
+        .collect();
+    let name = &shape.name;
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 Ok(Self {{ {fields} }})\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
