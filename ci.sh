@@ -16,6 +16,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> benches compile"
 cargo bench -p rds-bench --no-run
 
+echo "==> sharded-engine throughput smoke bench"
+RDS_BENCH_FAST=1 cargo bench -p rds-bench --bench engine
+
+echo "==> merge/uniformity/window-boundary test suite"
+cargo test -q --test distributed_props --test uniformity --test sliding_window_bounds
+cargo test -q -p rds-engine
+
 echo "==> examples run"
 for ex in quickstart f0_monitor tweet_window video_dedup; do
     cargo run -q --release --example "$ex" > /dev/null

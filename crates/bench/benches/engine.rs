@@ -1,0 +1,80 @@
+//! Throughput of the sharded ingestion engine at 1/2/4/8 shards, against
+//! the plain single-stream sampler.
+//!
+//! The workload is the Section 5 F0 regime (threshold `kappa_B / eps^2`)
+//! on a stream with many entities, where Algorithm 1's per-point linear
+//! scan over the candidate sets dominates. Entity-affine routing gives
+//! each of `N` shards `~F0 / N` candidate groups, so the aggregate scan
+//! work per point drops by the shard factor — the speedup is algorithmic
+//! and shows up even on a single hardware thread; multicore machines add
+//! parallelism on top.
+//!
+//! The unsharded baseline consumes the stream through
+//! `rds_stream::batched` + `process_batch`, so both sides amortize
+//! per-item overhead the same way and the comparison isolates sharding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rds_core::{RobustL0Sampler, SamplerConfig};
+use rds_engine::ShardedEngine;
+use rds_geometry::Point;
+use std::hint::black_box;
+
+/// Entities on a well-separated 2-D lattice with near-duplicate jitter.
+fn stream(n_points: u64, n_entities: u64) -> Vec<Point> {
+    (0..n_points)
+        .map(|i| {
+            let e = i % n_entities;
+            let jitter = 0.01 * ((i / n_entities) % 5) as f64;
+            Point::new(vec![(e % 64) as f64 * 10.0 + jitter, (e / 64) as f64 * 10.0])
+        })
+        .collect()
+}
+
+const N_POINTS: u64 = 16_000;
+const N_ENTITIES: u64 = 2_000;
+const EPS: f64 = 0.09; // threshold 16/eps^2 ~ 1975 ≈ N_ENTITIES: no subsampling
+
+fn f0_threshold() -> usize {
+    (rds_core::DEFAULT_KAPPA_B / (EPS * EPS)).ceil() as usize
+}
+
+fn config() -> SamplerConfig {
+    SamplerConfig::new(2, 0.5)
+        .with_seed(42)
+        .with_expected_len(N_POINTS)
+}
+
+fn bench_sharded_ingest(c: &mut Criterion) {
+    let points = stream(N_POINTS, N_ENTITIES);
+    let mut group = c.benchmark_group("engine_ingest");
+    group.throughput(Throughput::Elements(N_POINTS));
+
+    group.bench_function("unsharded_baseline", |b| {
+        b.iter(|| {
+            let mut s = RobustL0Sampler::with_threshold(config(), f0_threshold());
+            for batch in rds_stream::batched(points.iter().cloned(), 256) {
+                s.process_batch(black_box(&batch));
+            }
+            black_box(s.f0_estimate())
+        });
+    });
+
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("shards", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let mut engine =
+                        ShardedEngine::with_threshold(config(), shards, f0_threshold());
+                    engine.ingest_batch(points.iter().cloned());
+                    black_box(engine.finish().f0_estimate())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_ingest);
+criterion_main!(benches);

@@ -6,8 +6,9 @@
 
 use rds_core::{
     RobustF0Estimator, RobustHeavyHitters, RobustL0Sampler, SamplerConfig, SlidingWindowF0,
-    SlidingWindowSampler,
+    SlidingWindowSampler, DEFAULT_KAPPA_B,
 };
+use rds_engine::ShardedEngine;
 use rds_geometry::Point;
 use rds_stream::{Stamp, StreamItem, Window};
 use std::io::BufRead;
@@ -46,6 +47,9 @@ pub struct Cli {
     pub seed: u64,
     /// Expected stream length (tunes thresholds; an estimate is fine).
     pub expected_len: u64,
+    /// Worker shards for the infinite-window `sample`/`count` pipeline
+    /// (`--shards N`; 1 = the plain single-threaded samplers).
+    pub shards: usize,
 }
 
 /// Parses the command line. `args` excludes the program name.
@@ -64,6 +68,7 @@ pub fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut time_based = false;
     let mut seed = 1u64;
     let mut expected_len = 1 << 20;
+    let mut shards = 1usize;
 
     while let Some(a) = it.next() {
         let mut val = |name: &str| -> Result<&String, String> {
@@ -80,6 +85,7 @@ pub fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--expected-len" => {
                 expected_len = parse_num(val("--expected-len")?, "--expected-len")?
             }
+            "--shards" => shards = parse_num(val("--shards")?, "--shards")?,
             other => return Err(format!("unknown option {other}\n{}", usage())),
         }
     }
@@ -89,7 +95,12 @@ pub fn parse_cli(args: &[String]) -> Result<Cli, String> {
     }
     let command = match cmd.as_str() {
         "sample" => Command::Sample { k },
-        "count" => Command::Count { eps },
+        "count" => {
+            if !(eps > 0.0 && eps <= 1.0) {
+                return Err("--eps must be in (0, 1]".into());
+            }
+            Command::Count { eps }
+        }
         "heavy" => Command::Heavy { phi },
         other => return Err(format!("unknown command {other}\n{}", usage())),
     };
@@ -103,12 +114,26 @@ pub fn parse_cli(args: &[String]) -> Result<Cli, String> {
     if matches!(command, Command::Heavy { .. }) && window.is_some() {
         return Err("heavy does not support --window".into());
     }
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    if shards > 1 {
+        if matches!(command, Command::Heavy { .. }) {
+            return Err("heavy does not support --shards".into());
+        }
+        if window.is_some() {
+            return Err(
+                "--shards applies to the infinite window only (drop --window)".into(),
+            );
+        }
+    }
     Ok(Cli {
         command,
         alpha,
         window,
         seed,
         expected_len,
+        shards,
     })
 }
 
@@ -135,7 +160,11 @@ pub fn usage() -> String {
      \x20 --window W         restrict to the last W items\n\
      \x20 --time             window is time-based (last column = timestamp)\n\
      \x20 --seed S           PRNG seed (default 1)\n\
-     \x20 --expected-len M   expected stream length (default 2^20)\n"
+     \x20 --expected-len M   expected stream length (default 2^20)\n\
+     \x20 --shards N         shard ingestion across N workers\n\
+     \x20                    (sample/count, infinite window; default 1;\n\
+     \x20                    sharded count trades the median-of-copies\n\
+     \x20                    boost for throughput: one merged estimate)\n"
         .to_string()
 }
 
@@ -193,6 +222,7 @@ pub fn run<R: BufRead, W: std::io::Write>(
     let mut counter: Option<RobustF0Estimator> = None;
     let mut window_counter: Option<SlidingWindowF0> = None;
     let mut heavy: Option<RobustHeavyHitters> = None;
+    let mut engine: Option<ShardedEngine> = None;
 
     for line in input.lines() {
         let line = line.map_err(|e| e.to_string())?;
@@ -211,11 +241,25 @@ pub fn run<R: BufRead, W: std::io::Write>(
             && counter.is_none()
             && window_counter.is_none()
             && heavy.is_none()
+            && engine.is_none()
         {
             let cfg = SamplerConfig::new(d, cli.alpha)
                 .with_seed(cli.seed)
                 .with_expected_len(cli.expected_len);
             match (&cli.command, cli.window) {
+                // parse_cli guarantees shards > 1 only for infinite-window
+                // sample/count.
+                (Command::Sample { k }, None) if cli.shards > 1 => {
+                    engine = Some(ShardedEngine::new(cfg.with_k(*k), cli.shards));
+                }
+                (Command::Count { eps }, None) if cli.shards > 1 => {
+                    let threshold = (DEFAULT_KAPPA_B / (eps * eps)).ceil() as usize;
+                    engine = Some(ShardedEngine::with_threshold(
+                        cfg,
+                        cli.shards,
+                        threshold.max(1),
+                    ));
+                }
                 (Command::Sample { k }, None) => {
                     sampler = Some(RobustL0Sampler::new(cfg.with_k(*k)));
                 }
@@ -256,13 +300,21 @@ pub fn run<R: BufRead, W: std::io::Write>(
         if let Some(h) = heavy.as_mut() {
             h.process(&point);
         }
+        if let Some(e) = engine.as_mut() {
+            e.ingest(point);
+        }
         n += 1;
     }
 
     let w = |out: &mut W, s: String| writeln!(out, "{s}").map_err(|e| e.to_string());
+    let mut merged = engine.map(ShardedEngine::finish);
     match &cli.command {
         Command::Sample { k } => {
-            if let Some(mut s) = sampler {
+            if let Some(m) = merged.as_mut() {
+                for rec in m.query_k(*k) {
+                    w(out, format!("{:?} (seen {} times)", rec.rep.coords(), rec.count))?;
+                }
+            } else if let Some(mut s) = sampler {
                 for rec in s.query_k(*k) {
                     w(out, format!("{:?} (seen {} times)", rec.rep.coords(), rec.count))?;
                 }
@@ -280,7 +332,9 @@ pub fn run<R: BufRead, W: std::io::Write>(
             }
         }
         Command::Count { .. } => {
-            if let Some(c) = counter {
+            if let Some(m) = merged.as_ref() {
+                w(out, format!("{:.1}", m.f0_estimate()))?;
+            } else if let Some(c) = counter {
                 w(out, format!("{:.1}", c.estimate()))?;
             } else if let Some(c) = window_counter {
                 w(out, format!("{:.1}", c.estimate()))?;
@@ -345,6 +399,18 @@ mod tests {
     fn rejects_bad_numbers() {
         assert!(parse_cli(&args("sample --alpha banana")).is_err());
         assert!(parse_cli(&args("sample --alpha 1 --k -3")).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_eps_at_parse_time() {
+        // Regression: --eps 0 on the sharded path used to saturate the
+        // kappa_B/eps^2 threshold instead of erroring.
+        for bad in ["0", "-0.5", "1.5", "nan"] {
+            let err = parse_cli(&args(&format!("count --alpha 0.5 --eps {bad}")))
+                .expect_err("invalid eps");
+            assert!(err.contains("--eps"), "error: {err}");
+        }
+        assert!(parse_cli(&args("count --alpha 0.5 --eps 1.0")).is_ok());
     }
 
     #[test]
@@ -453,6 +519,61 @@ mod tests {
     fn rejects_heavy_with_window_at_parse_time() {
         let err = parse_cli(&args("heavy --alpha 0.5 --window 5")).expect_err("invalid");
         assert!(err.contains("--window"), "error: {err}");
+    }
+
+    #[test]
+    fn parses_shards_flag() {
+        let cli = parse_cli(&args("count --alpha 0.5 --shards 8")).expect("valid");
+        assert_eq!(cli.shards, 8);
+        let cli = parse_cli(&args("sample --alpha 0.5")).expect("valid");
+        assert_eq!(cli.shards, 1, "default is unsharded");
+    }
+
+    #[test]
+    fn rejects_invalid_shard_combinations_at_parse_time() {
+        let err = parse_cli(&args("count --alpha 0.5 --shards 0")).expect_err("invalid");
+        assert!(err.contains("--shards"), "error: {err}");
+        let err =
+            parse_cli(&args("heavy --alpha 0.5 --shards 4")).expect_err("invalid");
+        assert!(err.contains("--shards"), "error: {err}");
+        let err = parse_cli(&args("count --alpha 0.5 --shards 4 --window 10"))
+            .expect_err("invalid");
+        assert!(err.contains("--window"), "error: {err}");
+    }
+
+    #[test]
+    fn end_to_end_sharded_count_matches_unsharded() {
+        // 12 well-separated entities, 10 observations each: both pipelines
+        // count them exactly.
+        let mut input = String::new();
+        for i in 0..120 {
+            input.push_str(&format!("{}.0\n", (i % 12) * 10));
+        }
+        let run_with = |extra: &str| -> f64 {
+            let cli = parse_cli(&args(&format!("count --alpha 0.5 --eps 1.0{extra}")))
+                .expect("valid");
+            let mut out = Vec::new();
+            run(&cli, Cursor::new(input.clone()), &mut out).expect("runs");
+            String::from_utf8(out).expect("utf8").trim().parse().expect("a number")
+        };
+        assert_eq!(run_with(" --shards 4"), 12.0);
+        assert_eq!(run_with(""), run_with(" --shards 4"));
+    }
+
+    #[test]
+    fn end_to_end_sharded_sample() {
+        let cli =
+            parse_cli(&args("sample --alpha 0.5 --k 3 --shards 4 --seed 2")).expect("valid");
+        let mut input = String::new();
+        for i in 0..100 {
+            input.push_str(&format!("{}.0, 0.0\n", (i % 10) * 10));
+        }
+        let mut out = Vec::new();
+        let n = run(&cli, Cursor::new(input), &mut out).expect("runs");
+        assert_eq!(n, 100);
+        let text = String::from_utf8(out).expect("utf8");
+        assert_eq!(text.lines().count(), 3, "three distinct samples: {text}");
+        assert!(text.contains("seen"), "output: {text}");
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use crate::config::{SamplerConfig, SamplerContext};
 use crate::infinite::{GroupRecord, RobustL0Sampler};
 use rand::rngs::StdRng;
-use rand::seq::IndexedRandom;
+use rand::seq::{IndexedRandom, SliceRandom};
 use rand::SeedableRng;
 use rds_geometry::Point;
 use serde::{Deserialize, Serialize};
@@ -52,10 +52,48 @@ pub struct MergedSummary {
     rng: StdRng,
 }
 
+impl RobustL0Sampler {
+    /// Snapshots the sampler's state as a [`SiteSummary`] (clones both
+    /// candidate sets; the sampler keeps running).
+    pub fn summary(&self) -> SiteSummary {
+        SiteSummary {
+            level: self.level(),
+            acc: self.accept_set().to_vec(),
+            rej: self.reject_set().to_vec(),
+            config_seed: self.context().cfg().seed,
+        }
+    }
+
+    /// Consumes the sampler and extracts its [`SiteSummary`] without
+    /// cloning the candidate sets — the cheap end-of-stream path for
+    /// shards that are done ingesting.
+    pub fn into_summary(self) -> SiteSummary {
+        let level = self.level();
+        let config_seed = self.context().cfg().seed;
+        let (acc, rej) = self.into_sets();
+        SiteSummary {
+            level,
+            acc,
+            rej,
+            config_seed,
+        }
+    }
+}
+
 impl MergedSummary {
     /// Draws a robust ℓ0-sample of the union of the site streams.
     pub fn query(&mut self) -> Option<&Point> {
         self.acc.choose(&mut self.rng).map(|r| &r.rep)
+    }
+
+    /// Draws `min(k, |Sacc|)` *distinct* sampled groups of the union
+    /// (sampling without replacement, the Section 2.3 extension lifted to
+    /// the coordinator).
+    pub fn query_k(&mut self, k: usize) -> Vec<&GroupRecord> {
+        let mut idx: Vec<usize> = (0..self.acc.len()).collect();
+        idx.shuffle(&mut self.rng);
+        idx.truncate(k);
+        idx.into_iter().map(|i| &self.acc[i]).collect()
     }
 
     /// `|Sacc| * R`: the robust F0 estimate for the union.
@@ -124,12 +162,7 @@ impl DistributedSampling {
     /// Snapshots a site sampler's state for shipping to the coordinator
     /// (e.g. via `serde_json`).
     pub fn summarize(site: &RobustL0Sampler) -> SiteSummary {
-        SiteSummary {
-            level: site.level(),
-            acc: site.accept_set().to_vec(),
-            rej: site.reject_set().to_vec(),
-            config_seed: site.context().cfg().seed,
-        }
+        site.summary()
     }
 
     /// Merges site summaries into a coordinator summary over the union
@@ -311,6 +344,51 @@ mod tests {
         b.process(&Point::new(vec![5.0]));
         let mut merged = dist.merge([&a, &b]).expect("same cfg");
         assert_eq!(merged.query(), Some(&Point::new(vec![5.0])));
+    }
+
+    #[test]
+    fn into_summary_agrees_with_cloning_summary() {
+        let dist = DistributedSampling::new(
+            SamplerConfig::new(1, 0.5).with_seed(31).with_expected_len(128),
+        );
+        let mut site = dist.new_site();
+        for i in 0..64u64 {
+            site.process(&grouped_point(i, 16));
+        }
+        let cloned = site.summary();
+        let moved = site.into_summary();
+        assert_eq!(moved.level, cloned.level);
+        assert_eq!(moved.config_seed, cloned.config_seed);
+        assert_eq!(moved.acc.len(), cloned.acc.len());
+        assert_eq!(moved.rej.len(), cloned.rej.len());
+        for (a, b) in moved.acc.iter().zip(cloned.acc.iter()) {
+            assert_eq!(a.rep, b.rep);
+            assert_eq!(a.count, b.count);
+        }
+    }
+
+    #[test]
+    fn merged_query_k_returns_distinct_groups() {
+        let dist = DistributedSampling::new(
+            SamplerConfig::new(1, 0.5).with_seed(32).with_expected_len(256),
+        );
+        let mut a = dist.new_site();
+        let mut b = dist.new_site();
+        for i in 0..128u64 {
+            a.process(&grouped_point(i, 8));
+            b.process(&grouped_point(i, 16));
+        }
+        let mut merged = dist.merge([&a, &b]).expect("same cfg");
+        let picks = merged.query_k(3);
+        assert_eq!(picks.len(), 3);
+        for i in 0..picks.len() {
+            for j in (i + 1)..picks.len() {
+                assert!(!picks[i].rep.within(&picks[j].rep, 0.5));
+            }
+        }
+        // asking for more than |Sacc| returns everything once
+        let n_acc = merged.accept_set().len();
+        assert_eq!(merged.query_k(usize::MAX).len(), n_acc);
     }
 
     #[test]

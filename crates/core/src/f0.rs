@@ -96,6 +96,15 @@ impl RobustF0Estimator {
         }
     }
 
+    /// Feeds a batch of points to every copy (each copy's space metering
+    /// is amortized over the batch, see
+    /// [`RobustL0Sampler::process_batch`]).
+    pub fn process_batch(&mut self, points: &[Point]) {
+        for c in &mut self.copies {
+            c.process_batch(points);
+        }
+    }
+
     /// The median-of-copies estimate `median(|Sacc| * R)`.
     pub fn estimate(&self) -> f64 {
         median(self.copies.iter().map(|c| c.f0_estimate()).collect())
@@ -226,6 +235,21 @@ mod tests {
             f0 >= n_groups as f64 * 0.5 && f0 <= n_groups as f64 * 2.0,
             "estimate {f0} vs truth {n_groups}"
         );
+    }
+
+    #[test]
+    fn batch_processing_matches_per_point_processing() {
+        let cfg = SamplerConfig::new(1, 0.5).with_seed(9).with_expected_len(512);
+        let points: Vec<Point> = (0..512u64).map(|i| grouped_point(i, 64)).collect();
+        let mut one = RobustF0Estimator::new(cfg.clone(), 0.5, 3);
+        for p in &points {
+            one.process(p);
+        }
+        let mut batched = RobustF0Estimator::new(cfg, 0.5, 3);
+        for chunk in points.chunks(100) {
+            batched.process_batch(chunk);
+        }
+        assert_eq!(one.estimate(), batched.estimate());
     }
 
     #[test]

@@ -50,6 +50,45 @@ impl GroupRecord {
     }
 }
 
+/// Tally of [`ProcessOutcome`]s over one [`RobustL0Sampler::process_batch`]
+/// call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Points that became representatives of newly sampled groups.
+    pub accepted: u64,
+    /// Points that became representatives of newly rejected groups.
+    pub rejected: u64,
+    /// Points that belonged to an already-tracked candidate group.
+    pub duplicates: u64,
+    /// Points whose group has no sampled cell nearby.
+    pub ignored: u64,
+}
+
+impl BatchStats {
+    /// Total number of points the batch contained.
+    pub fn total(&self) -> u64 {
+        self.accepted + self.rejected + self.duplicates + self.ignored
+    }
+
+    /// Adds one outcome to the tally.
+    pub fn record(&mut self, outcome: ProcessOutcome) {
+        match outcome {
+            ProcessOutcome::Accepted => self.accepted += 1,
+            ProcessOutcome::Rejected => self.rejected += 1,
+            ProcessOutcome::Duplicate => self.duplicates += 1,
+            ProcessOutcome::Ignored => self.ignored += 1,
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.duplicates += other.duplicates;
+        self.ignored += other.ignored;
+    }
+}
+
 /// What [`RobustL0Sampler::process`] did with a point.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ProcessOutcome {
@@ -139,6 +178,28 @@ impl RobustL0Sampler {
 
     /// Feeds one stream point (the body of Algorithm 1's arrival loop).
     pub fn process(&mut self, p: &Point) -> ProcessOutcome {
+        let outcome = self.process_inner(p);
+        self.space.observe(self.words());
+        outcome
+    }
+
+    /// Feeds a batch of stream points, amortizing the space-metering sweep
+    /// (an `O(|Sacc| + |Srej|)` walk otherwise paid per point) over the
+    /// whole batch. The sampler state after the call is identical to
+    /// calling [`Self::process`] on every point in order; only the peak
+    /// recorded by [`Self::peak_words`] is coarser (observed once per
+    /// batch instead of once per point).
+    pub fn process_batch(&mut self, points: &[Point]) -> BatchStats {
+        let mut stats = BatchStats::default();
+        for p in points {
+            stats.record(self.process_inner(p));
+        }
+        self.space.observe(self.words());
+        stats
+    }
+
+    /// One arrival, without the space-meter sweep.
+    fn process_inner(&mut self, p: &Point) -> ProcessOutcome {
         self.seen += 1;
         let alpha = self.ctx.alpha();
 
@@ -180,7 +241,6 @@ impl RobustL0Sampler {
         while self.acc.len() > self.threshold && self.level < 60 {
             self.double_rate();
         }
-        self.space.observe(self.words());
         outcome
     }
 
@@ -299,6 +359,13 @@ impl RobustL0Sampler {
     pub fn context(&self) -> &SamplerContext {
         &self.ctx
     }
+
+    /// Consumes the sampler, handing out both candidate sets without
+    /// cloning (the cheap path behind
+    /// [`Self::into_summary`](crate::distributed) extraction).
+    pub(crate) fn into_sets(self) -> (Vec<GroupRecord>, Vec<GroupRecord>) {
+        (self.acc, self.rej)
+    }
 }
 
 #[cfg(test)]
@@ -356,6 +423,28 @@ mod tests {
         assert!(s.query().is_some());
     }
 
+    /// The first stream occurrence of each labelled group. Guards the
+    /// empty-labels case: `labels.iter().max()` is `None` on an empty
+    /// stream, which used to panic through `.unwrap()`.
+    fn first_points<'a>(pts: &'a [Point], labels: &[usize]) -> Vec<Option<&'a Point>> {
+        let n_groups = labels.iter().max().map_or(0, |m| m + 1);
+        let mut first_of_group: Vec<Option<&Point>> = vec![None; n_groups];
+        for (p, &g) in pts.iter().zip(labels.iter()) {
+            if first_of_group[g].is_none() {
+                first_of_group[g] = Some(p);
+            }
+        }
+        first_of_group
+    }
+
+    #[test]
+    fn first_points_of_empty_stream_is_empty_not_a_panic() {
+        // Regression: the max-label computation must tolerate an empty
+        // stream instead of unwrapping `None`.
+        let first = first_points(&[], &[]);
+        assert!(first.is_empty());
+    }
+
     #[test]
     fn sample_is_always_a_first_point_of_its_group() {
         let (pts, labels, _n, alpha) = small_dataset(3);
@@ -366,12 +455,7 @@ mod tests {
         feed(&mut s, &pts);
 
         // the representative of each ground-truth group = first occurrence
-        let mut first_of_group: Vec<Option<&Point>> = vec![None; 1 + labels.iter().max().unwrap()];
-        for (p, &g) in pts.iter().zip(labels.iter()) {
-            if first_of_group[g].is_none() {
-                first_of_group[g] = Some(p);
-            }
-        }
+        let first_of_group = first_points(&pts, &labels);
         // Accepted representatives are always the first stream point of
         // their group (a group whose first point was ignored can never be
         // accepted later: its cells are inside adj(first point), none of
@@ -571,5 +655,57 @@ mod tests {
     #[should_panic(expected = "threshold must be at least 1")]
     fn zero_threshold_rejected() {
         let _ = RobustL0Sampler::with_threshold(SamplerConfig::new(2, 1.0), 0);
+    }
+
+    #[test]
+    fn batch_processing_matches_per_point_processing() {
+        // The sharded engine relies on this: feeding a batch must leave
+        // the sampler in exactly the state per-point feeding produces.
+        let (pts, _, _, alpha) = small_dataset(12);
+        let cfg = SamplerConfig::new(4, alpha)
+            .with_seed(47)
+            .with_expected_len(pts.len() as u64)
+            .with_kappa0(1.0); // force doublings mid-batch
+        let mut one = RobustL0Sampler::new(cfg.clone());
+        let mut per_point = BatchStats::default();
+        for p in &pts {
+            per_point.record(one.process(p));
+        }
+        let mut batched = RobustL0Sampler::new(cfg);
+        let mut stats = BatchStats::default();
+        for chunk in pts.chunks(17) {
+            stats.merge(&batched.process_batch(chunk));
+        }
+        assert_eq!(stats, per_point);
+        assert_eq!(stats.total(), pts.len() as u64);
+        assert_eq!(batched.seen(), one.seen());
+        assert_eq!(batched.level(), one.level());
+        assert_eq!(batched.f0_estimate(), one.f0_estimate());
+        assert_eq!(batched.accept_set().len(), one.accept_set().len());
+        for (a, b) in batched.accept_set().iter().zip(one.accept_set()) {
+            assert_eq!(a.rep, b.rep);
+            assert_eq!(a.count, b.count);
+            assert_eq!(a.cell_hash, b.cell_hash);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut s = RobustL0Sampler::new(SamplerConfig::new(2, 0.5));
+        let stats = s.process_batch(&[]);
+        assert_eq!(stats, BatchStats::default());
+        assert_eq!(s.seen(), 0);
+        assert!(s.query().is_none());
+    }
+
+    #[test]
+    fn samplers_are_send() {
+        // The sharded engine moves samplers into worker threads.
+        fn assert_send<T: Send>() {}
+        assert_send::<RobustL0Sampler>();
+        assert_send::<crate::RobustF0Estimator>();
+        assert_send::<crate::SlidingWindowSampler>();
+        assert_send::<crate::SlidingWindowF0>();
+        assert_send::<crate::FixedRateWindowSampler>();
     }
 }

@@ -19,7 +19,7 @@ mod sw_hier;
 pub use config::{SamplerConfig, SamplerContext};
 pub use distributed::{DistributedSampling, MergedSummary, SiteSummary};
 pub use heavy::{HeavyGroup, RobustHeavyHitters};
-pub use infinite::{GroupRecord, ProcessOutcome, RobustL0Sampler};
+pub use infinite::{BatchStats, GroupRecord, ProcessOutcome, RobustL0Sampler};
 pub use sw_fixed::{FixedRateWindowSampler, WindowGroupEntry};
 pub use f0::{RobustF0Estimator, SlidingWindowF0, DEFAULT_KAPPA_B, FM_PHI};
 pub use jl_adapter::JlRobustSampler;

@@ -121,7 +121,11 @@ impl SlidingWindowSampler {
         assert!(w >= 1, "window length must be at least 1");
         let threshold = cfg.threshold();
         let seed = cfg.seed;
-        let top = (64 - (w - 1).leading_zeros()).max(1); // ceil(log2 w), >= 1
+        // ceil(log2 w) clamped to [1, 63]: at w = u64::MAX the unclamped
+        // value is 64, which `level_sampled` (shift by `level`) and the
+        // `2^l` in `f0_estimate` cannot represent — and a rate of 2^-63
+        // is already unreachable for any physical stream.
+        let top = (64 - (w - 1).leading_zeros()).clamp(1, 63);
         let ctx = Arc::new(SamplerContext::new(cfg));
         let levels = (0..=top)
             .map(|l| FixedRateWindowSampler::with_context(ctx.clone(), window, l, seed))
@@ -287,7 +291,7 @@ impl SlidingWindowSampler {
         self.levels
             .iter()
             .enumerate()
-            .map(|(l, lvl)| lvl.accepted_len() as f64 * (1u64 << l) as f64)
+            .map(|(l, lvl)| lvl.accepted_len() as f64 * 2f64.powi(l as i32))
             .sum()
     }
 

@@ -1,0 +1,527 @@
+//! Sharded concurrent ingestion for robust distinct sampling.
+//!
+//! The paper's site summaries merge ([`DistributedSampling`]), so a single
+//! heavy stream can be *sharded*: `N` worker threads each own an ordinary
+//! [`RobustL0Sampler`] built from one shared [`SamplerConfig`] (identical
+//! grid and hash), a router hash-partitions arriving points across the
+//! workers, and queries merge the per-shard [`SiteSummary`]s exactly as a
+//! coordinator would merge remote sites. Correctness is inherited from
+//! the merge: the union of the shard substreams *is* the stream, and the
+//! merge deduplicates groups whose points were split across shards.
+//!
+//! Two mechanisms make the sharded path fast:
+//!
+//! * **Entity-affine routing.** Points are routed by the cell of a coarse
+//!   routing grid (side `4 * side(alpha)`), so the near-duplicates of one
+//!   entity land on one shard almost always. Each shard therefore tracks
+//!   `~F0 / N` candidate groups, and the per-point linear scan over the
+//!   accept/reject sets — Algorithm 1's hot path — shrinks by the shard
+//!   factor. This is a genuine algorithmic speedup, visible even on a
+//!   single hardware thread; on a multicore box the shards additionally
+//!   run in parallel.
+//! * **Batched hand-off.** Points travel to the workers in [`Vec`]
+//!   batches (default [`DEFAULT_BATCH_SIZE`]) and are ingested with
+//!   [`RobustL0Sampler::process_batch`], amortizing channel traffic and
+//!   the space-metering sweep over the batch.
+//!
+//! ```
+//! use rds_core::SamplerConfig;
+//! use rds_engine::ShardedEngine;
+//! use rds_geometry::Point;
+//!
+//! let cfg = SamplerConfig::new(1, 0.5).with_seed(7);
+//! let mut engine = ShardedEngine::new(cfg, 4);
+//! for i in 0..400u64 {
+//!     // 40 entities, 10 near-duplicate observations each
+//!     engine.ingest(Point::new(vec![(i % 40) as f64 * 10.0]));
+//! }
+//! assert!(engine.query().is_some());
+//! let f0 = engine.finish().f0_estimate();
+//! assert!((f0 - 40.0).abs() < 20.0);
+//! ```
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rds_core::{
+    DistributedSampling, MergedSummary, RobustL0Sampler, SamplerConfig, SiteSummary,
+};
+use rds_geometry::{Grid, Point};
+use rds_hashing::CellKeyMixer;
+use std::sync::mpsc::{self, Sender};
+use std::thread::JoinHandle;
+
+/// Default number of points per batch handed to a worker shard.
+pub const DEFAULT_BATCH_SIZE: usize = 256;
+
+/// The routing grid is this factor coarser than the sampler grid, so one
+/// entity (diameter <= alpha) straddles a routing-cell boundary — and thus
+/// may split across shards — only with probability about `dim / 4`.
+const ROUTE_SIDE_FACTOR: f64 = 4.0;
+
+/// Seed tweaks: the router must not reuse the samplers' randomness.
+const ROUTE_GRID_SALT: u64 = 0x5AAD_ED01;
+const ROUTE_MIX_SALT: u64 = 0x5AAD_ED02;
+
+enum Cmd {
+    Batch(Vec<Point>),
+    Snapshot(Sender<SiteSummary>),
+}
+
+struct Shard {
+    tx: Sender<Cmd>,
+    buf: Vec<Point>,
+    routed: u64,
+}
+
+/// Deterministic point-to-shard router: the cell of a coarse random grid,
+/// key-mixed and reduced mod the shard count.
+struct Router {
+    grid: Grid,
+    mixer: CellKeyMixer,
+    scratch: Vec<i64>,
+}
+
+impl Router {
+    fn new(cfg: &SamplerConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ ROUTE_GRID_SALT);
+        Self {
+            grid: Grid::random(cfg.dim, ROUTE_SIDE_FACTOR * cfg.side(), &mut rng),
+            mixer: CellKeyMixer::new(cfg.seed ^ ROUTE_MIX_SALT),
+            scratch: Vec::new(),
+        }
+    }
+
+    fn shard_of(&mut self, p: &Point, n_shards: usize) -> usize {
+        self.grid.cell_of_into(p, &mut self.scratch);
+        (self.mixer.key(&self.scratch) % n_shards as u64) as usize
+    }
+}
+
+/// A sharded ingestion pipeline over the infinite window: hash-partitions
+/// points across `N` worker threads, each owning a [`RobustL0Sampler`]
+/// with the shared configuration, and answers queries by merging the
+/// per-shard summaries.
+///
+/// All query methods implicitly [`flush`](Self::flush) first, so results
+/// always reflect every ingested point. Dropping the engine shuts the
+/// workers down; [`finish`](Self::finish) does the same but hands back
+/// the final [`MergedSummary`] without cloning shard state.
+#[derive(Debug)]
+pub struct ShardedEngine {
+    dist: DistributedSampling,
+    router: Router,
+    shards: Vec<Shard>,
+    handles: Vec<JoinHandle<RobustL0Sampler>>,
+    batch_size: usize,
+    seen: u64,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router").finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("buffered", &self.buf.len())
+            .field("routed", &self.routed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedEngine {
+    /// Spawns `n_shards` worker threads, each with a fresh site sampler of
+    /// the shared configuration (Algorithm 1's default threshold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards == 0`.
+    pub fn new(cfg: SamplerConfig, n_shards: usize) -> Self {
+        let threshold = cfg.threshold();
+        Self::with_threshold(cfg, n_shards, threshold)
+    }
+
+    /// Like [`Self::new`] with an explicit accept-set threshold per shard
+    /// (Section 5's F0 regime uses `kappa_B / eps^2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards == 0` or `threshold == 0`.
+    pub fn with_threshold(cfg: SamplerConfig, n_shards: usize, threshold: usize) -> Self {
+        assert!(n_shards >= 1, "need at least one shard");
+        let dist = DistributedSampling::new(cfg.clone());
+        let router = Router::new(&cfg);
+        let mut shards = Vec::with_capacity(n_shards);
+        let mut handles = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            let (tx, rx) = mpsc::channel::<Cmd>();
+            let site_cfg = cfg.clone();
+            let handle = std::thread::spawn(move || {
+                let mut sampler = RobustL0Sampler::with_threshold(site_cfg, threshold);
+                while let Ok(cmd) = rx.recv() {
+                    match cmd {
+                        Cmd::Batch(batch) => {
+                            sampler.process_batch(&batch);
+                        }
+                        Cmd::Snapshot(reply) => {
+                            // receiver may have given up; ignore
+                            let _ = reply.send(sampler.summary());
+                        }
+                    }
+                }
+                sampler
+            });
+            shards.push(Shard {
+                tx,
+                buf: Vec::with_capacity(DEFAULT_BATCH_SIZE),
+                routed: 0,
+            });
+            handles.push(handle);
+        }
+        Self {
+            dist,
+            router,
+            shards,
+            handles,
+            batch_size: DEFAULT_BATCH_SIZE,
+            seen: 0,
+        }
+    }
+
+    /// Sets the number of points buffered per shard before a batch is
+    /// shipped to the worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size >= 1, "batch size must be at least 1");
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Routes one point to its shard, shipping that shard's buffer when it
+    /// reaches the batch size.
+    pub fn ingest(&mut self, p: Point) {
+        self.seen += 1;
+        let s = self.router.shard_of(&p, self.shards.len());
+        let shard = &mut self.shards[s];
+        shard.routed += 1;
+        shard.buf.push(p);
+        if shard.buf.len() >= self.batch_size {
+            let batch = std::mem::replace(&mut shard.buf, Vec::with_capacity(self.batch_size));
+            shard
+                .tx
+                .send(Cmd::Batch(batch))
+                .expect("shard worker terminated");
+        }
+    }
+
+    /// Ingests every point of an iterator of points (to feed pre-chunked
+    /// input from [`rds_stream::batched`], flatten it first:
+    /// `engine.ingest_batch(batches.flatten())`).
+    pub fn ingest_batch<I>(&mut self, points: I)
+    where
+        I: IntoIterator<Item = Point>,
+    {
+        for p in points {
+            self.ingest(p);
+        }
+    }
+
+    /// Ships every partially filled shard buffer to its worker.
+    pub fn flush(&mut self) {
+        for shard in &mut self.shards {
+            if !shard.buf.is_empty() {
+                let batch =
+                    std::mem::replace(&mut shard.buf, Vec::with_capacity(self.batch_size));
+                shard
+                    .tx
+                    .send(Cmd::Batch(batch))
+                    .expect("shard worker terminated");
+            }
+        }
+    }
+
+    /// Flushes, then snapshots every shard's [`SiteSummary`] (the workers
+    /// keep running and can ingest more afterwards).
+    pub fn summaries(&mut self) -> Vec<SiteSummary> {
+        self.flush();
+        let mut pending = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            shard
+                .tx
+                .send(Cmd::Snapshot(reply_tx))
+                .expect("shard worker terminated");
+            pending.push(reply_rx);
+        }
+        pending
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard worker terminated"))
+            .collect()
+    }
+
+    /// Flushes and merges the current shard states into a coordinator
+    /// summary over the whole stream so far.
+    pub fn merged(&mut self) -> MergedSummary {
+        let summaries = self.summaries();
+        self.dist
+            .merge_summaries(&summaries)
+            .expect("shards share one configuration by construction")
+    }
+
+    /// The merged robust F0 estimate (`|Sacc| * R` over the union).
+    pub fn f0_estimate(&mut self) -> f64 {
+        self.merged().f0_estimate()
+    }
+
+    /// Draws one robust ℓ0-sample over the whole stream: a uniformly
+    /// random sampled entity's representative. `None` iff nothing was
+    /// ingested.
+    pub fn query(&mut self) -> Option<Point> {
+        self.merged().query().cloned()
+    }
+
+    /// Draws up to `k` distinct sampled entities.
+    pub fn query_k(&mut self, k: usize) -> Vec<Point> {
+        self.merged()
+            .query_k(k)
+            .into_iter()
+            .map(|rec| rec.rep.clone())
+            .collect()
+    }
+
+    /// Shuts the workers down and merges their final states, moving (not
+    /// cloning) every shard's candidate sets into the summary.
+    pub fn finish(mut self) -> MergedSummary {
+        self.flush();
+        // Dropping the senders ends each worker's receive loop.
+        let handles = std::mem::take(&mut self.handles);
+        self.shards.clear();
+        let summaries: Vec<SiteSummary> = handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked").into_summary())
+            .collect();
+        self.dist
+            .merge_summaries(&summaries)
+            .expect("shards share one configuration by construction")
+    }
+
+    /// Number of points ingested so far (including still-buffered ones).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Number of worker shards.
+    pub fn n_shards(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// The batch size in force.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// How many points were routed to each shard — diagnostic view of the
+    /// partition balance.
+    pub fn shard_loads(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.routed).collect()
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        // Close the channels so the workers exit their loops, then wait
+        // for them; buffered points are discarded (call `finish` to keep
+        // them).
+        self.shards.clear();
+        for h in std::mem::take(&mut self.handles) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grouped_point(i: u64, n_groups: u64) -> Point {
+        Point::new(vec![
+            (i % n_groups) as f64 * 10.0 + 0.01 * ((i / n_groups) % 5) as f64,
+        ])
+    }
+
+    fn cfg(seed: u64) -> SamplerConfig {
+        SamplerConfig::new(1, 0.5)
+            .with_seed(seed)
+            .with_expected_len(2048)
+    }
+
+    #[test]
+    fn counts_groups_exactly_when_nothing_subsamples() {
+        let mut engine = ShardedEngine::new(cfg(1), 4).with_batch_size(32);
+        for i in 0..512u64 {
+            engine.ingest(grouped_point(i, 16));
+        }
+        assert_eq!(engine.seen(), 512);
+        assert_eq!(engine.f0_estimate(), 16.0);
+    }
+
+    #[test]
+    fn matches_single_stream_estimator_on_the_same_seeded_stream() {
+        // The acceptance contract: sharded merged F0 == single-stream F0
+        // within the configured tolerance, on one seeded stream.
+        let n_groups = 300u64;
+        let eps = 0.5f64;
+        let threshold = (16.0 / (eps * eps)).ceil() as usize;
+        let base = cfg(2).with_expected_len(6000);
+        let mut single = RobustL0Sampler::with_threshold(base.clone(), threshold);
+        let mut engine = ShardedEngine::with_threshold(base, 8, threshold);
+        for i in 0..6000u64 {
+            let p = grouped_point(i, n_groups);
+            single.process(&p);
+            engine.ingest(p);
+        }
+        let merged = engine.finish();
+        let sharded_f0 = merged.f0_estimate();
+        let single_f0 = single.f0_estimate();
+        assert!(
+            (sharded_f0 - single_f0).abs() <= eps * single_f0,
+            "sharded {sharded_f0} vs single {single_f0} beyond eps {eps}"
+        );
+        assert!(
+            (sharded_f0 - n_groups as f64).abs() <= eps * n_groups as f64,
+            "sharded {sharded_f0} vs truth {n_groups} beyond eps {eps}"
+        );
+    }
+
+    #[test]
+    fn sharded_ingestion_is_deterministic() {
+        let run = || {
+            let mut engine = ShardedEngine::new(cfg(3), 3).with_batch_size(7);
+            for i in 0..600u64 {
+                engine.ingest(grouped_point(i, 50));
+            }
+            (engine.shard_loads(), engine.finish().f0_estimate())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn mid_stream_queries_do_not_disturb_ingestion() {
+        let mut engine = ShardedEngine::new(cfg(4), 2).with_batch_size(16);
+        for i in 0..128u64 {
+            engine.ingest(grouped_point(i, 8));
+        }
+        let early = engine.f0_estimate();
+        assert_eq!(early, 8.0);
+        for i in 128..1024u64 {
+            engine.ingest(grouped_point(i, 32));
+        }
+        assert_eq!(engine.f0_estimate(), 32.0);
+        assert_eq!(engine.seen(), 1024);
+    }
+
+    #[test]
+    fn query_returns_an_ingested_entity() {
+        let mut engine = ShardedEngine::new(cfg(5), 4);
+        assert!(engine.query().is_none());
+        for i in 0..64u64 {
+            engine.ingest(grouped_point(i, 4));
+        }
+        let q = engine.query().expect("non-empty");
+        let entity = (q.get(0) / 10.0).round();
+        assert!((0.0..4.0).contains(&entity), "sample {q:?} not an entity");
+    }
+
+    #[test]
+    fn query_k_returns_distinct_entities() {
+        let mut engine = ShardedEngine::new(cfg(6), 4);
+        for i in 0..256u64 {
+            engine.ingest(grouped_point(i, 16));
+        }
+        let picks = engine.query_k(5);
+        assert_eq!(picks.len(), 5);
+        for i in 0..picks.len() {
+            for j in (i + 1)..picks.len() {
+                assert!(!picks[i].within(&picks[j], 0.5), "duplicate entities");
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_degenerates_to_a_single_site() {
+        // With one shard the engine is a plain sampler behind a channel.
+        let mut single = RobustL0Sampler::new(cfg(7));
+        let mut engine = ShardedEngine::new(cfg(7), 1).with_batch_size(10);
+        for i in 0..300u64 {
+            let p = grouped_point(i, 24);
+            single.process(&p);
+            engine.ingest(p);
+        }
+        let merged = engine.finish();
+        assert_eq!(merged.f0_estimate(), single.f0_estimate());
+        assert_eq!(merged.accept_set().len(), single.accept_set().len());
+    }
+
+    #[test]
+    fn routing_is_entity_affine() {
+        // Near-duplicates of one entity overwhelmingly route to one shard:
+        // the load of the busiest shard per entity must be most of it.
+        let mut engine = ShardedEngine::new(cfg(8), 4);
+        let mut split_entities = 0u32;
+        let n_entities = 64u64;
+        for e in 0..n_entities {
+            let mut shards_hit = std::collections::BTreeSet::new();
+            for j in 0..8u64 {
+                let p = Point::new(vec![e as f64 * 10.0 + 0.01 * (j % 5) as f64]);
+                shards_hit.insert(engine.router.shard_of(&p, 4));
+            }
+            if shards_hit.len() > 1 {
+                split_entities += 1;
+            }
+        }
+        // side = 4*alpha = 2, jitter 0.04 << 2: splits are rare
+        assert!(
+            split_entities <= n_entities as u32 / 4,
+            "{split_entities}/{n_entities} entities split across shards"
+        );
+    }
+
+    #[test]
+    fn uniformity_over_the_union_of_shards() {
+        let n_groups = 16usize;
+        let mut hist = rds_metrics::SampleHistogram::new(n_groups);
+        for run in 0..300u64 {
+            let mut engine =
+                ShardedEngine::new(cfg(run * 131 + 11), 4).with_batch_size(32);
+            for i in 0..256u64 {
+                engine.ingest(grouped_point(i, n_groups as u64));
+            }
+            let q = engine.query().expect("non-empty");
+            hist.record((q.get(0) / 10.0).round() as usize);
+        }
+        assert!(
+            hist.std_dev_nm() < 0.5,
+            "sharded sampling biased: {:?}",
+            hist.counts()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardedEngine::new(cfg(9), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be at least 1")]
+    fn zero_batch_size_rejected() {
+        let _ = ShardedEngine::new(cfg(10), 1).with_batch_size(0);
+    }
+}

@@ -145,6 +145,62 @@ where
         .collect()
 }
 
+/// Iterator adapter yielding the underlying items in `Vec` batches of at
+/// most `size` elements (the last batch may be shorter). Built by
+/// [`batched`]; the unit ingestion hot paths (`rds-engine`,
+/// `process_batch`) consume streams this way to amortize per-item
+/// overhead.
+#[derive(Clone, Debug)]
+pub struct Batched<I> {
+    inner: I,
+    size: usize,
+}
+
+impl<I: Iterator> Iterator for Batched<I> {
+    type Item = Vec<I::Item>;
+
+    fn next(&mut self) -> Option<Vec<I::Item>> {
+        let mut batch = Vec::with_capacity(self.size);
+        for item in self.inner.by_ref() {
+            batch.push(item);
+            if batch.len() == self.size {
+                break;
+            }
+        }
+        if batch.is_empty() {
+            None
+        } else {
+            Some(batch)
+        }
+    }
+}
+
+/// Chunks any stream of items (points, [`StreamItem`]s, ...) into batches
+/// of at most `size` elements, preserving order.
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rds_stream::batched;
+///
+/// let batches: Vec<Vec<u64>> = batched(0..5u64, 2).collect();
+/// assert_eq!(batches, vec![vec![0, 1], vec![2, 3], vec![4]]);
+/// ```
+pub fn batched<I>(items: I, size: usize) -> Batched<I::IntoIter>
+where
+    I: IntoIterator,
+{
+    assert!(size >= 1, "batch size must be at least 1");
+    Batched {
+        inner: items.into_iter(),
+        size,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +281,40 @@ mod tests {
     fn window_len_reports_parameter() {
         assert_eq!(Window::Sequence(9).len(), Some(9));
         assert_eq!(Window::Time(4).len(), Some(4));
+    }
+
+    #[test]
+    fn batched_preserves_order_and_sizes() {
+        let items = enumerate_stream((0..10).map(|i| Point::new(vec![i as f64])));
+        let batches: Vec<Vec<StreamItem>> = batched(items, 4).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 4);
+        assert_eq!(batches[2].len(), 2);
+        let mut seq = 0u64;
+        for batch in &batches {
+            for item in batch {
+                assert_eq!(item.stamp.seq, seq);
+                seq += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn batched_exact_multiple_has_no_empty_tail() {
+        let batches: Vec<Vec<u32>> = batched(0..6u32, 3).collect();
+        assert_eq!(batches, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+        assert_eq!(batched(std::iter::empty::<u32>(), 3).count(), 0);
+    }
+
+    #[test]
+    fn batch_of_one_is_per_item_iteration() {
+        let batches: Vec<Vec<u32>> = batched(0..3u32, 1).collect();
+        assert_eq!(batches, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be at least 1")]
+    fn zero_batch_size_rejected() {
+        let _ = batched(0..3u32, 0);
     }
 }

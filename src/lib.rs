@@ -42,6 +42,7 @@
 pub use rds_baselines as baselines;
 pub use rds_core as core;
 pub use rds_datasets as datasets;
+pub use rds_engine as engine;
 pub use rds_geometry as geometry;
 pub use rds_hashing as hashing;
 pub use rds_metrics as metrics;
@@ -53,6 +54,7 @@ pub mod prelude {
         RobustF0Estimator, RobustHeavyHitters, RobustL0Sampler, SamplerConfig,
         SlidingWindowF0, SlidingWindowSampler,
     };
+    pub use rds_engine::ShardedEngine;
     pub use rds_geometry::{Grid, Point};
     pub use rds_stream::{Stamp, StreamItem, Window};
 }
