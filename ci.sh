@@ -13,14 +13,21 @@ cargo test -q --workspace
 echo "==> cargo clippy -- -D warnings (all targets)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (warnings denied; public surface stays documented)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+    -p robust-distinct-sampling -p rds-core -p rds-engine -p rds-cli \
+    -p rds-geometry -p rds-hashing -p rds-stream -p rds-metrics \
+    -p rds-datasets -p rds-baselines
+
 echo "==> benches compile"
 cargo bench -p rds-bench --no-run
 
 echo "==> sharded-engine throughput smoke bench"
 RDS_BENCH_FAST=1 cargo bench -p rds-bench --bench engine
 
-echo "==> merge/uniformity/window-boundary test suite"
-cargo test -q --test distributed_props --test uniformity --test sliding_window_bounds
+echo "==> merge/uniformity/window-boundary/conformance test suite"
+cargo test -q --test distributed_props --test uniformity --test sliding_window_bounds \
+    --test trait_conformance
 cargo test -q -p rds-engine
 
 echo "==> examples run"

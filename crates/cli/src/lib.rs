@@ -1,16 +1,20 @@
 //! Library half of the `rds` command-line tool: argument parsing, CSV
 //! point decoding and the command runners, separated from `main` so they
 //! are unit-testable.
+//!
+//! `sample` and `count` run on the [`Rds`] facade of the umbrella crate,
+//! so every (window, shards) combination — including sharded sliding
+//! windows — goes through one code path; `heavy` keeps its dedicated
+//! structure (heavy hitters are not a sampling problem). Configuration
+//! errors surface as typed [`RdsError`]s and exit with code 2; I/O and
+//! data errors exit with code 1.
 
 #![warn(missing_docs)]
 
-use rds_core::{
-    RobustF0Estimator, RobustHeavyHitters, RobustL0Sampler, SamplerConfig, SlidingWindowF0,
-    SlidingWindowSampler, DEFAULT_KAPPA_B,
-};
-use rds_engine::ShardedEngine;
+use rds_core::{RdsError, RobustHeavyHitters};
 use rds_geometry::Point;
 use rds_stream::{Stamp, StreamItem, Window};
+use robust_distinct_sampling::Rds;
 use std::io::BufRead;
 
 /// Which command to run.
@@ -47,16 +51,52 @@ pub struct Cli {
     pub seed: u64,
     /// Expected stream length (tunes thresholds; an estimate is fine).
     pub expected_len: u64,
-    /// Worker shards for the infinite-window `sample`/`count` pipeline
-    /// (`--shards N`; 1 = the plain single-threaded samplers).
+    /// Worker shards for the `sample`/`count` pipeline (`--shards N`;
+    /// works with and without `--window`; 1 = in-process sampler).
     pub shards: usize,
+}
+
+/// How a run failed, split by exit code: usage and configuration errors
+/// exit 2, I/O and data errors exit 1.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CliError {
+    /// Malformed command line (unknown flag, missing value, out-of-range
+    /// parameter caught at parse time).
+    Usage(String),
+    /// The sampler configuration was rejected by the library's typed
+    /// validation ([`RdsError`]) — one line on stderr, never a panic
+    /// backtrace.
+    Config(RdsError),
+    /// I/O failure or malformed stream data.
+    Runtime(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) | CliError::Runtime(msg) => write!(f, "{msg}"),
+            CliError::Config(e) => write!(f, "invalid configuration: {e}"),
+        }
+    }
+}
+
+impl CliError {
+    /// The process exit code this error class maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) | CliError::Config(_) => 2,
+            CliError::Runtime(_) => 1,
+        }
+    }
 }
 
 /// Parses the command line. `args` excludes the program name.
 ///
 /// # Errors
 ///
-/// Returns a human-readable message on malformed input.
+/// Returns a human-readable message on malformed input. Parameter
+/// combinations the parser cannot judge (e.g. a NaN `--alpha`) are left
+/// to the facade's [`RdsError`] validation at run time.
 pub fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut it = args.iter().peekable();
     let cmd = it.next().ok_or_else(usage)?;
@@ -117,15 +157,8 @@ pub fn parse_cli(args: &[String]) -> Result<Cli, String> {
     if shards == 0 {
         return Err("--shards must be at least 1".into());
     }
-    if shards > 1 {
-        if matches!(command, Command::Heavy { .. }) {
-            return Err("heavy does not support --shards".into());
-        }
-        if window.is_some() {
-            return Err(
-                "--shards applies to the infinite window only (drop --window)".into(),
-            );
-        }
+    if shards > 1 && matches!(command, Command::Heavy { .. }) {
+        return Err("heavy does not support --shards".into());
     }
     Ok(Cli {
         command,
@@ -147,6 +180,7 @@ pub fn usage() -> String {
      \n\
      Points arrive on stdin, one per line, comma- or whitespace-separated\n\
      coordinates. With --time, the LAST column is the item's timestamp.\n\
+     Invalid flags or parameter combinations exit with code 2.\n\
      \n\
      commands:\n\
      \x20 sample   print a uniform random entity (representative point)\n\
@@ -155,16 +189,15 @@ pub fn usage() -> String {
      options:\n\
      \x20 --alpha A          near-duplicate distance threshold (required)\n\
      \x20 --k N              number of distinct samples (sample; default 1)\n\
-     \x20 --eps E            accuracy target (count; default 0.3)\n\
+     \x20 --eps E            accuracy target (count; default 0.3; one\n\
+     \x20                    threshold-tuned estimate, sharded or not)\n\
      \x20 --phi P            frequency threshold (heavy; default 0.1)\n\
      \x20 --window W         restrict to the last W items\n\
      \x20 --time             window is time-based (last column = timestamp)\n\
      \x20 --seed S           PRNG seed (default 1)\n\
      \x20 --expected-len M   expected stream length (default 2^20)\n\
      \x20 --shards N         shard ingestion across N workers\n\
-     \x20                    (sample/count, infinite window; default 1;\n\
-     \x20                    sharded count trades the median-of-copies\n\
-     \x20                    boost for throughput: one merged estimate)\n"
+     \x20                    (sample/count, any window model; default 1)\n"
         .to_string()
 }
 
@@ -201,143 +234,91 @@ pub fn parse_line(line: &str, with_time: bool) -> Result<Option<(Point, u64)>, S
     Ok(Some((Point::new(coords?), time)))
 }
 
+/// Builds the facade handle for `sample`/`count` once the stream
+/// dimension is known.
+fn build_rds(cli: &Cli, dim: usize) -> Result<Rds, RdsError> {
+    let mut b = Rds::builder()
+        .dim(dim)
+        .alpha(cli.alpha)
+        .seed(cli.seed)
+        .expected_len(cli.expected_len)
+        .window(cli.window.unwrap_or(Window::Infinite))
+        .shards(cli.shards);
+    match &cli.command {
+        Command::Sample { k } => b = b.k((*k).max(1)),
+        Command::Count { eps } => b = b.count_accuracy(*eps),
+        Command::Heavy { .. } => unreachable!("heavy does not use the facade"),
+    }
+    b.build()
+}
+
 /// Runs the tool against a reader, writing human-readable results to a
 /// writer. Returns the number of points processed.
 ///
 /// # Errors
 ///
-/// Propagates I/O and parse failures as strings.
+/// [`CliError::Config`] for rejected sampler parameters (exit 2),
+/// [`CliError::Runtime`] for I/O and data failures (exit 1).
 pub fn run<R: BufRead, W: std::io::Write>(
     cli: &Cli,
     input: R,
     out: &mut W,
-) -> Result<u64, String> {
+) -> Result<u64, CliError> {
     let with_time = matches!(cli.window, Some(Window::Time(_)));
     let mut dim: Option<usize> = None;
     let mut n = 0u64;
 
     // lazily constructed once the dimension is known
-    let mut sampler: Option<RobustL0Sampler> = None;
-    let mut window_sampler: Option<SlidingWindowSampler> = None;
-    let mut counter: Option<RobustF0Estimator> = None;
-    let mut window_counter: Option<SlidingWindowF0> = None;
+    let mut rds: Option<Rds> = None;
     let mut heavy: Option<RobustHeavyHitters> = None;
-    let mut engine: Option<ShardedEngine> = None;
 
     for line in input.lines() {
-        let line = line.map_err(|e| e.to_string())?;
-        let Some((point, time)) = parse_line(&line, with_time)? else {
+        let line = line.map_err(|e| CliError::Runtime(e.to_string()))?;
+        let Some((point, time)) = parse_line(&line, with_time).map_err(CliError::Runtime)?
+        else {
             continue;
         };
         let d = *dim.get_or_insert(point.dim());
         if point.dim() != d {
-            return Err(format!(
+            return Err(CliError::Runtime(format!(
                 "dimension changed from {d} to {} at line {n}",
                 point.dim()
-            ));
+            )));
         }
-        if sampler.is_none()
-            && window_sampler.is_none()
-            && counter.is_none()
-            && window_counter.is_none()
-            && heavy.is_none()
-            && engine.is_none()
-        {
-            let cfg = SamplerConfig::new(d, cli.alpha)
-                .with_seed(cli.seed)
-                .with_expected_len(cli.expected_len);
-            match (&cli.command, cli.window) {
-                // parse_cli guarantees shards > 1 only for infinite-window
-                // sample/count.
-                (Command::Sample { k }, None) if cli.shards > 1 => {
-                    engine = Some(ShardedEngine::new(cfg.with_k(*k), cli.shards));
-                }
-                (Command::Count { eps }, None) if cli.shards > 1 => {
-                    let threshold = (DEFAULT_KAPPA_B / (eps * eps)).ceil() as usize;
-                    engine = Some(ShardedEngine::with_threshold(
-                        cfg,
-                        cli.shards,
-                        threshold.max(1),
-                    ));
-                }
-                (Command::Sample { k }, None) => {
-                    sampler = Some(RobustL0Sampler::new(cfg.with_k(*k)));
-                }
-                (Command::Sample { k }, Some(w)) => {
-                    window_sampler = Some(SlidingWindowSampler::new(cfg.with_k(*k), w));
-                }
-                (Command::Count { eps }, None) => {
-                    counter = Some(RobustF0Estimator::new(cfg, *eps, 5));
-                }
-                // `count --window`: estimate over the live window, not the
-                // whole stream (Section 5's sliding-window F0).
-                (Command::Count { eps }, Some(w)) => {
-                    window_counter = Some(SlidingWindowF0::new(cfg, w, *eps));
-                }
-                // parse_cli rejects heavy + --window before streaming starts.
-                (Command::Heavy { phi }, _) => {
-                    heavy = Some(RobustHeavyHitters::new(*phi, cli.alpha));
-                }
+        if rds.is_none() && heavy.is_none() {
+            if let Command::Heavy { phi } = &cli.command {
+                heavy = Some(RobustHeavyHitters::new(*phi, cli.alpha));
+            } else {
+                rds = Some(build_rds(cli, d).map_err(CliError::Config)?);
             }
         }
-        let stamp = if with_time {
-            Stamp::new(n, time)
-        } else {
-            Stamp::at(n)
-        };
-        if let Some(s) = sampler.as_mut() {
-            s.process(&point);
-        }
-        if let Some(s) = window_sampler.as_mut() {
-            s.process(&StreamItem::new(point.clone(), stamp));
-        }
-        if let Some(c) = counter.as_mut() {
-            c.process(&point);
-        }
-        if let Some(c) = window_counter.as_mut() {
-            c.process(&StreamItem::new(point.clone(), stamp));
-        }
-        if let Some(h) = heavy.as_mut() {
+        if let Some(r) = rds.as_mut() {
+            let stamp = if with_time {
+                Stamp::new(n, time)
+            } else {
+                Stamp::at(n)
+            };
+            r.process_item(StreamItem::new(point, stamp));
+        } else if let Some(h) = heavy.as_mut() {
             h.process(&point);
-        }
-        if let Some(e) = engine.as_mut() {
-            e.ingest(point);
         }
         n += 1;
     }
 
-    let w = |out: &mut W, s: String| writeln!(out, "{s}").map_err(|e| e.to_string());
-    let mut merged = engine.map(ShardedEngine::finish);
+    let w = |out: &mut W, s: String| {
+        writeln!(out, "{s}").map_err(|e| CliError::Runtime(e.to_string()))
+    };
     match &cli.command {
         Command::Sample { k } => {
-            if let Some(m) = merged.as_mut() {
-                for rec in m.query_k(*k) {
+            if let Some(mut r) = rds {
+                for rec in r.query_k(*k) {
                     w(out, format!("{:?} (seen {} times)", rec.rep.coords(), rec.count))?;
-                }
-            } else if let Some(mut s) = sampler {
-                for rec in s.query_k(*k) {
-                    w(out, format!("{:?} (seen {} times)", rec.rep.coords(), rec.count))?;
-                }
-            } else if let Some(mut s) = window_sampler {
-                for g in s.query_k(*k) {
-                    w(
-                        out,
-                        format!(
-                            "{:?} (seen {} times in window)",
-                            g.latest.coords(),
-                            g.count
-                        ),
-                    )?;
                 }
             }
         }
         Command::Count { .. } => {
-            if let Some(m) = merged.as_ref() {
-                w(out, format!("{:.1}", m.f0_estimate()))?;
-            } else if let Some(c) = counter {
-                w(out, format!("{:.1}", c.estimate()))?;
-            } else if let Some(c) = window_counter {
-                w(out, format!("{:.1}", c.estimate()))?;
+            if let Some(mut r) = rds {
+                w(out, format!("{:.1}", r.f0_estimate()))?;
             }
         }
         Command::Heavy { .. } => {
@@ -411,6 +392,18 @@ mod tests {
             assert!(err.contains("--eps"), "error: {err}");
         }
         assert!(parse_cli(&args("count --alpha 0.5 --eps 1.0")).is_ok());
+    }
+
+    #[test]
+    fn nan_alpha_is_a_typed_config_error_not_a_panic() {
+        // "nan" parses as f64 and slips past the sign check; the facade's
+        // typed validation must catch it — one line, exit code 2.
+        let cli = parse_cli(&args("sample --alpha nan")).expect("parses");
+        let mut out = Vec::new();
+        let err = run(&cli, Cursor::new("1,2\n"), &mut out).expect_err("invalid alpha");
+        assert!(matches!(err, CliError::Config(RdsError::InvalidAlpha { .. })));
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("alpha"), "message: {err}");
     }
 
     #[test]
@@ -536,9 +529,6 @@ mod tests {
         let err =
             parse_cli(&args("heavy --alpha 0.5 --shards 4")).expect_err("invalid");
         assert!(err.contains("--shards"), "error: {err}");
-        let err = parse_cli(&args("count --alpha 0.5 --shards 4 --window 10"))
-            .expect_err("invalid");
-        assert!(err.contains("--window"), "error: {err}");
     }
 
     #[test]
@@ -577,6 +567,27 @@ mod tests {
     }
 
     #[test]
+    fn end_to_end_sharded_windowed_count() {
+        // The combination the old CLI rejected: shards + window. 16 groups
+        // cycle, then only group 0 streams for a full window — the sharded
+        // windowed count must slide down to 1.
+        let cli = parse_cli(&args("count --alpha 0.5 --eps 1.0 --window 32 --shards 3"))
+            .expect("valid");
+        let mut input = String::new();
+        for i in 0..256 {
+            input.push_str(&format!("{}.0\n", (i % 16) * 10));
+        }
+        for _ in 0..64 {
+            input.push_str("0.0\n");
+        }
+        let mut out = Vec::new();
+        run(&cli, Cursor::new(input), &mut out).expect("runs");
+        let text = String::from_utf8(out).expect("utf8");
+        let est: f64 = text.trim().parse().expect("a number");
+        assert_eq!(est, 1.0, "sharded windowed estimate: {est}");
+    }
+
+    #[test]
     fn end_to_end_windowed_sample() {
         let cli = parse_cli(&args("sample --alpha 0.5 --window 10")).expect("valid");
         let mut input = String::new();
@@ -593,6 +604,7 @@ mod tests {
         let cli = parse_cli(&args("sample --alpha 0.5")).expect("valid");
         let input = "1,2\n1,2,3\n";
         let mut out = Vec::new();
-        assert!(run(&cli, Cursor::new(input), &mut out).is_err());
+        let err = run(&cli, Cursor::new(input), &mut out).expect_err("invalid");
+        assert_eq!(err.exit_code(), 1, "data errors exit 1, not 2");
     }
 }

@@ -3,6 +3,11 @@
 //! See `rds_cli::usage` (printed on `--help` / bad arguments) for the
 //! interface; the logic lives in the `rds_cli` library so it is
 //! unit-tested.
+//!
+//! Exit codes: 0 success, 1 I/O or data failure, 2 usage or configuration
+//! error (typed `RdsError`s print as one line on stderr — no panic
+//! backtraces on bad `--alpha`/`--eps`/`--shards`/`--window`
+//! combinations).
 
 use std::io::BufReader;
 use std::process::ExitCode;
@@ -16,8 +21,9 @@ fn main() -> ExitCode {
     let cli = match rds_cli::parse_cli(&args) {
         Ok(cli) => cli,
         Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
+            let err = rds_cli::CliError::Usage(e);
+            eprintln!("{err}");
+            return ExitCode::from(err.exit_code());
         }
     };
     let stdin = std::io::stdin();
@@ -29,7 +35,7 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("{e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -1,9 +1,11 @@
 //! Sampler configuration and the shared grid/hash context.
 
+use crate::error::RdsError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rds_geometry::{for_each_adjacent_cell, Grid, Point};
 use rds_hashing::{level_sampled, CellHasher, KWiseHash};
+use serde::{Deserialize, Serialize};
 
 /// Configuration shared by all samplers in this crate.
 ///
@@ -13,17 +15,27 @@ use rds_hashing::{level_sampled, CellHasher, KWiseHash};
 /// (Algorithm 1 line 10 / Algorithm 3 line 10 and the k-sampling extension
 /// of Section 2.3), and `Θ(log m)`-wise independent hashing.
 ///
+/// Construct it fallibly through [`SamplerConfig::builder`] (validation
+/// surfaces as [`RdsError`]), or through the legacy panicking
+/// [`SamplerConfig::new`] + `with_*` chain, kept as thin wrappers over the
+/// builder for one release.
+///
 /// # Examples
 ///
 /// ```
 /// use rds_core::SamplerConfig;
 ///
-/// let cfg = SamplerConfig::new(5, 0.05)
-///     .with_seed(42)
-///     .with_expected_len(100_000);
+/// let cfg = SamplerConfig::builder(5, 0.05)
+///     .seed(42)
+///     .expected_len(100_000)
+///     .build()
+///     .expect("valid parameters");
 /// assert!(cfg.threshold() > 0);
+///
+/// // invalid parameters are an Err, not a panic
+/// assert!(SamplerConfig::builder(0, 1.0).build().is_err());
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SamplerConfig {
     /// Ambient dimension `d`.
     pub dim: usize,
@@ -50,27 +62,54 @@ pub struct SamplerConfig {
 }
 
 impl SamplerConfig {
+    /// Starts a fallible builder — the recommended construction path.
+    /// Parameter validation surfaces from [`SamplerConfigBuilder::build`]
+    /// as [`RdsError`] instead of a panic.
+    pub fn builder(dim: usize, alpha: f64) -> SamplerConfigBuilder {
+        SamplerConfigBuilder::new(dim, alpha)
+    }
+
     /// Creates a configuration with the paper's default parameters.
+    ///
+    /// Thin panicking wrapper over [`SamplerConfig::builder`], kept for
+    /// one release; prefer the builder in new code.
     ///
     /// # Panics
     ///
     /// Panics if `dim == 0` or `alpha` is not strictly positive and finite.
     pub fn new(dim: usize, alpha: f64) -> Self {
-        assert!(dim > 0, "dimension must be positive");
-        assert!(
-            alpha.is_finite() && alpha > 0.0,
-            "alpha must be positive and finite"
-        );
-        Self {
-            dim,
-            alpha,
-            side_factor: 1.0,
-            kappa0: 4.0,
-            k: 1,
-            expected_len: 1 << 20,
-            independence: 0,
-            seed: 0xC0FF_EE00,
+        Self::builder(dim, alpha)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checks every parameter; the invariant behind the `assert!`-free
+    /// happy path of the samplers.
+    ///
+    /// # Errors
+    ///
+    /// The first violated constraint, as a typed [`RdsError`].
+    pub fn validate(&self) -> Result<(), RdsError> {
+        if self.dim == 0 {
+            return Err(RdsError::InvalidDimension { dim: self.dim });
         }
+        if !(self.alpha.is_finite() && self.alpha > 0.0) {
+            return Err(RdsError::InvalidAlpha { alpha: self.alpha });
+        }
+        if !(self.kappa0.is_finite() && self.kappa0 > 0.0) {
+            return Err(RdsError::InvalidKappa0 {
+                kappa0: self.kappa0,
+            });
+        }
+        if self.k == 0 {
+            return Err(RdsError::InvalidK);
+        }
+        if !(self.side_factor.is_finite() && self.side_factor >= 1.0) {
+            return Err(RdsError::InvalidSideFactor {
+                side_factor: self.side_factor,
+            });
+        }
+        Ok(())
     }
 
     /// Sets the PRNG seed.
@@ -85,26 +124,29 @@ impl SamplerConfig {
         self
     }
 
-    /// Sets the threshold constant `kappa_0`.
+    /// Sets the threshold constant `kappa_0` (panicking wrapper; prefer
+    /// [`SamplerConfigBuilder::kappa0`]).
     pub fn with_kappa0(mut self, kappa0: f64) -> Self {
-        assert!(kappa0 > 0.0, "kappa0 must be positive");
         self.kappa0 = kappa0;
+        self.validate().unwrap_or_else(|e| panic!("{e}"));
         self
     }
 
     /// Sets the number of without-replacement samples per query
     /// (Section 2.3: the acceptance threshold becomes
-    /// `kappa_0 * k * log m`).
+    /// `kappa_0 * k * log m`; panicking wrapper; prefer
+    /// [`SamplerConfigBuilder::k`]).
     pub fn with_k(mut self, k: usize) -> Self {
-        assert!(k >= 1, "k must be at least 1");
         self.k = k;
+        self.validate().unwrap_or_else(|e| panic!("{e}"));
         self
     }
 
-    /// Sets the grid side length as a multiple of `alpha`.
+    /// Sets the grid side length as a multiple of `alpha` (panicking
+    /// wrapper; prefer [`SamplerConfigBuilder::side_factor`]).
     pub fn with_side_factor(mut self, f: f64) -> Self {
-        assert!(f.is_finite() && f >= 1.0, "side factor must be >= 1");
         self.side_factor = f;
+        self.validate().unwrap_or_else(|e| panic!("{e}"));
         self
     }
 
@@ -145,6 +187,92 @@ impl SamplerConfig {
     /// The grid side length `side_factor * alpha`.
     pub fn side(&self) -> f64 {
         self.side_factor * self.alpha
+    }
+}
+
+/// Fallible builder for [`SamplerConfig`]: setters never panic, all
+/// validation happens in [`Self::build`].
+///
+/// # Examples
+///
+/// ```
+/// use rds_core::{RdsError, SamplerConfig};
+///
+/// let err = SamplerConfig::builder(2, f64::NAN).build().unwrap_err();
+/// assert!(matches!(err, RdsError::InvalidAlpha { .. }));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SamplerConfigBuilder {
+    cfg: SamplerConfig,
+}
+
+impl SamplerConfigBuilder {
+    fn new(dim: usize, alpha: f64) -> Self {
+        Self {
+            cfg: SamplerConfig {
+                dim,
+                alpha,
+                side_factor: 1.0,
+                kappa0: 4.0,
+                k: 1,
+                expected_len: 1 << 20,
+                independence: 0,
+                seed: 0xC0FF_EE00,
+            },
+        }
+    }
+
+    /// Sets the PRNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the expected stream length `m` (clamped to at least 4).
+    pub fn expected_len(mut self, m: u64) -> Self {
+        self.cfg.expected_len = m.max(4);
+        self
+    }
+
+    /// Sets the threshold constant `kappa_0`.
+    pub fn kappa0(mut self, kappa0: f64) -> Self {
+        self.cfg.kappa0 = kappa0;
+        self
+    }
+
+    /// Sets the number of without-replacement samples per query.
+    pub fn k(mut self, k: usize) -> Self {
+        self.cfg.k = k;
+        self
+    }
+
+    /// Sets the grid side length as a multiple of `alpha`.
+    pub fn side_factor(mut self, f: f64) -> Self {
+        self.cfg.side_factor = f;
+        self
+    }
+
+    /// Overrides the hash independence (0 = auto).
+    pub fn independence(mut self, k: usize) -> Self {
+        self.cfg.independence = k;
+        self
+    }
+
+    /// Switches to the high-dimensional regime of Section 4 (grid side
+    /// `d * alpha`).
+    pub fn high_dim(mut self) -> Self {
+        self.cfg.side_factor = self.cfg.dim as f64;
+        self
+    }
+
+    /// Validates every parameter and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// The first violated constraint, as a typed [`RdsError`].
+    pub fn build(self) -> Result<SamplerConfig, RdsError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -294,6 +422,66 @@ mod tests {
     #[should_panic(expected = "alpha must be positive")]
     fn invalid_alpha_panics() {
         let _ = SamplerConfig::new(2, 0.0);
+    }
+
+    #[test]
+    fn builder_surfaces_each_invalid_parameter_as_err() {
+        use crate::error::RdsError;
+        assert!(matches!(
+            SamplerConfig::builder(0, 1.0).build(),
+            Err(RdsError::InvalidDimension { dim: 0 })
+        ));
+        assert!(matches!(
+            SamplerConfig::builder(2, -1.0).build(),
+            Err(RdsError::InvalidAlpha { .. })
+        ));
+        assert!(matches!(
+            SamplerConfig::builder(2, 1.0).kappa0(0.0).build(),
+            Err(RdsError::InvalidKappa0 { .. })
+        ));
+        assert!(matches!(
+            SamplerConfig::builder(2, 1.0).k(0).build(),
+            Err(RdsError::InvalidK)
+        ));
+        assert!(matches!(
+            SamplerConfig::builder(2, 1.0).side_factor(0.5).build(),
+            Err(RdsError::InvalidSideFactor { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_agrees_with_panicking_constructors() {
+        let built = SamplerConfig::builder(3, 0.25)
+            .seed(11)
+            .expected_len(500)
+            .kappa0(2.0)
+            .k(2)
+            .side_factor(1.5)
+            .independence(10)
+            .build()
+            .expect("valid");
+        let legacy = SamplerConfig::new(3, 0.25)
+            .with_seed(11)
+            .with_expected_len(500)
+            .with_kappa0(2.0)
+            .with_k(2)
+            .with_side_factor(1.5)
+            .with_independence(10);
+        assert_eq!(built, legacy);
+    }
+
+    #[test]
+    fn builder_high_dim_uses_side_d_alpha() {
+        let cfg = SamplerConfig::builder(8, 0.25).high_dim().build().expect("valid");
+        assert!((cfg.side() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_round_trips_through_serde() {
+        let cfg = SamplerConfig::new(4, 0.5).with_seed(9).with_k(3);
+        let wire = serde_json::to_string(&cfg).expect("serializes");
+        let back: SamplerConfig = serde_json::from_str(&wire).expect("deserializes");
+        assert_eq!(back, cfg);
     }
 
     #[test]

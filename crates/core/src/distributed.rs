@@ -12,15 +12,27 @@
 //! shared hash (Fact 1b makes this sound), and deduplicates groups whose
 //! points were split across sites.
 //!
+//! Two summary flavours exist:
+//!
+//! * [`SiteSummary`] — the minimal wire format a site ships to a
+//!   coordinator (candidate sets + rate + config seed);
+//! * [`MergedSummary`] — the queryable, *self-mergeable* summary (it
+//!   carries the full [`SamplerConfig`], so two merged summaries combine
+//!   without out-of-band context). This is the associated
+//!   [`SamplerSummary`] type of [`RobustL0Sampler`] and what the sharded
+//!   engine reduces over; it also serializes, so coordinators can be
+//!   chained across the wire.
+//!
 //! The merged summary answers the same queries as a single sampler that
 //! had seen the concatenation of all site streams, up to the choice of
 //! representative for cross-site groups.
 
 use crate::config::{SamplerConfig, SamplerContext};
+use crate::error::RdsError;
 use crate::infinite::{GroupRecord, RobustL0Sampler};
+use crate::sampler::{derived_rng, SamplerSummary};
 use rand::rngs::StdRng;
 use rand::seq::{IndexedRandom, SliceRandom};
-use rand::SeedableRng;
 use rds_geometry::Point;
 use serde::{Deserialize, Serialize};
 
@@ -42,20 +54,24 @@ pub struct SiteSummary {
     pub config_seed: u64,
 }
 
-/// The coordinator-side result of merging site summaries.
-#[derive(Debug)]
+/// The coordinator-side result of merging site summaries: queryable,
+/// serializable, and mergeable with other summaries of the same
+/// configuration ([`SamplerSummary::merge`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct MergedSummary {
+    cfg: SamplerConfig,
     level: u32,
-    alpha: f64,
     acc: Vec<GroupRecord>,
     rej: Vec<GroupRecord>,
-    rng: StdRng,
+    /// Queries derive a fresh deterministic RNG from `cfg.seed` and this
+    /// draw counter, so the summary stays plain data (serializable).
+    draws: u64,
 }
 
 impl RobustL0Sampler {
     /// Snapshots the sampler's state as a [`SiteSummary`] (clones both
     /// candidate sets; the sampler keeps running).
-    pub fn summary(&self) -> SiteSummary {
+    pub fn site_summary(&self) -> SiteSummary {
         SiteSummary {
             level: self.level(),
             acc: self.accept_set().to_vec(),
@@ -66,8 +82,8 @@ impl RobustL0Sampler {
 
     /// Consumes the sampler and extracts its [`SiteSummary`] without
     /// cloning the candidate sets — the cheap end-of-stream path for
-    /// shards that are done ingesting.
-    pub fn into_summary(self) -> SiteSummary {
+    /// sites that are done ingesting.
+    pub fn into_site_summary(self) -> SiteSummary {
         let level = self.level();
         let config_seed = self.context().cfg().seed;
         let (acc, rej) = self.into_sets();
@@ -81,19 +97,50 @@ impl RobustL0Sampler {
 }
 
 impl MergedSummary {
-    /// Draws a robust ℓ0-sample of the union of the site streams.
-    pub fn query(&mut self) -> Option<&Point> {
-        self.acc.choose(&mut self.rng).map(|r| &r.rep)
+    /// Builds a summary directly from a sampler's parts (a "merge" of one
+    /// site).
+    pub(crate) fn from_parts(
+        cfg: SamplerConfig,
+        level: u32,
+        acc: Vec<GroupRecord>,
+        rej: Vec<GroupRecord>,
+    ) -> Self {
+        Self {
+            cfg,
+            level,
+            acc,
+            rej,
+            draws: 0,
+        }
+    }
+
+    fn fresh_rng(&mut self) -> StdRng {
+        self.draws = self.draws.wrapping_add(1);
+        derived_rng(self.cfg.seed, self.draws, 0xD157)
+    }
+
+    /// Draws a robust ℓ0-sample of the union of the site streams: the
+    /// representative of a uniformly random sampled group.
+    pub fn query(&mut self) -> Option<Point> {
+        let mut rng = self.fresh_rng();
+        self.acc.choose(&mut rng).map(|r| r.rep.clone())
+    }
+
+    /// Draws the full record of a uniformly random sampled group.
+    pub fn query_record(&mut self) -> Option<GroupRecord> {
+        let mut rng = self.fresh_rng();
+        self.acc.choose(&mut rng).cloned()
     }
 
     /// Draws `min(k, |Sacc|)` *distinct* sampled groups of the union
     /// (sampling without replacement, the Section 2.3 extension lifted to
     /// the coordinator).
-    pub fn query_k(&mut self, k: usize) -> Vec<&GroupRecord> {
+    pub fn query_k(&mut self, k: usize) -> Vec<GroupRecord> {
+        let mut rng = self.fresh_rng();
         let mut idx: Vec<usize> = (0..self.acc.len()).collect();
-        idx.shuffle(&mut self.rng);
+        idx.shuffle(&mut rng);
         idx.truncate(k);
-        idx.into_iter().map(|i| &self.acc[i]).collect()
+        idx.into_iter().map(|i| self.acc[i].clone()).collect()
     }
 
     /// `|Sacc| * R`: the robust F0 estimate for the union.
@@ -118,8 +165,108 @@ impl MergedSummary {
 
     /// The shared duplicate threshold.
     pub fn alpha(&self) -> f64 {
-        self.alpha
+        self.cfg.alpha
     }
+
+    /// The shared configuration the summary was built under.
+    pub fn cfg(&self) -> &SamplerConfig {
+        &self.cfg
+    }
+}
+
+impl SamplerSummary for MergedSummary {
+    /// Combines two summaries: unifies at the coarser rate, refilters
+    /// every record with the shared hash (Fact 1b) and deduplicates
+    /// cross-summary groups.
+    fn merge(self, other: Self) -> Result<Self, RdsError> {
+        Ok(Self::merge_many(vec![self, other])?.expect("two summaries merged"))
+    }
+
+    /// Single-pass N-way merge: one shared context, one deduplication
+    /// sweep over all records — the engine's query path, deliberately not
+    /// the quadratic pairwise fold.
+    fn merge_many(summaries: Vec<Self>) -> Result<Option<Self>, RdsError> {
+        let Some(first_cfg) = summaries.first().map(|s| s.cfg.clone()) else {
+            return Ok(None);
+        };
+        // Full-config equality, not just the seed: same-seed summaries
+        // with different alpha/dim must not silently merge.
+        if let Some(bad) = summaries.iter().find(|s| s.cfg != first_cfg) {
+            return Err(RdsError::ConfigMismatch {
+                expected_seed: first_cfg.seed,
+                actual_seed: bad.cfg.seed,
+            });
+        }
+        if summaries.len() == 1 {
+            return Ok(summaries.into_iter().next());
+        }
+        let cfg = summaries[0].cfg.clone();
+        let ctx = SamplerContext::new(cfg.clone());
+        let level = summaries.iter().map(|s| s.level).max().unwrap_or(0);
+        let alpha = cfg.alpha;
+        let mut acc: Vec<GroupRecord> = Vec::new();
+        let mut rej: Vec<GroupRecord> = Vec::new();
+        for summary in &summaries {
+            for rec in &summary.acc {
+                let sampled = rds_hashing::level_sampled(rec.cell_hash, level);
+                absorb_record(rec, sampled, level, alpha, &mut acc, &mut rej, &ctx);
+            }
+            for rec in &summary.rej {
+                absorb_record(rec, false, level, alpha, &mut acc, &mut rej, &ctx);
+            }
+        }
+        Ok(Some(MergedSummary::from_parts(cfg, level, acc, rej)))
+    }
+
+    fn f0_estimate(&self) -> f64 {
+        MergedSummary::f0_estimate(self)
+    }
+
+    fn query_record(&mut self) -> Option<GroupRecord> {
+        MergedSummary::query_record(self)
+    }
+
+    fn query_k(&mut self, k: usize) -> Vec<GroupRecord> {
+        MergedSummary::query_k(self, k)
+    }
+}
+
+/// Places one record into the merged accept/reject sets, combining it
+/// with an existing record of the same group if the group was observed
+/// by several sites/shards.
+fn absorb_record(
+    rec: &GroupRecord,
+    own_cell_sampled: bool,
+    level: u32,
+    alpha: f64,
+    acc: &mut Vec<GroupRecord>,
+    rej: &mut Vec<GroupRecord>,
+    ctx: &SamplerContext,
+) {
+    // cross-site duplicate? combine counts into the existing record
+    if let Some(existing) = acc.iter_mut().find(|g| g.rep.within(&rec.rep, alpha)) {
+        existing.count += rec.count;
+        return;
+    }
+    if let Some(pos) = rej.iter().position(|g| g.rep.within(&rec.rep, alpha)) {
+        if own_cell_sampled {
+            // the group is sampled through this site's representative:
+            // promote the combined record to the accept set
+            let mut combined = rec.clone();
+            combined.count += rej.remove(pos).count;
+            acc.push(combined);
+        } else {
+            rej[pos].count += rec.count;
+        }
+        return;
+    }
+    // fresh group at the coordinator
+    if own_cell_sampled {
+        acc.push(rec.clone());
+    } else if ctx.any_adjacent_sampled(&rec.rep, level) {
+        rej.push(rec.clone());
+    }
+    // else: not a candidate at the common rate; dropped
 }
 
 /// Builds per-site samplers sharing one configuration, and merges their
@@ -162,7 +309,7 @@ impl DistributedSampling {
     /// Snapshots a site sampler's state for shipping to the coordinator
     /// (e.g. via `serde_json`).
     pub fn summarize(site: &RobustL0Sampler) -> SiteSummary {
-        site.summary()
+        site.site_summary()
     }
 
     /// Merges site summaries into a coordinator summary over the union
@@ -174,8 +321,7 @@ impl DistributedSampling {
     where
         I: IntoIterator<Item = &'a RobustL0Sampler>,
     {
-        let summaries: Vec<SiteSummary> =
-            sites.into_iter().map(Self::summarize).collect();
+        let summaries: Vec<SiteSummary> = sites.into_iter().map(Self::summarize).collect();
         self.merge_summaries(&summaries)
     }
 
@@ -198,70 +344,14 @@ impl DistributedSampling {
         // removals), then deduplicate across sites by group membership.
         for site in summaries {
             for rec in &site.acc {
-                self.absorb(
-                    rec,
-                    rds_hashing::level_sampled(rec.cell_hash, level),
-                    level,
-                    alpha,
-                    &mut acc,
-                    &mut rej,
-                    &ctx,
-                );
+                let sampled = rds_hashing::level_sampled(rec.cell_hash, level);
+                absorb_record(rec, sampled, level, alpha, &mut acc, &mut rej, &ctx);
             }
             for rec in &site.rej {
-                self.absorb(rec, false, level, alpha, &mut acc, &mut rej, &ctx);
+                absorb_record(rec, false, level, alpha, &mut acc, &mut rej, &ctx);
             }
         }
-        Some(MergedSummary {
-            level,
-            alpha,
-            acc,
-            rej,
-            rng: StdRng::seed_from_u64(self.cfg.seed ^ 0xD157),
-        })
-    }
-
-    /// Places one site record into the merged accept/reject sets,
-    /// combining it with an existing record of the same group if the
-    /// group was observed by several sites.
-    #[allow(clippy::too_many_arguments)]
-    fn absorb(
-        &self,
-        rec: &GroupRecord,
-        own_cell_sampled: bool,
-        level: u32,
-        alpha: f64,
-        acc: &mut Vec<GroupRecord>,
-        rej: &mut Vec<GroupRecord>,
-        ctx: &crate::config::SamplerContext,
-    ) {
-        // cross-site duplicate? combine counts into the existing record
-        if let Some(existing) = acc
-            .iter_mut()
-            .find(|g| g.rep.within(&rec.rep, alpha))
-        {
-            existing.count += rec.count;
-            return;
-        }
-        if let Some(pos) = rej.iter().position(|g| g.rep.within(&rec.rep, alpha)) {
-            if own_cell_sampled {
-                // the group is sampled through this site's representative:
-                // promote the combined record to the accept set
-                let mut combined = rec.clone();
-                combined.count += rej.remove(pos).count;
-                acc.push(combined);
-            } else {
-                rej[pos].count += rec.count;
-            }
-            return;
-        }
-        // fresh group at the coordinator
-        if own_cell_sampled {
-            acc.push(rec.clone());
-        } else if ctx.any_adjacent_sampled(&rec.rep, level) {
-            rej.push(rec.clone());
-        }
-        // else: not a candidate at the common rate; dropped
+        Some(MergedSummary::from_parts(self.cfg.clone(), level, acc, rej))
     }
 }
 
@@ -270,7 +360,9 @@ mod tests {
     use super::*;
 
     fn grouped_point(i: u64, n_groups: u64) -> Point {
-        Point::new(vec![(i % n_groups) as f64 * 10.0 + 0.01 * ((i / n_groups) % 3) as f64])
+        Point::new(vec![
+            (i % n_groups) as f64 * 10.0 + 0.01 * ((i / n_groups) % 3) as f64,
+        ])
     }
 
     #[test]
@@ -343,11 +435,11 @@ mod tests {
         let mut b = dist.new_site();
         b.process(&Point::new(vec![5.0]));
         let mut merged = dist.merge([&a, &b]).expect("same cfg");
-        assert_eq!(merged.query(), Some(&Point::new(vec![5.0])));
+        assert_eq!(merged.query(), Some(Point::new(vec![5.0])));
     }
 
     #[test]
-    fn into_summary_agrees_with_cloning_summary() {
+    fn into_site_summary_agrees_with_cloning_site_summary() {
         let dist = DistributedSampling::new(
             SamplerConfig::new(1, 0.5).with_seed(31).with_expected_len(128),
         );
@@ -355,8 +447,8 @@ mod tests {
         for i in 0..64u64 {
             site.process(&grouped_point(i, 16));
         }
-        let cloned = site.summary();
-        let moved = site.into_summary();
+        let cloned = site.site_summary();
+        let moved = site.into_site_summary();
         assert_eq!(moved.level, cloned.level);
         assert_eq!(moved.config_seed, cloned.config_seed);
         assert_eq!(moved.acc.len(), cloned.acc.len());
@@ -399,6 +491,39 @@ mod tests {
     }
 
     #[test]
+    fn pairwise_merge_agrees_with_coordinator_merge() {
+        // MergedSummary::merge (the trait path the sharded engine reduces
+        // over) must agree with DistributedSampling::merge_summaries.
+        use crate::sampler::DistinctSampler;
+        let cfg = SamplerConfig::new(1, 0.5).with_seed(41).with_expected_len(512);
+        let dist = DistributedSampling::new(cfg.clone());
+        let mut sites: Vec<RobustL0Sampler> = (0..3).map(|_| dist.new_site()).collect();
+        for i in 0..300u64 {
+            sites[(i % 3) as usize].process(&grouped_point(i, 30));
+        }
+        let coordinator = dist.merge(sites.iter()).expect("same cfg");
+        let pairwise = sites
+            .iter()
+            .map(DistinctSampler::summary)
+            .reduce(|a, b| a.merge(b).expect("same cfg"))
+            .expect("non-empty");
+        assert_eq!(pairwise.f0_estimate(), coordinator.f0_estimate());
+        assert_eq!(pairwise.level(), coordinator.level());
+        assert_eq!(pairwise.accept_set().len(), coordinator.accept_set().len());
+    }
+
+    #[test]
+    fn pairwise_merge_rejects_config_mismatch() {
+        use crate::sampler::{DistinctSampler, SamplerSummary};
+        let a = RobustL0Sampler::new(SamplerConfig::new(1, 0.5).with_seed(1));
+        let b = RobustL0Sampler::new(SamplerConfig::new(1, 0.5).with_seed(2));
+        assert!(matches!(
+            DistinctSampler::summary(&a).merge(DistinctSampler::summary(&b)),
+            Err(RdsError::ConfigMismatch { .. })
+        ));
+    }
+
+    #[test]
     fn merged_sampling_is_roughly_uniform_over_union() {
         let n_union = 16u64;
         let mut hist = rds_metrics::SampleHistogram::new(n_union as usize);
@@ -416,7 +541,7 @@ mod tests {
                 b.process(&Point::new(vec![(8 + (i % 8)) as f64 * 10.0])); // groups 8..16
             }
             let mut merged = dist.merge([&a, &b]).expect("same cfg");
-            let q = merged.query().expect("non-empty").clone();
+            let q = merged.query().expect("non-empty");
             hist.record((q.get(0) / 10.0).round() as usize);
         }
         assert!(
@@ -430,6 +555,7 @@ mod tests {
 #[cfg(test)]
 mod serde_tests {
     use super::*;
+    use crate::sampler::SamplerSummary;
 
     #[test]
     fn site_summary_round_trips_through_json() {
@@ -469,6 +595,41 @@ mod serde_tests {
         let sb: SiteSummary = serde_json::from_slice(&wire_b).expect("de");
         let merged = dist.merge_summaries(&[sa, sb]).expect("same seed");
         assert_eq!(merged.f0_estimate(), 8.0);
+    }
+
+    #[test]
+    fn merged_summary_round_trips_through_json() {
+        // The wire format the chained-coordinator path depends on: a
+        // MergedSummary survives serialization with its query and merge
+        // capabilities intact.
+        let dist = DistributedSampling::new(
+            SamplerConfig::new(1, 0.5).with_seed(25).with_expected_len(128),
+        );
+        let mut a = dist.new_site();
+        let mut b = dist.new_site();
+        for i in 0..64u64 {
+            a.process(&Point::new(vec![(i % 6) as f64 * 10.0]));
+            b.process(&Point::new(vec![(6 + i % 6) as f64 * 10.0]));
+        }
+        let merged = dist.merge([&a, &b]).expect("same cfg");
+        let wire = serde_json::to_string(&merged).expect("serializes");
+        let mut back: MergedSummary = serde_json::from_str(&wire).expect("deserializes");
+        assert_eq!(back.f0_estimate(), merged.f0_estimate());
+        assert_eq!(back.level(), merged.level());
+        assert_eq!(back.alpha(), merged.alpha());
+        assert_eq!(back.accept_set().len(), merged.accept_set().len());
+        for (x, y) in back.accept_set().iter().zip(merged.accept_set()) {
+            assert_eq!(x.rep, y.rep);
+            assert_eq!(x.count, y.count);
+            assert_eq!(x.cell_hash, y.cell_hash);
+        }
+        assert!(back.query().is_some());
+        // still mergeable after the wire
+        let mut c = dist.new_site();
+        c.process(&Point::new(vec![500.0]));
+        let other = dist.merge([&c]).expect("same cfg");
+        let combined = back.merge(other).expect("same cfg");
+        assert_eq!(combined.f0_estimate(), 13.0);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! The crate's typed error: every parameter-validation failure that used
+//! to be an `assert!` panic is reachable as a [`RdsError`] through the
+//! fallible constructors (`SamplerConfig::builder().build()`,
+//! `RobustL0Sampler::try_new`, `SlidingWindowSampler::try_new`, the
+//! engine's `try_*` constructors and the umbrella facade's
+//! `Rds::builder().build()`).
+//!
+//! The `Display` strings deliberately match the historical panic messages
+//! so the thin panicking wrappers (kept for one release) fail with the
+//! exact text existing callers and tests expect.
+
+use std::fmt;
+
+/// Why a sampler, summary merge or engine could not be constructed.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum RdsError {
+    /// `dim == 0`.
+    InvalidDimension {
+        /// The offending dimension.
+        dim: usize,
+    },
+    /// `alpha` is not strictly positive and finite.
+    InvalidAlpha {
+        /// The offending near-duplicate threshold.
+        alpha: f64,
+    },
+    /// `kappa0 <= 0` (or not finite).
+    InvalidKappa0 {
+        /// The offending threshold constant.
+        kappa0: f64,
+    },
+    /// `k == 0` samples per query requested.
+    InvalidK,
+    /// Grid side factor below 1 (or not finite).
+    InvalidSideFactor {
+        /// The offending factor.
+        side_factor: f64,
+    },
+    /// An explicit accept-set threshold of 0.
+    InvalidThreshold,
+    /// Accuracy target outside `(0, 1]`.
+    InvalidEps {
+        /// The offending accuracy target.
+        eps: f64,
+    },
+    /// Johnson–Lindenstrauss distortion outside the open interval
+    /// `(0, 1)`.
+    InvalidDistortion {
+        /// The offending distortion parameter.
+        eps: f64,
+    },
+    /// A sliding-window construct was given an unbounded window.
+    UnboundedWindow,
+    /// A window of zero length.
+    EmptyWindow,
+    /// An engine with zero shards.
+    InvalidShards,
+    /// A batch size of zero.
+    InvalidBatchSize,
+    /// Summaries built from different configurations (different grids or
+    /// hash functions) cannot be merged.
+    ConfigMismatch {
+        /// Seed of the summary on the left of the merge.
+        expected_seed: u64,
+        /// Seed of the summary that did not match.
+        actual_seed: u64,
+    },
+}
+
+impl fmt::Display for RdsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RdsError::InvalidDimension { dim } => {
+                write!(f, "dimension must be positive (got {dim})")
+            }
+            RdsError::InvalidAlpha { alpha } => {
+                write!(f, "alpha must be positive and finite (got {alpha})")
+            }
+            RdsError::InvalidKappa0 { kappa0 } => {
+                write!(f, "kappa0 must be positive (got {kappa0})")
+            }
+            RdsError::InvalidK => write!(f, "k must be at least 1"),
+            RdsError::InvalidSideFactor { side_factor } => {
+                write!(f, "side factor must be >= 1 (got {side_factor})")
+            }
+            RdsError::InvalidThreshold => write!(f, "threshold must be at least 1"),
+            RdsError::InvalidEps { eps } => write!(f, "eps must be in (0, 1] (got {eps})"),
+            RdsError::InvalidDistortion { eps } => {
+                write!(f, "JL distortion eps must be in (0, 1) (got {eps})")
+            }
+            RdsError::UnboundedWindow => {
+                write!(f, "this sampler requires a bounded window")
+            }
+            RdsError::EmptyWindow => write!(f, "window length must be at least 1"),
+            RdsError::InvalidShards => write!(f, "need at least one shard"),
+            RdsError::InvalidBatchSize => write!(f, "batch size must be at least 1"),
+            RdsError::ConfigMismatch {
+                expected_seed,
+                actual_seed,
+            } => write!(
+                f,
+                "summaries built from different configurations cannot be merged \
+                 (seed {expected_seed} vs {actual_seed}; equal seeds mean the \
+                 configurations differ in another parameter, e.g. dim or alpha)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RdsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_historical_panic_messages() {
+        // The panicking wrappers rely on these substrings.
+        assert!(RdsError::InvalidAlpha { alpha: 0.0 }
+            .to_string()
+            .contains("alpha must be positive"));
+        assert!(RdsError::InvalidDimension { dim: 0 }
+            .to_string()
+            .contains("dimension must be positive"));
+        assert!(RdsError::InvalidThreshold
+            .to_string()
+            .contains("threshold must be at least 1"));
+        assert!(RdsError::UnboundedWindow.to_string().contains("bounded window"));
+        assert!(RdsError::InvalidShards
+            .to_string()
+            .contains("at least one shard"));
+        assert!(RdsError::InvalidBatchSize
+            .to_string()
+            .contains("batch size must be at least 1"));
+        assert!(RdsError::InvalidK.to_string().contains("k must be at least 1"));
+        assert!(RdsError::InvalidEps { eps: 0.0 }
+            .to_string()
+            .contains("eps must be in (0, 1]"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(RdsError::InvalidK);
+    }
+}

@@ -11,11 +11,15 @@
 //! probability `1 - 1/m`.
 
 use crate::config::{SamplerConfig, SamplerContext};
+use crate::distributed::MergedSummary;
+use crate::error::RdsError;
+use crate::sampler::DistinctSampler;
 use rand::rngs::StdRng;
 use rand::seq::{IndexedRandom, SliceRandom};
 use rand::{RngExt, SeedableRng};
 use rds_geometry::Point;
 use rds_metrics::SpaceMeter;
+use rds_stream::StreamItem;
 use serde::{Deserialize, Serialize};
 
 /// Everything the sampler stores about one candidate group.
@@ -147,8 +151,19 @@ impl RobustL0Sampler {
     /// Creates the sampler with the configuration's default threshold
     /// `kappa_0 * k * log2 m`.
     pub fn new(cfg: SamplerConfig) -> Self {
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::new`]: re-validates the configuration
+    /// (useful when it was built by hand rather than through
+    /// [`SamplerConfig::builder`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SamplerConfig::validate`] failure.
+    pub fn try_new(cfg: SamplerConfig) -> Result<Self, RdsError> {
         let threshold = cfg.threshold();
-        Self::with_threshold(cfg, threshold)
+        Self::try_with_threshold(cfg, threshold)
     }
 
     /// Creates the sampler with an explicit `|Sacc|` threshold. Section 5
@@ -157,12 +172,25 @@ impl RobustL0Sampler {
     ///
     /// # Panics
     ///
-    /// Panics if `threshold == 0`.
+    /// Panics if `threshold == 0` or the configuration is invalid.
     pub fn with_threshold(cfg: SamplerConfig, threshold: usize) -> Self {
-        assert!(threshold >= 1, "threshold must be at least 1");
+        Self::try_with_threshold(cfg, threshold).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::with_threshold`].
+    ///
+    /// # Errors
+    ///
+    /// [`RdsError::InvalidThreshold`] on a zero threshold, or any
+    /// [`SamplerConfig::validate`] failure.
+    pub fn try_with_threshold(cfg: SamplerConfig, threshold: usize) -> Result<Self, RdsError> {
+        cfg.validate()?;
+        if threshold == 0 {
+            return Err(RdsError::InvalidThreshold);
+        }
         let rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED_CAFE);
         let ctx = SamplerContext::new(cfg);
-        Self {
+        Ok(Self {
             ctx,
             level: 0,
             acc: Vec::new(),
@@ -173,7 +201,7 @@ impl RobustL0Sampler {
             scratch: Vec::new(),
             rng,
             space: SpaceMeter::new(),
-        }
+        })
     }
 
     /// Feeds one stream point (the body of Algorithm 1's arrival loop).
@@ -277,30 +305,19 @@ impl RobustL0Sampler {
 
     /// Draws one robust ℓ0-sample: the representative (first point) of a
     /// uniformly random sampled group. `None` iff no point was processed.
+    ///
+    /// Borrowing fast path; the [`DistinctSampler`] trait methods
+    /// ([`DistinctSampler::query_record`], [`DistinctSampler::query_k`])
+    /// return owned records.
     pub fn query(&mut self) -> Option<&Point> {
-        self.query_record().map(|r| &r.rep)
+        self.acc.choose(&mut self.rng).map(|r| &r.rep)
     }
 
     /// Like [`Self::query`] but returns a uniformly random *member* of the
     /// sampled group instead of its first point (Section 2.3, reservoir
     /// extension).
     pub fn query_random_member(&mut self) -> Option<&Point> {
-        self.query_record().map(|r| &r.reservoir)
-    }
-
-    /// Draws the full record of a uniformly random sampled group.
-    pub fn query_record(&mut self) -> Option<&GroupRecord> {
-        self.acc.choose(&mut self.rng)
-    }
-
-    /// Draws `min(k, |Sacc|)` distinct group records (sampling without
-    /// replacement, Section 2.3; configure [`SamplerConfig::with_k`] so the
-    /// threshold guarantees `|Sacc| >= k` w.h.p.).
-    pub fn query_k(&mut self, k: usize) -> Vec<&GroupRecord> {
-        let mut idx: Vec<usize> = (0..self.acc.len()).collect();
-        idx.shuffle(&mut self.rng);
-        idx.truncate(k);
-        idx.into_iter().map(|i| &self.acc[i]).collect()
+        self.acc.choose(&mut self.rng).map(|r| &r.reservoir)
     }
 
     /// The estimate `|Sacc| * R` of the number of distinct groups
@@ -362,9 +379,68 @@ impl RobustL0Sampler {
 
     /// Consumes the sampler, handing out both candidate sets without
     /// cloning (the cheap path behind
-    /// [`Self::into_summary`](crate::distributed) extraction).
+    /// [`Self::into_site_summary`](crate::distributed) extraction).
     pub(crate) fn into_sets(self) -> (Vec<GroupRecord>, Vec<GroupRecord>) {
         (self.acc, self.rej)
+    }
+}
+
+impl DistinctSampler for RobustL0Sampler {
+    type Summary = MergedSummary;
+
+    /// Feeds the item's point; the stamp is ignored (infinite window).
+    fn process(&mut self, item: &StreamItem) -> ProcessOutcome {
+        RobustL0Sampler::process(self, &item.point)
+    }
+
+    /// The amortized batch path of [`RobustL0Sampler::process_batch`],
+    /// lifted to stream items.
+    fn process_batch(&mut self, items: &[StreamItem]) -> BatchStats {
+        let mut stats = BatchStats::default();
+        for item in items {
+            stats.record(self.process_inner(&item.point));
+        }
+        self.space.observe(self.words());
+        stats
+    }
+
+    fn query_record(&mut self) -> Option<GroupRecord> {
+        self.acc.choose(&mut self.rng).cloned()
+    }
+
+    fn query_k(&mut self, k: usize) -> Vec<GroupRecord> {
+        let mut idx: Vec<usize> = (0..self.acc.len()).collect();
+        idx.shuffle(&mut self.rng);
+        idx.truncate(k);
+        idx.into_iter().map(|i| self.acc[i].clone()).collect()
+    }
+
+    fn f0_estimate(&self) -> f64 {
+        RobustL0Sampler::f0_estimate(self)
+    }
+
+    fn seen(&self) -> u64 {
+        RobustL0Sampler::seen(self)
+    }
+
+    fn words(&self) -> usize {
+        RobustL0Sampler::words(self)
+    }
+
+    fn summary(&self) -> MergedSummary {
+        MergedSummary::from_parts(
+            self.ctx.cfg().clone(),
+            self.level,
+            self.acc.clone(),
+            self.rej.clone(),
+        )
+    }
+
+    fn into_summary(self) -> MergedSummary {
+        let cfg = self.ctx.cfg().clone();
+        let level = self.level;
+        let (acc, rej) = self.into_sets();
+        MergedSummary::from_parts(cfg, level, acc, rej)
     }
 }
 

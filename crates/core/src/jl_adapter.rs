@@ -8,10 +8,14 @@
 //! threshold `alpha' = (1 + eps) * alpha`.
 
 use crate::config::SamplerConfig;
-use crate::infinite::{ProcessOutcome, RobustL0Sampler};
+use crate::distributed::MergedSummary;
+use crate::error::RdsError;
+use crate::infinite::{GroupRecord, ProcessOutcome, RobustL0Sampler};
+use crate::sampler::{DistinctSampler, SamplerSummary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rds_geometry::{JlProjection, Point};
+use rds_stream::StreamItem;
 
 /// A robust ℓ0-sampler for high-dimensional data that projects each point
 /// with a JL map before feeding the core Algorithm 1 structure.
@@ -38,8 +42,30 @@ impl JlRobustSampler {
     ///   `alpha' = (1 + eps) * alpha` and dimension
     ///   `k = ceil(8 ln m / eps^2)` (capped at `in_dim`).
     pub fn new(in_dim: usize, alpha: f64, eps: f64, cfg: SamplerConfig) -> Self {
-        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
         assert_eq!(cfg.dim, in_dim, "config dimension must match input");
+        Self::try_new(in_dim, alpha, eps, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`RdsError::InvalidDistortion`] unless `0 < eps < 1`,
+    /// [`RdsError::InvalidDimension`] when the configured dimension does
+    /// not match `in_dim`, or any [`SamplerConfig::validate`] failure.
+    pub fn try_new(
+        in_dim: usize,
+        alpha: f64,
+        eps: f64,
+        cfg: SamplerConfig,
+    ) -> Result<Self, RdsError> {
+        if !(eps > 0.0 && eps < 1.0) {
+            return Err(RdsError::InvalidDistortion { eps });
+        }
+        if cfg.dim != in_dim {
+            return Err(RdsError::InvalidDimension { dim: cfg.dim });
+        }
+        cfg.validate()?;
         let out_dim = JlProjection::suggested_dim(cfg.expected_len, eps).min(in_dim);
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x4A4C_5EED);
         let projection = JlProjection::new(in_dim, out_dim, &mut rng);
@@ -48,12 +74,12 @@ impl JlRobustSampler {
             alpha: (1.0 + eps) * alpha,
             ..cfg
         };
-        Self {
+        Ok(Self {
             projection,
-            inner: RobustL0Sampler::new(inner_cfg),
+            inner: RobustL0Sampler::try_new(inner_cfg)?,
             originals: Vec::new(),
             eps,
-        }
+        })
     }
 
     /// Feeds one high-dimensional point.
@@ -88,6 +114,141 @@ impl JlRobustSampler {
     /// The inner (projected-space) sampler.
     pub fn inner(&self) -> &RobustL0Sampler {
         &self.inner
+    }
+
+    /// Number of points processed.
+    pub fn seen(&self) -> u64 {
+        self.inner.seen()
+    }
+
+}
+
+/// Maps a projected-space record back to the ambient space: the original
+/// representative doubles as the reservoir member (the reservoir is only
+/// tracked in the projected space). Records with no registered original
+/// (never the case for accepted representatives) pass through unchanged.
+fn lift_record(originals: &[(Point, Point)], rec: GroupRecord) -> GroupRecord {
+    match originals
+        .iter()
+        .find(|(proj, _)| *proj == rec.rep)
+        .map(|(_, orig)| orig.clone())
+    {
+        Some(orig) => GroupRecord {
+            reservoir: orig.clone(),
+            rep: orig,
+            cell_hash: rec.cell_hash,
+            count: rec.count,
+        },
+        None => rec,
+    }
+}
+
+/// The [`crate::SamplerSummary`] of the JL sampler: the projected-space
+/// merged summary plus the projected→original representative map, so
+/// queries after a merge still return points of the ambient space.
+#[derive(Clone, Debug)]
+pub struct JlSummary {
+    inner: MergedSummary,
+    originals: Vec<(Point, Point)>,
+}
+
+impl JlSummary {
+    /// The projected-space summary.
+    pub fn inner(&self) -> &MergedSummary {
+        &self.inner
+    }
+}
+
+impl SamplerSummary for JlSummary {
+    fn merge(self, other: Self) -> Result<Self, RdsError> {
+        let mut originals = self.originals;
+        originals.extend(other.originals);
+        Ok(Self {
+            inner: self.inner.merge(other.inner)?,
+            originals,
+        })
+    }
+
+    /// Single-pass N-way merge, delegating to the projected-space
+    /// [`MergedSummary::merge_many`].
+    fn merge_many(summaries: Vec<Self>) -> Result<Option<Self>, RdsError> {
+        let mut inners = Vec::with_capacity(summaries.len());
+        let mut originals = Vec::new();
+        for s in summaries {
+            inners.push(s.inner);
+            originals.extend(s.originals);
+        }
+        Ok(MergedSummary::merge_many(inners)?.map(|inner| JlSummary { inner, originals }))
+    }
+
+    fn f0_estimate(&self) -> f64 {
+        self.inner.f0_estimate()
+    }
+
+    fn query_record(&mut self) -> Option<GroupRecord> {
+        self.inner
+            .query_record()
+            .map(|rec| lift_record(&self.originals, rec))
+    }
+
+    fn query_k(&mut self, k: usize) -> Vec<GroupRecord> {
+        let recs = self.inner.query_k(k);
+        recs.into_iter()
+            .map(|rec| lift_record(&self.originals, rec))
+            .collect()
+    }
+}
+
+impl DistinctSampler for JlRobustSampler {
+    type Summary = JlSummary;
+
+    /// Projects the item's point and feeds the inner sampler; the stamp
+    /// is ignored (infinite window).
+    fn process(&mut self, item: &StreamItem) -> ProcessOutcome {
+        JlRobustSampler::process(self, &item.point)
+    }
+
+    fn query_record(&mut self) -> Option<GroupRecord> {
+        let rec = DistinctSampler::query_record(&mut self.inner)?;
+        Some(lift_record(&self.originals, rec))
+    }
+
+    fn query_k(&mut self, k: usize) -> Vec<GroupRecord> {
+        let recs = DistinctSampler::query_k(&mut self.inner, k);
+        recs.into_iter()
+            .map(|rec| lift_record(&self.originals, rec))
+            .collect()
+    }
+
+    fn f0_estimate(&self) -> f64 {
+        self.inner.f0_estimate()
+    }
+
+    fn seen(&self) -> u64 {
+        self.inner.seen()
+    }
+
+    fn words(&self) -> usize {
+        let map: usize = self
+            .originals
+            .iter()
+            .map(|(a, b)| a.words() + b.words())
+            .sum();
+        self.inner.words() + map
+    }
+
+    fn summary(&self) -> JlSummary {
+        JlSummary {
+            inner: DistinctSampler::summary(&self.inner),
+            originals: self.originals.clone(),
+        }
+    }
+
+    fn into_summary(self) -> JlSummary {
+        JlSummary {
+            inner: DistinctSampler::into_summary(self.inner),
+            originals: self.originals,
+        }
     }
 }
 

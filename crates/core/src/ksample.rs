@@ -9,8 +9,12 @@
 //!   parallel ([`KWithReplacementSampler`]).
 
 use crate::config::SamplerConfig;
-use crate::infinite::{GroupRecord, RobustL0Sampler};
+use crate::distributed::MergedSummary;
+use crate::error::RdsError;
+use crate::infinite::{BatchStats, GroupRecord, ProcessOutcome, RobustL0Sampler};
+use crate::sampler::DistinctSampler;
 use rds_geometry::Point;
+use rds_stream::StreamItem;
 
 /// Draws `k` distinct groups per query (sampling without replacement) in
 /// the infinite window.
@@ -41,11 +45,23 @@ impl KDistinctSampler {
     ///
     /// Panics if `k == 0`.
     pub fn new(cfg: SamplerConfig, k: usize) -> Self {
-        assert!(k >= 1, "k must be at least 1");
-        Self {
-            inner: RobustL0Sampler::new(cfg.with_k(k)),
-            k,
+        Self::try_new(cfg, k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`RdsError::InvalidK`] when `k == 0`, or any
+    /// [`SamplerConfig::validate`] failure.
+    pub fn try_new(cfg: SamplerConfig, k: usize) -> Result<Self, RdsError> {
+        if k == 0 {
+            return Err(RdsError::InvalidK);
         }
+        Ok(Self {
+            inner: RobustL0Sampler::try_new(SamplerConfig { k, ..cfg })?,
+            k,
+        })
     }
 
     /// Feeds one stream point.
@@ -56,11 +72,7 @@ impl KDistinctSampler {
     /// Draws `min(k, |Sacc|)` distinct groups.
     pub fn sample(&mut self) -> Vec<GroupRecord> {
         let k = self.k;
-        self.inner
-            .query_k(k)
-            .into_iter()
-            .cloned()
-            .collect()
+        DistinctSampler::query_k(&mut self.inner, k)
     }
 
     /// The configured `k`.
@@ -71,6 +83,47 @@ impl KDistinctSampler {
     /// The wrapped single-sample structure.
     pub fn inner(&self) -> &RobustL0Sampler {
         &self.inner
+    }
+}
+
+impl DistinctSampler for KDistinctSampler {
+    type Summary = MergedSummary;
+
+    /// Feeds the item's point; the stamp is ignored (infinite window).
+    fn process(&mut self, item: &StreamItem) -> ProcessOutcome {
+        self.inner.process(&item.point)
+    }
+
+    fn process_batch(&mut self, items: &[StreamItem]) -> BatchStats {
+        DistinctSampler::process_batch(&mut self.inner, items)
+    }
+
+    fn query_record(&mut self) -> Option<GroupRecord> {
+        DistinctSampler::query_record(&mut self.inner)
+    }
+
+    fn query_k(&mut self, k: usize) -> Vec<GroupRecord> {
+        DistinctSampler::query_k(&mut self.inner, k)
+    }
+
+    fn f0_estimate(&self) -> f64 {
+        self.inner.f0_estimate()
+    }
+
+    fn seen(&self) -> u64 {
+        self.inner.seen()
+    }
+
+    fn words(&self) -> usize {
+        self.inner.words()
+    }
+
+    fn summary(&self) -> MergedSummary {
+        DistinctSampler::summary(&self.inner)
+    }
+
+    fn into_summary(self) -> MergedSummary {
+        DistinctSampler::into_summary(self.inner)
     }
 }
 

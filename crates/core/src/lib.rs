@@ -7,8 +7,10 @@
 
 mod config;
 mod distributed;
+mod error;
 mod heavy;
 mod infinite;
+mod sampler;
 mod sw_fixed;
 mod f0;
 mod jl_adapter;
@@ -16,13 +18,15 @@ mod ksample;
 mod lsh;
 mod sw_hier;
 
-pub use config::{SamplerConfig, SamplerContext};
+pub use config::{SamplerConfig, SamplerConfigBuilder, SamplerContext};
 pub use distributed::{DistributedSampling, MergedSummary, SiteSummary};
+pub use error::RdsError;
 pub use heavy::{HeavyGroup, RobustHeavyHitters};
 pub use infinite::{BatchStats, GroupRecord, ProcessOutcome, RobustL0Sampler};
+pub use sampler::{DistinctSampler, SamplerSummary, WindowSummary};
 pub use sw_fixed::{FixedRateWindowSampler, WindowGroupEntry};
 pub use f0::{RobustF0Estimator, SlidingWindowF0, DEFAULT_KAPPA_B, FM_PHI};
-pub use jl_adapter::JlRobustSampler;
+pub use jl_adapter::{JlRobustSampler, JlSummary};
 pub use ksample::{KDistinctSampler, KWithReplacementSampler};
-pub use lsh::{LshPartitioner, MetricGroup, MetricRobustSampler, SimHashPartitioner};
+pub use lsh::{LshPartitioner, MetricGroup, MetricRobustSampler, MetricSummary, SimHashPartitioner};
 pub use sw_hier::{GroupSample, SlidingWindowSampler};

@@ -20,11 +20,15 @@
 //! * [`MetricRobustSampler`] — Algorithm 1 re-done over an arbitrary
 //!   partitioner.
 
+use crate::error::RdsError;
+use crate::infinite::{BatchStats, GroupRecord};
+use crate::sampler::{derived_rng, DistinctSampler, SamplerSummary};
 use rand::rngs::StdRng;
-use rand::seq::IndexedRandom;
+use rand::seq::{IndexedRandom, SliceRandom};
 use rand::SeedableRng;
 use rds_geometry::{standard_normal, Point};
 use rds_hashing::{level_sampled, splitmix64, KWiseHash};
+use rds_stream::StreamItem;
 
 /// A locality-sensitive partition of a metric space: the generalization
 /// of the random grid that Algorithm 1 needs.
@@ -201,6 +205,7 @@ pub struct MetricRobustSampler<P: LshPartitioner> {
     rej: Vec<MetricGroup>,
     rng: StdRng,
     seen: u64,
+    seed: u64,
 }
 
 /// A tracked group in the metric sampler.
@@ -218,10 +223,21 @@ impl<P: LshPartitioner> MetricRobustSampler<P> {
     /// Creates the sampler; `threshold` bounds `|Sacc|` as in Algorithm 1
     /// (use `kappa_0 log m`).
     pub fn new(partitioner: P, threshold: usize, seed: u64) -> Self {
-        assert!(threshold >= 1, "threshold must be at least 1");
+        Self::try_new(partitioner, threshold, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`RdsError::InvalidThreshold`] when `threshold == 0`.
+    pub fn try_new(partitioner: P, threshold: usize, seed: u64) -> Result<Self, RdsError> {
+        if threshold == 0 {
+            return Err(RdsError::InvalidThreshold);
+        }
         let mut rng = StdRng::seed_from_u64(seed ^ 0x004C_5348);
         let hash = KWiseHash::new(16, &mut rng);
-        Self {
+        Ok(Self {
             partitioner,
             hash,
             level: 0,
@@ -230,7 +246,8 @@ impl<P: LshPartitioner> MetricRobustSampler<P> {
             rej: Vec::new(),
             rng,
             seen: 0,
-        }
+            seed,
+        })
     }
 
     /// Feeds one point.
@@ -332,6 +349,239 @@ impl<P: LshPartitioner> MetricRobustSampler<P> {
     /// The partitioner in use.
     pub fn partitioner(&self) -> &P {
         &self.partitioner
+    }
+
+    /// Current rate exponent (`R = 2^level`).
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// The estimate `|Sacc| * R` of the number of distinct groups.
+    pub fn f0_estimate(&self) -> f64 {
+        self.acc.len() as f64 * 2f64.powi(self.level as i32)
+    }
+
+    /// Current footprint in machine words (hash description + tracked
+    /// groups).
+    pub fn words(&self) -> usize {
+        let groups: usize = self
+            .acc
+            .iter()
+            .chain(self.rej.iter())
+            .map(|g| g.rep.words() + 2)
+            .sum();
+        self.hash.words() + groups + 4
+    }
+}
+
+/// The [`crate::SamplerSummary`] of the metric sampler: carries a clone
+/// of the partitioner and the shared hash so summaries merge
+/// self-sufficiently (refilter by cached bucket hash, deduplicate by the
+/// partitioner's `same_group` predicate).
+#[derive(Clone, Debug)]
+pub struct MetricSummary<P: LshPartitioner> {
+    partitioner: P,
+    hash: KWiseHash,
+    level: u32,
+    acc: Vec<MetricGroup>,
+    rej: Vec<MetricGroup>,
+    seed: u64,
+    draws: u64,
+}
+
+impl<P: LshPartitioner> MetricSummary<P> {
+    /// The merged accept set.
+    pub fn accept_set(&self) -> &[MetricGroup] {
+        &self.acc
+    }
+
+    /// The common rate exponent.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    fn fresh_rng(&mut self) -> StdRng {
+        self.draws = self.draws.wrapping_add(1);
+        derived_rng(self.seed, self.draws, 0x4C53_D157)
+    }
+
+    fn any_adjacent_sampled(&self, p: &Point, level: u32) -> bool {
+        let hash = &self.hash;
+        self.partitioner
+            .for_each_adjacent_bucket(p, &mut |key| level_sampled(hash.hash(key), level))
+    }
+
+    /// Places one group into the merged sets, deduplicating against
+    /// groups already absorbed (the metric analogue of the grid merge).
+    fn absorb(
+        &self,
+        g: &MetricGroup,
+        own_bucket_sampled: bool,
+        level: u32,
+        acc: &mut Vec<MetricGroup>,
+        rej: &mut Vec<MetricGroup>,
+    ) {
+        if let Some(existing) = acc
+            .iter_mut()
+            .find(|e| self.partitioner.same_group(&e.rep, &g.rep))
+        {
+            existing.count += g.count;
+            return;
+        }
+        if let Some(pos) = rej
+            .iter()
+            .position(|e| self.partitioner.same_group(&e.rep, &g.rep))
+        {
+            if own_bucket_sampled {
+                let mut combined = g.clone();
+                combined.count += rej.remove(pos).count;
+                acc.push(combined);
+            } else {
+                rej[pos].count += g.count;
+            }
+            return;
+        }
+        if own_bucket_sampled {
+            acc.push(g.clone());
+        } else if self.any_adjacent_sampled(&g.rep, level) {
+            rej.push(g.clone());
+        }
+    }
+}
+
+fn metric_record(g: &MetricGroup) -> GroupRecord {
+    GroupRecord {
+        rep: g.rep.clone(),
+        cell_hash: g.bucket_hash,
+        count: g.count,
+        reservoir: g.rep.clone(),
+    }
+}
+
+impl<P: LshPartitioner + Clone> SamplerSummary for MetricSummary<P> {
+    fn merge(self, other: Self) -> Result<Self, RdsError> {
+        Ok(Self::merge_many(vec![self, other])?.expect("two summaries merged"))
+    }
+
+    /// Single-pass N-way merge: one deduplication sweep over all groups —
+    /// the engine's query path, deliberately not the quadratic pairwise
+    /// fold (the pairwise merge re-absorbs the accumulated state).
+    fn merge_many(summaries: Vec<Self>) -> Result<Option<Self>, RdsError> {
+        let Some(expected_seed) = summaries.first().map(|s| s.seed) else {
+            return Ok(None);
+        };
+        if let Some(bad) = summaries.iter().find(|s| s.seed != expected_seed) {
+            return Err(RdsError::ConfigMismatch {
+                expected_seed,
+                actual_seed: bad.seed,
+            });
+        }
+        if summaries.len() == 1 {
+            return Ok(summaries.into_iter().next());
+        }
+        let level = summaries.iter().map(|s| s.level).max().unwrap_or(0);
+        let first = &summaries[0];
+        let mut acc = Vec::new();
+        let mut rej = Vec::new();
+        for summary in &summaries {
+            for g in &summary.acc {
+                let sampled = level_sampled(g.bucket_hash, level);
+                first.absorb(g, sampled, level, &mut acc, &mut rej);
+            }
+            for g in &summary.rej {
+                first.absorb(g, false, level, &mut acc, &mut rej);
+            }
+        }
+        Ok(Some(Self {
+            partitioner: first.partitioner.clone(),
+            hash: first.hash.clone(),
+            level,
+            acc,
+            rej,
+            seed: expected_seed,
+            draws: 0,
+        }))
+    }
+
+    fn f0_estimate(&self) -> f64 {
+        self.acc.len() as f64 * 2f64.powi(self.level as i32)
+    }
+
+    fn query_record(&mut self) -> Option<GroupRecord> {
+        let mut rng = self.fresh_rng();
+        self.acc.choose(&mut rng).map(metric_record)
+    }
+
+    fn query_k(&mut self, k: usize) -> Vec<GroupRecord> {
+        let mut rng = self.fresh_rng();
+        let mut idx: Vec<usize> = (0..self.acc.len()).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate(k);
+        idx.into_iter().map(|i| metric_record(&self.acc[i])).collect()
+    }
+}
+
+impl<P: LshPartitioner + Clone> DistinctSampler for MetricRobustSampler<P> {
+    type Summary = MetricSummary<P>;
+
+    /// Feeds the item's point; the stamp is ignored (infinite window).
+    fn process(&mut self, item: &StreamItem) -> MetricProcessOutcome {
+        MetricRobustSampler::process(self, &item.point)
+    }
+
+    fn process_batch(&mut self, items: &[StreamItem]) -> BatchStats {
+        let mut stats = BatchStats::default();
+        for item in items {
+            stats.record(MetricRobustSampler::process(self, &item.point));
+        }
+        stats
+    }
+
+    fn query_record(&mut self) -> Option<GroupRecord> {
+        self.acc.choose(&mut self.rng).map(metric_record)
+    }
+
+    fn query_k(&mut self, k: usize) -> Vec<GroupRecord> {
+        let mut idx: Vec<usize> = (0..self.acc.len()).collect();
+        idx.shuffle(&mut self.rng);
+        idx.truncate(k);
+        idx.into_iter().map(|i| metric_record(&self.acc[i])).collect()
+    }
+
+    fn f0_estimate(&self) -> f64 {
+        MetricRobustSampler::f0_estimate(self)
+    }
+
+    fn seen(&self) -> u64 {
+        MetricRobustSampler::seen(self)
+    }
+
+    fn words(&self) -> usize {
+        MetricRobustSampler::words(self)
+    }
+
+    fn summary(&self) -> MetricSummary<P> {
+        MetricSummary {
+            partitioner: self.partitioner.clone(),
+            hash: self.hash.clone(),
+            level: self.level,
+            acc: self.acc.clone(),
+            rej: self.rej.clone(),
+            seed: self.seed,
+            draws: 0,
+        }
+    }
+
+    fn into_summary(self) -> MetricSummary<P> {
+        MetricSummary {
+            partitioner: self.partitioner,
+            hash: self.hash,
+            level: self.level,
+            acc: self.acc,
+            rej: self.rej,
+            seed: self.seed,
+            draws: 0,
+        }
     }
 }
 

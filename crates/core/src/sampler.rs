@@ -1,0 +1,433 @@
+//! The unified sampler API: every sampler family in this crate — infinite
+//! window, sliding window (hierarchical and fixed-rate), metric/LSH,
+//! JL-projected, `k`-sampling — implements [`DistinctSampler`], so callers
+//! (the sharded engine, the umbrella facade, the CLI) can be written once,
+//! window-agnostically.
+//!
+//! The trait's query methods return **owned** [`GroupRecord`]s: backends
+//! can then be swapped (single sampler ↔ sharded engine ↔ merged remote
+//! summaries) without signature churn. The borrowing accessors each family
+//! also provides (`RobustL0Sampler::query` returning `Option<&Point>`,
+//! etc.) remain available for perf-sensitive single-backend callers.
+//!
+//! Each implementation names an associated [`SamplerSummary`] type: a
+//! cheap, queryable snapshot of the sampler state that *merges*. Summaries
+//! built from samplers sharing one [`SamplerConfig`] (hence one grid and
+//! hash function) combine into a summary of the union of their streams —
+//! the property that makes sharding (and the distributed setting) correct.
+
+use crate::config::SamplerConfig;
+use crate::error::RdsError;
+use crate::infinite::{BatchStats, GroupRecord, ProcessOutcome};
+use crate::sw_fixed::WindowGroupEntry;
+use rand::rngs::StdRng;
+use rand::seq::{IndexedRandom, SliceRandom};
+use rand::{RngExt, SeedableRng};
+use rds_stream::{Stamp, StreamItem};
+
+/// A mergeable, queryable snapshot of a sampler's state.
+///
+/// Summaries are the unit of aggregation: shards, distributed sites and
+/// facade backends all reduce to "merge the summaries, query the result".
+/// Merging is only defined between summaries whose samplers shared one
+/// configuration; [`SamplerSummary::merge`] reports
+/// [`RdsError::ConfigMismatch`] otherwise.
+pub trait SamplerSummary: Sized {
+    /// Combines two summaries into a summary of the union of their
+    /// streams.
+    ///
+    /// # Errors
+    ///
+    /// [`RdsError::ConfigMismatch`] when the summaries come from samplers
+    /// with different configurations (incompatible grids/hashes).
+    fn merge(self, other: Self) -> Result<Self, RdsError>;
+
+    /// Combines any number of summaries; `Ok(None)` iff `summaries` is
+    /// empty. The default folds [`Self::merge`] pairwise; implementations
+    /// whose pairwise merge re-processes the accumulated state (the
+    /// grid-based summaries rebuild their context and re-deduplicate)
+    /// override this with a single-pass N-way merge — the path the
+    /// sharded engine's queries take, so it must not scale quadratically
+    /// in the shard count.
+    ///
+    /// # Errors
+    ///
+    /// [`RdsError::ConfigMismatch`] as for [`Self::merge`].
+    fn merge_many(summaries: Vec<Self>) -> Result<Option<Self>, RdsError> {
+        summaries
+            .into_iter()
+            .try_fold(None, |acc: Option<Self>, s| match acc {
+                None => Ok(Some(s)),
+                Some(a) => a.merge(s).map(Some),
+            })
+    }
+
+    /// The estimate of the number of distinct groups covered by this
+    /// summary.
+    fn f0_estimate(&self) -> f64;
+
+    /// Draws one uniformly random sampled group. `None` iff the summary
+    /// covers no group.
+    fn query_record(&mut self) -> Option<GroupRecord>;
+
+    /// Draws up to `k` *distinct* sampled groups.
+    fn query_k(&mut self, k: usize) -> Vec<GroupRecord>;
+}
+
+/// The unified streaming interface of all six sampler families.
+///
+/// Implementations accept [`StreamItem`]s; infinite-window samplers ignore
+/// the stamp, window samplers use it for expiry. Query methods return
+/// owned [`GroupRecord`]s — for window samplers the record's `rep` is the
+/// group's *latest* point (always inside the window, the value
+/// Algorithm 3 returns).
+///
+/// # Examples
+///
+/// ```
+/// use rds_core::{DistinctSampler, RobustL0Sampler, SamplerConfig};
+/// use rds_geometry::Point;
+/// use rds_stream::{Stamp, StreamItem};
+///
+/// fn feed<S: DistinctSampler>(s: &mut S, points: &[Point]) {
+///     for (i, p) in points.iter().enumerate() {
+///         s.process(&StreamItem::new(p.clone(), Stamp::at(i as u64)));
+///     }
+/// }
+///
+/// let mut s = RobustL0Sampler::new(SamplerConfig::new(1, 0.5).with_seed(1));
+/// let pts: Vec<Point> = (0..50).map(|i| Point::new(vec![(i % 5) as f64 * 10.0])).collect();
+/// feed(&mut s, &pts);
+/// assert!(s.query_record().is_some());
+/// assert_eq!(s.f0_estimate(), 5.0);
+/// ```
+pub trait DistinctSampler {
+    /// The mergeable snapshot type.
+    type Summary: SamplerSummary;
+
+    /// Feeds one stream item.
+    fn process(&mut self, item: &StreamItem) -> ProcessOutcome;
+
+    /// Feeds a batch of items, amortizing per-call bookkeeping where the
+    /// implementation supports it. State after the call is identical to
+    /// processing every item in order.
+    fn process_batch(&mut self, items: &[StreamItem]) -> BatchStats {
+        let mut stats = BatchStats::default();
+        for item in items {
+            stats.record(self.process(item));
+        }
+        stats
+    }
+
+    /// Advances the sampler's clock without feeding a point: window
+    /// samplers expire entries older than `now`; infinite-window samplers
+    /// do nothing. The sharded engine calls this before snapshotting so a
+    /// shard that received no recent items still reports a live window.
+    fn advance(&mut self, now: Stamp) {
+        let _ = now;
+    }
+
+    /// Draws one uniformly random sampled group, owned. `None` iff no
+    /// group is sampled.
+    fn query_record(&mut self) -> Option<GroupRecord>;
+
+    /// Draws up to `k` *distinct* sampled groups, owned. `query_k(0)`
+    /// returns an empty vector.
+    fn query_k(&mut self, k: usize) -> Vec<GroupRecord>;
+
+    /// The current estimate of the number of distinct groups.
+    fn f0_estimate(&self) -> f64;
+
+    /// Number of stream items processed.
+    fn seen(&self) -> u64;
+
+    /// Current footprint in machine words (the paper's space accounting).
+    fn words(&self) -> usize;
+
+    /// Snapshots the sampler's state (the sampler keeps running).
+    fn summary(&self) -> Self::Summary;
+
+    /// Consumes the sampler and extracts its summary, moving state instead
+    /// of cloning where the implementation supports it.
+    fn into_summary(self) -> Self::Summary
+    where
+        Self: Sized,
+    {
+        self.summary()
+    }
+}
+
+/// The [`SamplerSummary`] of the sliding-window families: the accepted
+/// group entries of every level, tagged with their level (sample rate
+/// `2^-level`).
+///
+/// Queries implement Algorithm 3 lines 19-23 over the pooled entries:
+/// every entry at level `ℓ` enters the pool with probability
+/// `2^-(c-ℓ)` where `c` is the highest occupied level, unifying the
+/// sample rates, and a uniform choice among the pool is returned.
+///
+/// Merging unions the entries and deduplicates groups observed by several
+/// shards (keeping the finer-rate entry and summing counts) — sound for
+/// the same reason the infinite-window merge is: all parties share one
+/// grid and hash, so an entry's level-membership is a function of its
+/// cached hash alone.
+#[derive(Clone, Debug)]
+pub struct WindowSummary {
+    cfg: SamplerConfig,
+    /// `(level, entry)` for every accepted entry.
+    entries: Vec<(u32, WindowGroupEntry)>,
+    draws: u64,
+}
+
+impl WindowSummary {
+    /// Builds a summary from a sampler's accepted entries.
+    pub fn from_parts(cfg: SamplerConfig, entries: Vec<(u32, WindowGroupEntry)>) -> Self {
+        Self {
+            cfg,
+            entries,
+            draws: 0,
+        }
+    }
+
+    /// The accepted entries with their levels.
+    pub fn entries(&self) -> &[(u32, WindowGroupEntry)] {
+        &self.entries
+    }
+
+    /// Whether the summary covers no live group.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configuration the sampler was built from.
+    pub fn cfg(&self) -> &SamplerConfig {
+        &self.cfg
+    }
+
+    fn fresh_rng(&mut self) -> StdRng {
+        self.draws = self.draws.wrapping_add(1);
+        derived_rng(self.cfg.seed, self.draws, 0x51D1_D157)
+    }
+
+    /// Pools the entries at the common (coarsest) rate: every entry at
+    /// level `ℓ` survives with probability `2^-(c-ℓ)`.
+    fn pool(&mut self) -> Vec<GroupRecord> {
+        let Some(c) = self.entries.iter().map(|(l, _)| *l).max() else {
+            return Vec::new();
+        };
+        let mut rng = self.fresh_rng();
+        self.entries
+            .iter()
+            .filter(|(l, _)| {
+                let keep = 0.5f64.powi((c - l) as i32);
+                keep >= 1.0 || rng.random_range(0.0..1.0) < keep
+            })
+            .map(|(_, e)| window_entry_record(e))
+            .collect()
+    }
+}
+
+/// The deterministic per-draw RNG of the plain-data summaries: derived
+/// from the shared seed, a draw counter and a per-type salt, so summaries
+/// stay serializable (no RNG state) while successive queries still vary.
+pub(crate) fn derived_rng(seed: u64, draws: u64, salt: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_add(draws.wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ salt)
+}
+
+/// The trait-level [`GroupRecord`] view of a window entry: `rep` is the
+/// group's latest point (always live), `reservoir` the Section 2.3
+/// random member.
+pub(crate) fn window_entry_record(e: &WindowGroupEntry) -> GroupRecord {
+    GroupRecord {
+        rep: e.last.clone(),
+        cell_hash: e.rep_hash,
+        count: e.count,
+        reservoir: e.reservoir.clone(),
+    }
+}
+
+impl SamplerSummary for WindowSummary {
+    /// Absorbs `other`'s entries in place, so the default
+    /// [`SamplerSummary::merge_many`] fold is already a single-pass N-way
+    /// merge for this type (unlike the grid summary, nothing is
+    /// re-deduplicated per fold step).
+    fn merge(mut self, other: Self) -> Result<Self, RdsError> {
+        // Full-config equality, not just the seed: two summaries built
+        // under the same (default) seed but different alpha/dim would
+        // otherwise dedup under the wrong threshold.
+        if self.cfg != other.cfg {
+            return Err(RdsError::ConfigMismatch {
+                expected_seed: self.cfg.seed,
+                actual_seed: other.cfg.seed,
+            });
+        }
+        let alpha = self.cfg.alpha;
+        for (level, entry) in other.entries {
+            match self
+                .entries
+                .iter_mut()
+                .find(|(_, e)| e.rep.within(&entry.rep, alpha) || e.last.within(&entry.last, alpha))
+            {
+                Some((l, existing)) => {
+                    // The same group reached two shards: keep the
+                    // finer-rate (lower-level) entry, sum the counts, and
+                    // keep the newest live point.
+                    existing.count += entry.count;
+                    if entry.last_stamp > existing.last_stamp {
+                        existing.last = entry.last.clone();
+                        existing.last_stamp = entry.last_stamp;
+                    }
+                    if level < *l {
+                        *l = level;
+                        existing.rep = entry.rep;
+                        existing.rep_hash = entry.rep_hash;
+                        existing.rep_stamp = entry.rep_stamp;
+                    }
+                }
+                None => self.entries.push((level, entry)),
+            }
+        }
+        Ok(self)
+    }
+
+    /// Horvitz–Thompson estimate `Σ_entries 2^level`.
+    fn f0_estimate(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|(l, _)| 2f64.powi(*l as i32))
+            .sum()
+    }
+
+    fn query_record(&mut self) -> Option<GroupRecord> {
+        let pool = self.pool();
+        let mut rng = self.fresh_rng();
+        pool.choose(&mut rng).cloned()
+    }
+
+    fn query_k(&mut self, k: usize) -> Vec<GroupRecord> {
+        let mut pool = self.pool();
+        let mut rng = self.fresh_rng();
+        pool.shuffle(&mut rng);
+        pool.truncate(k);
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FixedRateWindowSampler, RobustL0Sampler, SlidingWindowSampler};
+    use rds_geometry::Point;
+    use rds_stream::Window;
+
+    fn item(x: f64, seq: u64) -> StreamItem {
+        StreamItem::new(Point::new(vec![x]), Stamp::at(seq))
+    }
+
+    fn cfg(seed: u64) -> SamplerConfig {
+        SamplerConfig::new(1, 0.5)
+            .with_seed(seed)
+            .with_expected_len(1 << 12)
+    }
+
+    /// The generic helper all backends share in the engine/facade.
+    fn feed<S: DistinctSampler>(s: &mut S, n: u64, n_groups: u64) {
+        for i in 0..n {
+            s.process(&item((i % n_groups) as f64 * 10.0, i));
+        }
+    }
+
+    #[test]
+    fn trait_objects_by_generic_fn_agree_on_counts() {
+        let mut inf = RobustL0Sampler::new(cfg(1));
+        let mut win = SlidingWindowSampler::new(cfg(1), Window::Sequence(1 << 20));
+        let mut fixed = FixedRateWindowSampler::new(cfg(1), Window::Sequence(1 << 20), 0);
+        feed(&mut inf, 120, 12);
+        feed(&mut win, 120, 12);
+        feed(&mut fixed, 120, 12);
+        // generous thresholds, huge window: everything counts exactly
+        assert_eq!(DistinctSampler::f0_estimate(&inf), 12.0);
+        assert_eq!(DistinctSampler::f0_estimate(&win), 12.0);
+        assert_eq!(DistinctSampler::f0_estimate(&fixed), 12.0);
+        assert_eq!(inf.seen(), 120);
+    }
+
+    #[test]
+    fn window_summary_merges_disjoint_shards() {
+        let mut a = SlidingWindowSampler::new(cfg(2), Window::Sequence(1 << 10));
+        let mut b = SlidingWindowSampler::new(cfg(2), Window::Sequence(1 << 10));
+        for i in 0..60u64 {
+            a.process(&item((i % 6) as f64 * 10.0, i));
+            b.process(&item((6 + i % 6) as f64 * 10.0, i));
+        }
+        let merged = a.summary().merge(b.summary()).expect("same config");
+        assert_eq!(merged.f0_estimate(), 12.0);
+    }
+
+    #[test]
+    fn window_summary_deduplicates_split_groups() {
+        let mut a = SlidingWindowSampler::new(cfg(3), Window::Sequence(1 << 10));
+        let mut b = SlidingWindowSampler::new(cfg(3), Window::Sequence(1 << 10));
+        // one group observed by both shards
+        for i in 0..20u64 {
+            a.process(&item(0.0, i));
+            b.process(&item(0.1, i));
+        }
+        let mut merged = a.summary().merge(b.summary()).expect("same config");
+        assert_eq!(merged.f0_estimate(), 1.0);
+        let rec = merged.query_record().expect("non-empty");
+        assert_eq!(rec.count, 40, "counts must add up across shards");
+    }
+
+    #[test]
+    fn window_summary_merge_rejects_config_mismatch() {
+        let a = SlidingWindowSampler::new(cfg(4), Window::Sequence(8));
+        let b = SlidingWindowSampler::new(cfg(5), Window::Sequence(8));
+        assert!(matches!(
+            a.summary().merge(b.summary()),
+            Err(RdsError::ConfigMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_summary_queries_are_empty() {
+        let s = SlidingWindowSampler::new(cfg(6), Window::Sequence(8));
+        let mut sum = s.summary();
+        assert!(sum.is_empty());
+        assert!(sum.query_record().is_none());
+        assert!(sum.query_k(3).is_empty());
+        assert_eq!(sum.f0_estimate(), 0.0);
+    }
+
+    #[test]
+    fn query_k_zero_is_empty_for_every_family() {
+        let mut inf = RobustL0Sampler::new(cfg(7));
+        feed(&mut inf, 30, 3);
+        assert!(inf.query_k(0).is_empty());
+        let mut win = SlidingWindowSampler::new(cfg(7), Window::Sequence(64));
+        feed(&mut win, 30, 3);
+        // UFCS: the inherent `query_k` (returning `GroupSample`s) wins on
+        // the concrete type; this exercises the trait method.
+        assert!(DistinctSampler::query_k(&mut win, 0).is_empty());
+    }
+
+    #[test]
+    fn default_process_batch_matches_per_item() {
+        let items: Vec<StreamItem> = (0..90u64).map(|i| item((i % 9) as f64 * 10.0, i)).collect();
+        let mut one = SlidingWindowSampler::new(cfg(8), Window::Sequence(256));
+        let mut per = BatchStats::default();
+        for it in &items {
+            per.record(one.process(it));
+        }
+        let mut batched = SlidingWindowSampler::new(cfg(8), Window::Sequence(256));
+        let mut stats = BatchStats::default();
+        for chunk in items.chunks(13) {
+            stats.merge(&batched.process_batch(chunk));
+        }
+        assert_eq!(per, stats);
+        assert_eq!(
+            DistinctSampler::f0_estimate(&one),
+            DistinctSampler::f0_estimate(&batched)
+        );
+    }
+}

@@ -15,7 +15,8 @@
 //! and 5.
 
 use crate::config::{SamplerConfig, SamplerContext};
-use crate::infinite::ProcessOutcome;
+use crate::infinite::{GroupRecord, ProcessOutcome};
+use crate::sampler::{window_entry_record, DistinctSampler, WindowSummary};
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use rand::{RngExt, SeedableRng};
@@ -105,6 +106,7 @@ pub struct FixedRateWindowSampler {
     entries: Vec<WindowGroupEntry>,
     scratch: Vec<i64>,
     rng: StdRng,
+    seen: u64,
 }
 
 impl FixedRateWindowSampler {
@@ -129,17 +131,32 @@ impl FixedRateWindowSampler {
             entries: Vec::new(),
             scratch: Vec::new(),
             rng: StdRng::seed_from_u64(seed ^ 0xA1 ^ ((level as u64) << 32)),
+            seen: 0,
         }
     }
 
     /// Feeds one stream item: expiry (lines 1-3), duplicate update
     /// (lines 4-6) or representative insertion (lines 7-10).
     pub fn process(&mut self, item: &StreamItem) -> ProcessOutcome {
+        self.seen += 1;
         self.expire(item.stamp);
         if self.update_duplicate(item).is_some() {
             return ProcessOutcome::Duplicate;
         }
         self.insert_first_point(item)
+    }
+
+    /// Number of items processed through [`Self::process`] (items pushed
+    /// by the Algorithm 3 hierarchy via `push_entry`/`absorb` are the
+    /// parent's and are not counted here).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Horvitz–Thompson estimate of the number of groups in the window at
+    /// this sampler's fixed rate: `|Sacc| * 2^level`.
+    pub fn f0_estimate(&self) -> f64 {
+        self.accepted_len() as f64 * 2f64.powi(self.level as i32)
     }
 
     /// Lines 1-3 of Algorithm 2: drop every group whose latest point has
@@ -320,6 +337,90 @@ impl FixedRateWindowSampler {
     /// this to pull a just-refreshed rejected group out of its level).
     pub(crate) fn retain_entries<F: FnMut(&WindowGroupEntry) -> bool>(&mut self, f: F) {
         self.entries.retain(f);
+    }
+
+    /// Moves every entry out (the cheap `into_summary` path).
+    pub(crate) fn take_entries(&mut self) -> Vec<WindowGroupEntry> {
+        std::mem::take(&mut self.entries)
+    }
+}
+
+impl DistinctSampler for FixedRateWindowSampler {
+    type Summary = WindowSummary;
+
+    fn process(&mut self, item: &StreamItem) -> ProcessOutcome {
+        FixedRateWindowSampler::process(self, item)
+    }
+
+    fn advance(&mut self, now: rds_stream::Stamp) {
+        self.expire(now);
+    }
+
+    /// The record's `rep` is the group's latest point (always inside the
+    /// window).
+    fn query_record(&mut self) -> Option<GroupRecord> {
+        let accepted: Vec<usize> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.accepted)
+            .map(|(i, _)| i)
+            .collect();
+        accepted
+            .choose(&mut self.rng)
+            .map(|&i| window_entry_record(&self.entries[i]))
+    }
+
+    fn query_k(&mut self, k: usize) -> Vec<GroupRecord> {
+        let mut accepted: Vec<usize> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.accepted)
+            .map(|(i, _)| i)
+            .collect();
+        use rand::seq::SliceRandom;
+        accepted.shuffle(&mut self.rng);
+        accepted.truncate(k);
+        accepted
+            .into_iter()
+            .map(|i| window_entry_record(&self.entries[i]))
+            .collect()
+    }
+
+    fn f0_estimate(&self) -> f64 {
+        FixedRateWindowSampler::f0_estimate(self)
+    }
+
+    fn seen(&self) -> u64 {
+        FixedRateWindowSampler::seen(self)
+    }
+
+    fn words(&self) -> usize {
+        FixedRateWindowSampler::words(self)
+    }
+
+    fn summary(&self) -> WindowSummary {
+        let level = self.level;
+        let entries = self
+            .entries
+            .iter()
+            .filter(|e| e.accepted)
+            .map(|e| (level, e.clone()))
+            .collect();
+        WindowSummary::from_parts(self.ctx.cfg().clone(), entries)
+    }
+
+    fn into_summary(mut self) -> WindowSummary {
+        let cfg = self.ctx.cfg().clone();
+        let level = self.level;
+        let entries = self
+            .take_entries()
+            .into_iter()
+            .filter(|e| e.accepted)
+            .map(|e| (level, e))
+            .collect();
+        WindowSummary::from_parts(cfg, entries)
     }
 }
 

@@ -35,14 +35,16 @@
 //!    sample.
 
 use crate::config::{SamplerConfig, SamplerContext};
-use crate::infinite::ProcessOutcome;
+use crate::error::RdsError;
+use crate::infinite::{GroupRecord, ProcessOutcome};
+use crate::sampler::{window_entry_record, DistinctSampler, WindowSummary};
 use crate::sw_fixed::{FixedRateWindowSampler, WindowGroupEntry};
 use rand::rngs::StdRng;
 use rand::seq::{IndexedRandom, SliceRandom};
 use rand::{RngExt, SeedableRng};
 use rds_geometry::Point;
 use rds_metrics::SpaceMeter;
-use rds_stream::{StreamItem, Window};
+use rds_stream::{Stamp, StreamItem, Window};
 use std::sync::Arc;
 
 /// What the query of a sliding-window sampler returns: the sampled group's
@@ -115,11 +117,51 @@ impl SlidingWindowSampler {
     /// [`crate::RobustL0Sampler`] for the infinite window) or has zero
     /// length.
     pub fn new(cfg: SamplerConfig, window: Window) -> Self {
-        let w = window
-            .len()
-            .expect("SlidingWindowSampler requires a bounded window");
-        assert!(w >= 1, "window length must be at least 1");
+        Self::try_new(cfg, window).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`RdsError::UnboundedWindow`] / [`RdsError::EmptyWindow`] for a bad
+    /// window, or any [`SamplerConfig::validate`] failure.
+    pub fn try_new(cfg: SamplerConfig, window: Window) -> Result<Self, RdsError> {
         let threshold = cfg.threshold();
+        Self::try_with_threshold(cfg, window, threshold)
+    }
+
+    /// Creates the sampler with an explicit per-level `|Sacc|` threshold
+    /// (the Section 5 F0 regime uses `kappa_B / eps^2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unbounded or empty window, a zero threshold, or an
+    /// invalid configuration.
+    pub fn with_threshold(cfg: SamplerConfig, window: Window, threshold: usize) -> Self {
+        Self::try_with_threshold(cfg, window, threshold).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::with_threshold`].
+    ///
+    /// # Errors
+    ///
+    /// [`RdsError::UnboundedWindow`], [`RdsError::EmptyWindow`],
+    /// [`RdsError::InvalidThreshold`], or any [`SamplerConfig::validate`]
+    /// failure.
+    pub fn try_with_threshold(
+        cfg: SamplerConfig,
+        window: Window,
+        threshold: usize,
+    ) -> Result<Self, RdsError> {
+        cfg.validate()?;
+        let w = window.len().ok_or(RdsError::UnboundedWindow)?;
+        if w == 0 {
+            return Err(RdsError::EmptyWindow);
+        }
+        if threshold == 0 {
+            return Err(RdsError::InvalidThreshold);
+        }
         let seed = cfg.seed;
         // ceil(log2 w) clamped to [1, 63]: at w = u64::MAX the unclamped
         // value is 64, which `level_sampled` (shift by `level`) and the
@@ -130,7 +172,7 @@ impl SlidingWindowSampler {
         let levels = (0..=top)
             .map(|l| FixedRateWindowSampler::with_context(ctx.clone(), window, l, seed))
             .collect();
-        Self {
+        Ok(Self {
             ctx,
             window,
             levels,
@@ -141,6 +183,14 @@ impl SlidingWindowSampler {
             overflow_errors: 0,
             split_failures: 0,
             space: SpaceMeter::new(),
+        })
+    }
+
+    /// Expires entries at every level against `now` without feeding a
+    /// point (the trait-level [`DistinctSampler::advance`]).
+    pub fn expire(&mut self, now: Stamp) {
+        for lvl in &mut self.levels {
+            lvl.expire(now);
         }
     }
 
@@ -233,20 +283,11 @@ impl SlidingWindowSampler {
     /// highest level with a non-empty accept set), unifying all sample
     /// rates at `2^-c`; the result is uniform among the pool.
     pub fn query(&mut self) -> Option<GroupSample> {
-        let c = self.max_nonempty_level()?;
-        let mut pool: Vec<GroupSample> = Vec::new();
-        for l in 0..=c {
-            let keep_prob = 0.5f64.powi((c - l) as i32);
-            for e in self.levels[l as usize].entries() {
-                if !e.accepted {
-                    continue;
-                }
-                if keep_prob >= 1.0 || self.rng.random_range(0.0..1.0) < keep_prob {
-                    pool.push(GroupSample::from(e));
-                }
-            }
-        }
-        debug_assert!(!pool.is_empty(), "level c contributes with probability 1");
+        let pool = self.pooled(|e| GroupSample::from(e));
+        debug_assert!(
+            pool.is_empty() == self.max_nonempty_level().is_none(),
+            "level c contributes with probability 1"
+        );
         pool.choose(&mut self.rng).cloned()
     }
 
@@ -254,21 +295,7 @@ impl SlidingWindowSampler {
     /// [`SamplerConfig::with_k`] so the per-level threshold scales with
     /// `k`).
     pub fn query_k(&mut self, k: usize) -> Vec<GroupSample> {
-        let Some(c) = self.max_nonempty_level() else {
-            return Vec::new();
-        };
-        let mut pool: Vec<GroupSample> = Vec::new();
-        for l in 0..=c {
-            let keep_prob = 0.5f64.powi((c - l) as i32);
-            for e in self.levels[l as usize].entries() {
-                if !e.accepted {
-                    continue;
-                }
-                if keep_prob >= 1.0 || self.rng.random_range(0.0..1.0) < keep_prob {
-                    pool.push(GroupSample::from(e));
-                }
-            }
-        }
+        let mut pool = self.pooled(|e| GroupSample::from(e));
         pool.shuffle(&mut self.rng);
         pool.truncate(k);
         pool
@@ -354,6 +381,98 @@ impl SlidingWindowSampler {
     /// All live entries across levels (diagnostics/tests).
     pub fn all_entries(&self) -> impl Iterator<Item = &WindowGroupEntry> {
         self.levels.iter().flat_map(|l| l.entries().iter())
+    }
+
+    /// Algorithm 3 lines 19-22, the single pooling implementation behind
+    /// every query flavour: each accepted entry at level `ℓ` enters the
+    /// pool with probability `2^-(c-ℓ)` (where `c` is the highest
+    /// occupied level), mapped through `view`.
+    fn pooled<T>(&mut self, view: impl Fn(&WindowGroupEntry) -> T) -> Vec<T> {
+        let Some(c) = self.max_nonempty_level() else {
+            return Vec::new();
+        };
+        let mut pool = Vec::new();
+        for l in 0..=c {
+            let keep_prob = 0.5f64.powi((c - l) as i32);
+            for e in self.levels[l as usize].entries() {
+                if !e.accepted {
+                    continue;
+                }
+                if keep_prob >= 1.0 || self.rng.random_range(0.0..1.0) < keep_prob {
+                    pool.push(view(e));
+                }
+            }
+        }
+        pool
+    }
+}
+
+impl DistinctSampler for SlidingWindowSampler {
+    type Summary = WindowSummary;
+
+    fn process(&mut self, item: &StreamItem) -> ProcessOutcome {
+        SlidingWindowSampler::process(self, item)
+    }
+
+    fn advance(&mut self, now: Stamp) {
+        self.expire(now);
+    }
+
+    /// The record's `rep` is the group's latest point (always inside the
+    /// window).
+    fn query_record(&mut self) -> Option<GroupRecord> {
+        let pool = self.pooled(window_entry_record);
+        pool.choose(&mut self.rng).cloned()
+    }
+
+    fn query_k(&mut self, k: usize) -> Vec<GroupRecord> {
+        let mut pool = self.pooled(window_entry_record);
+        pool.shuffle(&mut self.rng);
+        pool.truncate(k);
+        pool
+    }
+
+    fn f0_estimate(&self) -> f64 {
+        SlidingWindowSampler::f0_estimate(self)
+    }
+
+    fn seen(&self) -> u64 {
+        SlidingWindowSampler::seen(self)
+    }
+
+    fn words(&self) -> usize {
+        SlidingWindowSampler::words(self)
+    }
+
+    fn summary(&self) -> WindowSummary {
+        let entries = self
+            .levels
+            .iter()
+            .enumerate()
+            .flat_map(|(l, lvl)| {
+                lvl.entries()
+                    .iter()
+                    .filter(|e| e.accepted)
+                    .map(move |e| (l as u32, e.clone()))
+            })
+            .collect();
+        WindowSummary::from_parts(self.ctx.cfg().clone(), entries)
+    }
+
+    fn into_summary(mut self) -> WindowSummary {
+        let cfg = self.ctx.cfg().clone();
+        let entries = self
+            .levels
+            .iter_mut()
+            .enumerate()
+            .flat_map(|(l, lvl)| {
+                lvl.take_entries()
+                    .into_iter()
+                    .filter(|e| e.accepted)
+                    .map(move |e| (l as u32, e))
+            })
+            .collect();
+        WindowSummary::from_parts(cfg, entries)
     }
 }
 

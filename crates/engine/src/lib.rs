@@ -1,13 +1,23 @@
-//! Sharded concurrent ingestion for robust distinct sampling.
+//! Sharded concurrent ingestion for robust distinct sampling — generic
+//! over the sampler family.
 //!
-//! The paper's site summaries merge ([`DistributedSampling`]), so a single
-//! heavy stream can be *sharded*: `N` worker threads each own an ordinary
-//! [`RobustL0Sampler`] built from one shared [`SamplerConfig`] (identical
-//! grid and hash), a router hash-partitions arriving points across the
-//! workers, and queries merge the per-shard [`SiteSummary`]s exactly as a
-//! coordinator would merge remote sites. Correctness is inherited from
-//! the merge: the union of the shard substreams *is* the stream, and the
-//! merge deduplicates groups whose points were split across shards.
+//! Sampler summaries merge ([`SamplerSummary`]), so a single heavy stream
+//! can be *sharded*: `N` worker threads each own a sampler built from one
+//! shared [`SamplerConfig`] (identical grid and hash), a router
+//! hash-partitions arriving items across the workers, and queries merge
+//! the per-shard summaries exactly as a coordinator would merge remote
+//! sites. Correctness is inherited from the merge: the union of the shard
+//! substreams *is* the stream, and the merge deduplicates groups whose
+//! points were split across shards.
+//!
+//! The engine is generic over `S: DistinctSampler + Send`, so
+//! sliding-window ([`SlidingWindowSampler`]) and other workloads shard
+//! exactly like the infinite-window one ([`RobustL0Sampler`], the default
+//! type parameter). Window expiry stays correct under sharding because
+//! items carry their *global* stamps: each shard's window is the global
+//! window restricted to its substream, and before every snapshot the
+//! worker advances its sampler to the engine's latest stamp
+//! ([`DistinctSampler::advance`]), so shards that went quiet still expire.
 //!
 //! Two mechanisms make the sharded path fast:
 //!
@@ -19,10 +29,10 @@
 //!   factor. This is a genuine algorithmic speedup, visible even on a
 //!   single hardware thread; on a multicore box the shards additionally
 //!   run in parallel.
-//! * **Batched hand-off.** Points travel to the workers in [`Vec`]
+//! * **Batched hand-off.** Items travel to the workers in [`Vec`]
 //!   batches (default [`DEFAULT_BATCH_SIZE`]) and are ingested with
-//!   [`RobustL0Sampler::process_batch`], amortizing channel traffic and
-//!   the space-metering sweep over the batch.
+//!   [`DistinctSampler::process_batch`], amortizing channel traffic and
+//!   per-item bookkeeping over the batch.
 //!
 //! ```
 //! use rds_core::SamplerConfig;
@@ -45,14 +55,16 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rds_core::{
-    DistributedSampling, MergedSummary, RobustL0Sampler, SamplerConfig, SiteSummary,
+    DistinctSampler, GroupRecord, RdsError, RobustL0Sampler, SamplerConfig, SamplerSummary,
+    SlidingWindowSampler,
 };
 use rds_geometry::{Grid, Point};
 use rds_hashing::CellKeyMixer;
+use rds_stream::{Stamp, StreamItem, Window};
 use std::sync::mpsc::{self, Sender};
 use std::thread::JoinHandle;
 
-/// Default number of points per batch handed to a worker shard.
+/// Default number of items per batch handed to a worker shard.
 pub const DEFAULT_BATCH_SIZE: usize = 256;
 
 /// The routing grid is this factor coarser than the sampler grid, so one
@@ -64,14 +76,14 @@ const ROUTE_SIDE_FACTOR: f64 = 4.0;
 const ROUTE_GRID_SALT: u64 = 0x5AAD_ED01;
 const ROUTE_MIX_SALT: u64 = 0x5AAD_ED02;
 
-enum Cmd {
-    Batch(Vec<Point>),
-    Snapshot(Sender<SiteSummary>),
+enum Cmd<Sum> {
+    Batch(Vec<StreamItem>),
+    Snapshot(Sender<Sum>, Stamp),
 }
 
-struct Shard {
-    tx: Sender<Cmd>,
-    buf: Vec<Point>,
+struct Shard<Sum> {
+    tx: Sender<Cmd<Sum>>,
+    buf: Vec<StreamItem>,
     routed: u64,
 }
 
@@ -99,23 +111,28 @@ impl Router {
     }
 }
 
-/// A sharded ingestion pipeline over the infinite window: hash-partitions
-/// points across `N` worker threads, each owning a [`RobustL0Sampler`]
-/// with the shared configuration, and answers queries by merging the
-/// per-shard summaries.
+/// A sharded ingestion pipeline, generic over the sampler family `S`:
+/// hash-partitions stream items across `N` worker threads, each owning an
+/// `S` built from the shared configuration, and answers queries by
+/// merging the per-shard [`DistinctSampler::Summary`]s.
+///
+/// The default type parameter is the infinite-window [`RobustL0Sampler`];
+/// [`ShardedEngine::sliding_window`] builds the same pipeline over
+/// [`SlidingWindowSampler`]s, and [`ShardedEngine::with_factory`] accepts
+/// any [`DistinctSampler`].
 ///
 /// All query methods implicitly [`flush`](Self::flush) first, so results
-/// always reflect every ingested point. Dropping the engine shuts the
+/// always reflect every ingested item. Dropping the engine shuts the
 /// workers down; [`finish`](Self::finish) does the same but hands back
-/// the final [`MergedSummary`] without cloning shard state.
+/// the final merged summary without cloning shard state.
 #[derive(Debug)]
-pub struct ShardedEngine {
-    dist: DistributedSampling,
+pub struct ShardedEngine<S: DistinctSampler = RobustL0Sampler> {
     router: Router,
-    shards: Vec<Shard>,
-    handles: Vec<JoinHandle<RobustL0Sampler>>,
+    shards: Vec<Shard<S::Summary>>,
+    handles: Vec<JoinHandle<S>>,
     batch_size: usize,
     seen: u64,
+    last_stamp: Stamp,
 }
 
 impl std::fmt::Debug for Router {
@@ -124,7 +141,7 @@ impl std::fmt::Debug for Router {
     }
 }
 
-impl std::fmt::Debug for Shard {
+impl<Sum> std::fmt::Debug for Shard<Sum> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Shard")
             .field("buffered", &self.buf.len())
@@ -133,41 +150,58 @@ impl std::fmt::Debug for Shard {
     }
 }
 
-impl ShardedEngine {
-    /// Spawns `n_shards` worker threads, each with a fresh site sampler of
-    /// the shared configuration (Algorithm 1's default threshold).
+impl<S> ShardedEngine<S>
+where
+    S: DistinctSampler + Send + 'static,
+    S::Summary: Send + 'static,
+{
+    /// Spawns `n_shards` workers whose samplers come from `make` (called
+    /// once per shard, in shard order). Every sampler **must** be built
+    /// from the same configuration as `cfg` — identical grid and hash are
+    /// what make the summary merge sound; `cfg` itself only drives the
+    /// router.
     ///
     /// # Panics
     ///
-    /// Panics if `n_shards == 0`.
-    pub fn new(cfg: SamplerConfig, n_shards: usize) -> Self {
-        let threshold = cfg.threshold();
-        Self::with_threshold(cfg, n_shards, threshold)
+    /// Panics if `n_shards == 0` or the configuration is invalid; see
+    /// [`Self::try_with_factory`] for the fallible variant.
+    pub fn with_factory(
+        cfg: &SamplerConfig,
+        n_shards: usize,
+        make: impl FnMut(usize) -> S,
+    ) -> Self {
+        Self::try_with_factory(cfg, n_shards, make).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Like [`Self::new`] with an explicit accept-set threshold per shard
-    /// (Section 5's F0 regime uses `kappa_B / eps^2`).
+    /// Fallible variant of [`Self::with_factory`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n_shards == 0` or `threshold == 0`.
-    pub fn with_threshold(cfg: SamplerConfig, n_shards: usize, threshold: usize) -> Self {
-        assert!(n_shards >= 1, "need at least one shard");
-        let dist = DistributedSampling::new(cfg.clone());
-        let router = Router::new(&cfg);
+    /// [`RdsError::InvalidShards`] if `n_shards == 0`, or any
+    /// [`SamplerConfig::validate`] failure.
+    pub fn try_with_factory(
+        cfg: &SamplerConfig,
+        n_shards: usize,
+        mut make: impl FnMut(usize) -> S,
+    ) -> Result<Self, RdsError> {
+        cfg.validate()?;
+        if n_shards == 0 {
+            return Err(RdsError::InvalidShards);
+        }
+        let router = Router::new(cfg);
         let mut shards = Vec::with_capacity(n_shards);
         let mut handles = Vec::with_capacity(n_shards);
-        for _ in 0..n_shards {
-            let (tx, rx) = mpsc::channel::<Cmd>();
-            let site_cfg = cfg.clone();
+        for i in 0..n_shards {
+            let (tx, rx) = mpsc::channel::<Cmd<S::Summary>>();
+            let mut sampler = make(i);
             let handle = std::thread::spawn(move || {
-                let mut sampler = RobustL0Sampler::with_threshold(site_cfg, threshold);
                 while let Ok(cmd) = rx.recv() {
                     match cmd {
                         Cmd::Batch(batch) => {
                             sampler.process_batch(&batch);
                         }
-                        Cmd::Snapshot(reply) => {
+                        Cmd::Snapshot(reply, now) => {
+                            sampler.advance(now);
                             // receiver may have given up; ignore
                             let _ = reply.send(sampler.summary());
                         }
@@ -182,17 +216,17 @@ impl ShardedEngine {
             });
             handles.push(handle);
         }
-        Self {
-            dist,
+        Ok(Self {
             router,
             shards,
             handles,
             batch_size: DEFAULT_BATCH_SIZE,
             seen: 0,
-        }
+            last_stamp: Stamp::at(0),
+        })
     }
 
-    /// Sets the number of points buffered per shard before a batch is
+    /// Sets the number of items buffered per shard before a batch is
     /// shipped to the worker.
     ///
     /// # Panics
@@ -204,14 +238,26 @@ impl ShardedEngine {
         self
     }
 
-    /// Routes one point to its shard, shipping that shard's buffer when it
-    /// reaches the batch size.
+    /// Routes one point to its shard, stamping it with the engine's
+    /// arrival counter (sequence number == timestamp). Use
+    /// [`Self::ingest_item`] to supply explicit stamps (time-based
+    /// windows).
     pub fn ingest(&mut self, p: Point) {
+        let stamp = Stamp::at(self.seen);
+        self.ingest_item(StreamItem::new(p, stamp));
+    }
+
+    /// Routes one stamped item to its shard, shipping that shard's buffer
+    /// when it reaches the batch size. Stamps must be non-decreasing;
+    /// they carry the *global* clock, so each shard's window expiry
+    /// agrees with the unsharded sampler's.
+    pub fn ingest_item(&mut self, item: StreamItem) {
         self.seen += 1;
-        let s = self.router.shard_of(&p, self.shards.len());
+        self.last_stamp = item.stamp;
+        let s = self.router.shard_of(&item.point, self.shards.len());
         let shard = &mut self.shards[s];
         shard.routed += 1;
-        shard.buf.push(p);
+        shard.buf.push(item);
         if shard.buf.len() >= self.batch_size {
             let batch = std::mem::replace(&mut shard.buf, Vec::with_capacity(self.batch_size));
             shard
@@ -221,9 +267,12 @@ impl ShardedEngine {
         }
     }
 
-    /// Ingests every point of an iterator of points (to feed pre-chunked
-    /// input from [`rds_stream::batched`], flatten it first:
-    /// `engine.ingest_batch(batches.flatten())`).
+    /// Ingests every point of an iterator, one [`Self::ingest`] call per
+    /// point (stamped with the engine's arrival counter). The iterator
+    /// yields plain [`Point`]s — if your input is already chunked (e.g.
+    /// from [`rds_stream::batched`]), flatten it first; the engine does
+    /// its own per-shard batching regardless, so pre-chunking buys
+    /// nothing.
     pub fn ingest_batch<I>(&mut self, points: I)
     where
         I: IntoIterator<Item = Point>,
@@ -247,16 +296,19 @@ impl ShardedEngine {
         }
     }
 
-    /// Flushes, then snapshots every shard's [`SiteSummary`] (the workers
-    /// keep running and can ingest more afterwards).
-    pub fn summaries(&mut self) -> Vec<SiteSummary> {
+    /// Flushes, then snapshots every shard's summary (the workers keep
+    /// running and can ingest more afterwards). Window samplers are
+    /// advanced to the engine's latest stamp first, so quiet shards
+    /// expire correctly.
+    pub fn summaries(&mut self) -> Vec<S::Summary> {
         self.flush();
+        let now = self.last_stamp;
         let mut pending = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
             let (reply_tx, reply_rx) = mpsc::channel();
             shard
                 .tx
-                .send(Cmd::Snapshot(reply_tx))
+                .send(Cmd::Snapshot(reply_tx, now))
                 .expect("shard worker terminated");
             pending.push(reply_rx);
         }
@@ -266,53 +318,55 @@ impl ShardedEngine {
             .collect()
     }
 
-    /// Flushes and merges the current shard states into a coordinator
-    /// summary over the whole stream so far.
-    pub fn merged(&mut self) -> MergedSummary {
-        let summaries = self.summaries();
-        self.dist
-            .merge_summaries(&summaries)
-            .expect("shards share one configuration by construction")
+    /// Flushes and merges the current shard states into one summary over
+    /// the whole stream so far.
+    pub fn merged(&mut self) -> S::Summary {
+        Self::reduce(self.summaries())
     }
 
-    /// The merged robust F0 estimate (`|Sacc| * R` over the union).
+    /// The merged robust F0 estimate over the union of the shards.
     pub fn f0_estimate(&mut self) -> f64 {
         self.merged().f0_estimate()
     }
 
-    /// Draws one robust ℓ0-sample over the whole stream: a uniformly
-    /// random sampled entity's representative. `None` iff nothing was
-    /// ingested.
-    pub fn query(&mut self) -> Option<Point> {
-        self.merged().query().cloned()
+    /// Draws one robust ℓ0-sample over the whole stream: the owned record
+    /// of a uniformly random sampled entity. `None` iff nothing was
+    /// ingested (or, for window backends, nothing is live).
+    pub fn query(&mut self) -> Option<GroupRecord> {
+        self.merged().query_record()
     }
 
-    /// Draws up to `k` distinct sampled entities.
-    pub fn query_k(&mut self, k: usize) -> Vec<Point> {
-        self.merged()
-            .query_k(k)
-            .into_iter()
-            .map(|rec| rec.rep.clone())
-            .collect()
+    /// Draws up to `k` distinct sampled entities, owned.
+    pub fn query_k(&mut self, k: usize) -> Vec<GroupRecord> {
+        self.merged().query_k(k)
     }
 
     /// Shuts the workers down and merges their final states, moving (not
-    /// cloning) every shard's candidate sets into the summary.
-    pub fn finish(mut self) -> MergedSummary {
+    /// cloning) every shard's state into the summary.
+    pub fn finish(mut self) -> S::Summary {
         self.flush();
+        let now = self.last_stamp;
         // Dropping the senders ends each worker's receive loop.
         let handles = std::mem::take(&mut self.handles);
         self.shards.clear();
-        let summaries: Vec<SiteSummary> = handles
+        let summaries: Vec<S::Summary> = handles
             .into_iter()
-            .map(|h| h.join().expect("shard worker panicked").into_summary())
+            .map(|h| {
+                let mut sampler = h.join().expect("shard worker panicked");
+                sampler.advance(now);
+                sampler.into_summary()
+            })
             .collect();
-        self.dist
-            .merge_summaries(&summaries)
-            .expect("shards share one configuration by construction")
+        Self::reduce(summaries)
     }
 
-    /// Number of points ingested so far (including still-buffered ones).
+    fn reduce(summaries: Vec<S::Summary>) -> S::Summary {
+        S::Summary::merge_many(summaries)
+            .expect("shards share one configuration by construction")
+            .expect("engine has at least one shard")
+    }
+
+    /// Number of items ingested so far (including still-buffered ones).
     pub fn seen(&self) -> u64 {
         self.seen
     }
@@ -327,17 +381,132 @@ impl ShardedEngine {
         self.batch_size
     }
 
-    /// How many points were routed to each shard — diagnostic view of the
+    /// How many items were routed to each shard — diagnostic view of the
     /// partition balance.
     pub fn shard_loads(&self) -> Vec<u64> {
         self.shards.iter().map(|s| s.routed).collect()
     }
 }
 
-impl Drop for ShardedEngine {
+impl ShardedEngine<RobustL0Sampler> {
+    /// Spawns `n_shards` worker threads, each with a fresh
+    /// infinite-window site sampler of the shared configuration
+    /// (Algorithm 1's default threshold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards == 0` or the configuration is invalid.
+    pub fn new(cfg: SamplerConfig, n_shards: usize) -> Self {
+        Self::try_new(cfg, n_shards).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`RdsError::InvalidShards`] or any [`SamplerConfig::validate`]
+    /// failure.
+    pub fn try_new(cfg: SamplerConfig, n_shards: usize) -> Result<Self, RdsError> {
+        let threshold = cfg.threshold();
+        Self::try_with_threshold(cfg, n_shards, threshold)
+    }
+
+    /// Like [`Self::new`] with an explicit accept-set threshold per shard
+    /// (Section 5's F0 regime uses `kappa_B / eps^2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards == 0`, `threshold == 0`, or the configuration
+    /// is invalid.
+    pub fn with_threshold(cfg: SamplerConfig, n_shards: usize, threshold: usize) -> Self {
+        Self::try_with_threshold(cfg, n_shards, threshold).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::with_threshold`].
+    ///
+    /// # Errors
+    ///
+    /// [`RdsError::InvalidShards`], [`RdsError::InvalidThreshold`], or
+    /// any [`SamplerConfig::validate`] failure.
+    pub fn try_with_threshold(
+        cfg: SamplerConfig,
+        n_shards: usize,
+        threshold: usize,
+    ) -> Result<Self, RdsError> {
+        if threshold == 0 {
+            return Err(RdsError::InvalidThreshold);
+        }
+        Self::try_with_factory(&cfg, n_shards, |_| {
+            RobustL0Sampler::with_threshold(cfg.clone(), threshold)
+        })
+    }
+}
+
+impl ShardedEngine<SlidingWindowSampler> {
+    /// Spawns `n_shards` workers, each with a fresh [`SlidingWindowSampler`]
+    /// over `window` sharing the configuration. Items must be ingested
+    /// through [`Self::ingest_item`] with their global stamps (or
+    /// [`Self::ingest`], which stamps by arrival index).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero shards, an unbounded/empty window, or an invalid
+    /// configuration.
+    pub fn sliding_window(cfg: SamplerConfig, window: Window, n_shards: usize) -> Self {
+        Self::try_sliding_window(cfg, window, n_shards).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::sliding_window`].
+    ///
+    /// # Errors
+    ///
+    /// [`RdsError::InvalidShards`], [`RdsError::UnboundedWindow`],
+    /// [`RdsError::EmptyWindow`], or any [`SamplerConfig::validate`]
+    /// failure.
+    pub fn try_sliding_window(
+        cfg: SamplerConfig,
+        window: Window,
+        n_shards: usize,
+    ) -> Result<Self, RdsError> {
+        let threshold = cfg.threshold();
+        Self::try_sliding_window_with_threshold(cfg, window, n_shards, threshold)
+    }
+
+    /// Like [`Self::try_sliding_window`] with an explicit per-level
+    /// accept-set threshold (the Section 5 F0 regime uses
+    /// `kappa_B / eps^2`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::try_sliding_window`], plus
+    /// [`RdsError::InvalidThreshold`] on a zero threshold.
+    pub fn try_sliding_window_with_threshold(
+        cfg: SamplerConfig,
+        window: Window,
+        n_shards: usize,
+        threshold: usize,
+    ) -> Result<Self, RdsError> {
+        // Validate window + threshold once up front so the factory cannot
+        // panic (try_with_factory validates the config itself).
+        window.len().ok_or(RdsError::UnboundedWindow).and_then(|w| {
+            if w == 0 {
+                Err(RdsError::EmptyWindow)
+            } else if threshold == 0 {
+                Err(RdsError::InvalidThreshold)
+            } else {
+                Ok(())
+            }
+        })?;
+        Self::try_with_factory(&cfg, n_shards, |_| {
+            SlidingWindowSampler::with_threshold(cfg.clone(), window, threshold)
+        })
+    }
+}
+
+impl<S: DistinctSampler> Drop for ShardedEngine<S> {
     fn drop(&mut self) {
         // Close the channels so the workers exit their loops, then wait
-        // for them; buffered points are discarded (call `finish` to keep
+        // for them; buffered items are discarded (call `finish` to keep
         // them).
         self.shards.clear();
         for h in std::mem::take(&mut self.handles) {
@@ -435,7 +604,7 @@ mod tests {
             engine.ingest(grouped_point(i, 4));
         }
         let q = engine.query().expect("non-empty");
-        let entity = (q.get(0) / 10.0).round();
+        let entity = (q.rep.get(0) / 10.0).round();
         assert!((0.0..4.0).contains(&entity), "sample {q:?} not an entity");
     }
 
@@ -449,7 +618,7 @@ mod tests {
         assert_eq!(picks.len(), 5);
         for i in 0..picks.len() {
             for j in (i + 1)..picks.len() {
-                assert!(!picks[i].within(&picks[j], 0.5), "duplicate entities");
+                assert!(!picks[i].rep.within(&picks[j].rep, 0.5), "duplicate entities");
             }
         }
     }
@@ -504,13 +673,99 @@ mod tests {
                 engine.ingest(grouped_point(i, n_groups as u64));
             }
             let q = engine.query().expect("non-empty");
-            hist.record((q.get(0) / 10.0).round() as usize);
+            hist.record((q.rep.get(0) / 10.0).round() as usize);
         }
         assert!(
             hist.std_dev_nm() < 0.5,
             "sharded sampling biased: {:?}",
             hist.counts()
         );
+    }
+
+    #[test]
+    fn sliding_window_shards_end_to_end() {
+        // The acceptance test of the generic redesign: a sliding-window
+        // sampler sharded 4 ways tracks the live window, expires old
+        // groups, and agrees with the unsharded sampler when nothing
+        // subsamples.
+        let w = 64u64;
+        let mut engine = ShardedEngine::sliding_window(cfg(21), Window::Sequence(w), 4)
+            .with_batch_size(16);
+        // Phase 1: 16 groups cycling; all 16 live at any time after warmup.
+        for i in 0..512u64 {
+            engine.ingest(grouped_point(i, 16));
+        }
+        assert_eq!(engine.f0_estimate(), 16.0, "all 16 groups live in the window");
+        // Phase 2: only group 0 streams; after w items everything else
+        // expired — including on shards that received none of the new
+        // items (the advance-before-snapshot path).
+        for i in 512..512 + 2 * w {
+            engine.ingest(Point::new(vec![0.01 * (i % 3) as f64]));
+        }
+        assert_eq!(engine.f0_estimate(), 1.0, "only group 0 is live");
+        let q = engine.query().expect("window non-empty");
+        assert!(
+            q.rep.within(&Point::new(vec![0.0]), 0.5),
+            "sample must come from the only live group"
+        );
+        let final_summary = engine.finish();
+        assert_eq!(final_summary.f0_estimate(), 1.0);
+    }
+
+    #[test]
+    fn sharded_window_matches_unsharded_on_live_group_count() {
+        let w = 128u64;
+        let mut single = SlidingWindowSampler::new(cfg(22), Window::Sequence(w));
+        let mut engine =
+            ShardedEngine::sliding_window(cfg(22), Window::Sequence(w), 4).with_batch_size(8);
+        for i in 0..1024u64 {
+            let p = grouped_point(i, 32);
+            single.process(&StreamItem::new(p.clone(), Stamp::at(i)));
+            engine.ingest_item(StreamItem::new(p, Stamp::at(i)));
+        }
+        // generous threshold: neither side subsamples, both count exactly
+        assert_eq!(single.f0_estimate(), 32.0);
+        assert_eq!(engine.f0_estimate(), 32.0);
+    }
+
+    #[test]
+    fn sharded_time_window_expires_by_timestamp() {
+        let mut engine =
+            ShardedEngine::sliding_window(cfg(23), Window::Time(10), 3).with_batch_size(4);
+        // burst of 6 groups at time 0
+        for g in 0..6u64 {
+            engine.ingest_item(StreamItem::new(
+                Point::new(vec![g as f64 * 10.0]),
+                Stamp::new(g, 0),
+            ));
+        }
+        assert_eq!(engine.f0_estimate(), 6.0);
+        // one group at time 20: the burst is out of the window
+        engine.ingest_item(StreamItem::new(Point::new(vec![990.0]), Stamp::new(6, 20)));
+        assert_eq!(engine.f0_estimate(), 1.0);
+        let q = engine.query().expect("non-empty");
+        assert_eq!(q.rep, Point::new(vec![990.0]));
+    }
+
+    #[test]
+    fn try_constructors_surface_typed_errors() {
+        assert!(matches!(
+            ShardedEngine::try_new(cfg(9), 0),
+            Err(RdsError::InvalidShards)
+        ));
+        assert!(matches!(
+            ShardedEngine::try_with_threshold(cfg(9), 2, 0),
+            Err(RdsError::InvalidThreshold)
+        ));
+        assert!(matches!(
+            ShardedEngine::try_sliding_window(cfg(9), Window::Infinite, 2),
+            Err(RdsError::UnboundedWindow)
+        ));
+        let bad = SamplerConfig { alpha: f64::NAN, ..cfg(9) };
+        assert!(matches!(
+            ShardedEngine::try_new(bad, 2),
+            Err(RdsError::InvalidAlpha { .. })
+        ));
     }
 
     #[test]

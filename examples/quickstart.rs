@@ -8,8 +8,9 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use robust_distinct_sampling::core::{RobustF0Estimator, RobustL0Sampler, SamplerConfig};
+use robust_distinct_sampling::core::{RobustF0Estimator, SamplerConfig};
 use robust_distinct_sampling::geometry::Point;
+use robust_distinct_sampling::Rds;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(7);
@@ -38,27 +39,52 @@ fn main() {
         stream.len()
     );
 
-    // --- Robust l0-sampling (Algorithm 1) ------------------------------
+    // --- Robust l0-sampling through the facade --------------------------
+    // Rds::builder() is the one entry point: change .window(...) or
+    // .shards(...) and the same handle serves every regime.
+    let mut rds = Rds::builder()
+        .dim(dim)
+        .alpha(alpha)
+        .seed(42)
+        .expected_len(stream.len() as u64)
+        .build()
+        .expect("valid configuration");
+    for (p, _) in &stream {
+        rds.process(p.clone());
+    }
+    let sample = rds.query().expect("stream is non-empty");
+    let entity = stream
+        .iter()
+        .find(|(p, _)| *p == sample.rep)
+        .map(|(_, e)| *e)
+        .expect("sample comes from the stream");
+    println!(
+        "sampled entity {entity} (uniform over entities, not points; seen {} times)",
+        sample.count
+    );
+    println!("estimated distinct entities: {:.1}", rds.f0_estimate());
+
+    // The same stream, sharded across 4 worker threads — identical calls.
+    let mut sharded = Rds::builder()
+        .dim(dim)
+        .alpha(alpha)
+        .seed(42)
+        .expected_len(stream.len() as u64)
+        .shards(4)
+        .build()
+        .expect("valid configuration");
+    for (p, _) in &stream {
+        sharded.process(p.clone());
+    }
+    println!(
+        "sharded across {} workers: estimate {:.1}",
+        sharded.shards(),
+        sharded.f0_estimate()
+    );
+
     let cfg = SamplerConfig::new(dim, alpha)
         .with_seed(42)
         .with_expected_len(stream.len() as u64);
-    let mut sampler = RobustL0Sampler::new(cfg.clone());
-    for (p, _) in &stream {
-        sampler.process(p);
-    }
-    let sample = sampler.query().expect("stream is non-empty");
-    let entity = stream
-        .iter()
-        .find(|(p, _)| p == sample)
-        .map(|(_, e)| *e)
-        .expect("sample comes from the stream");
-    println!("sampled entity {entity} (uniform over entities, not points)");
-    println!(
-        "sampler state: {} accepted + {} rejected groups, {} words",
-        sampler.accept_set().len(),
-        sampler.reject_set().len(),
-        sampler.words()
-    );
 
     // --- Robust F0 estimation (Section 5) -------------------------------
     let mut f0 = RobustF0Estimator::new(cfg, 0.3, 5);

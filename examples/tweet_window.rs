@@ -12,9 +12,9 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use robust_distinct_sampling::core::{SamplerConfig, SlidingWindowSampler};
 use robust_distinct_sampling::geometry::Point;
 use robust_distinct_sampling::stream::{Stamp, StreamItem, Window};
+use robust_distinct_sampling::Rds;
 
 const DIM: usize = 6;
 const ALPHA: f64 = 0.1; // edits stay within alpha of the original
@@ -52,14 +52,20 @@ fn main() {
     tweets.sort_by_key(|&(_, t)| t);
     println!("simulated {} tweets across {n_topics} topics over 24h", tweets.len());
 
-    let cfg = SamplerConfig::new(DIM, ALPHA)
-        .with_seed(99)
-        .with_expected_len(tweets.len() as u64);
-    let mut sampler = SlidingWindowSampler::new(cfg, Window::Time(HOUR));
+    // The facade handles the time-based window; add .shards(n) to spread
+    // a heavier feed across workers with the same calls.
+    let mut sampler = Rds::builder()
+        .dim(DIM)
+        .alpha(ALPHA)
+        .seed(99)
+        .expected_len(tweets.len() as u64)
+        .window(Window::Time(HOUR))
+        .build()
+        .expect("valid configuration");
 
     let mut next_report = 4 * HOUR;
     for (seq, (p, t)) in tweets.iter().enumerate() {
-        sampler.process(&StreamItem::new(p.clone(), Stamp::new(seq as u64, *t)));
+        sampler.process_item(StreamItem::new(p.clone(), Stamp::new(seq as u64, *t)));
         if *t >= next_report {
             let live = topics
                 .iter()
@@ -80,9 +86,9 @@ fn main() {
     }
 
     println!(
-        "\nsampler used {} words across {} levels for a window of {} seconds",
-        sampler.words(),
-        sampler.n_levels(),
-        HOUR
+        "\nprocessed {} tweets over a {}-second window ({} live-topic estimate at the end)",
+        sampler.seen(),
+        HOUR,
+        sampler.f0_estimate()
     );
 }

@@ -1,0 +1,411 @@
+//! The `Rds` facade: one window-agnostic, shard-agnostic entry point.
+//!
+//! `Rds::builder()` collects the problem parameters — dimension, the
+//! near-duplicate threshold `alpha`, the window model, the shard count —
+//! and `build()` picks the backend: a single in-process sampler for
+//! `shards == 1`, the sharded engine otherwise; the infinite-window
+//! sampler for [`Window::Infinite`], the sliding-window hierarchy for a
+//! bounded window. Every combination answers the same queries through the
+//! same handle, so callers swap regimes by changing configuration, not
+//! code.
+//!
+//! ```
+//! use robust_distinct_sampling::{Rds, geometry::Point};
+//!
+//! let mut rds = Rds::builder()
+//!     .dim(1)
+//!     .alpha(0.5)
+//!     .seed(7)
+//!     .build()
+//!     .expect("valid configuration");
+//! for i in 0..200u64 {
+//!     rds.process(Point::new(vec![(i % 20) as f64 * 10.0]));
+//! }
+//! assert_eq!(rds.f0_estimate(), 20.0);
+//! let sample = rds.query().expect("stream non-empty");
+//! assert_eq!(sample.rep.dim(), 1);
+//! ```
+
+use rds_core::{
+    DistinctSampler, GroupRecord, RdsError, RobustL0Sampler, SamplerConfig, SlidingWindowSampler,
+    DEFAULT_KAPPA_B,
+};
+use rds_engine::ShardedEngine;
+use rds_geometry::Point;
+use rds_stream::{Stamp, StreamItem, Window};
+
+/// Which concrete pipeline serves the handle. One variant per
+/// (window, sharding) combination; all four speak [`DistinctSampler`] /
+/// the engine's merged-summary API.
+enum Backend {
+    /// `shards == 1`, infinite window: Algorithm 1 in-process.
+    Single(Box<RobustL0Sampler>),
+    /// `shards == 1`, bounded window: Algorithm 3 in-process.
+    Window(Box<SlidingWindowSampler>),
+    /// `shards > 1`, infinite window.
+    Engine(ShardedEngine<RobustL0Sampler>),
+    /// `shards > 1`, bounded window.
+    WindowEngine(ShardedEngine<SlidingWindowSampler>),
+}
+
+/// A unified robust-distinct-sampling handle over any window model and
+/// shard count. Build one with [`Rds::builder`].
+pub struct Rds {
+    backend: Backend,
+    window: Window,
+    shards: usize,
+    fed: u64,
+}
+
+/// Fallible builder for [`Rds`]; `dim` and `alpha` are required, all
+/// other parameters have the library defaults. Validation happens in
+/// [`Self::build`] and surfaces as [`RdsError`] — no panics.
+#[derive(Clone, Debug)]
+pub struct RdsBuilder {
+    dim: Option<usize>,
+    alpha: Option<f64>,
+    window: Window,
+    shards: usize,
+    seed: u64,
+    expected_len: u64,
+    k: usize,
+    kappa0: Option<f64>,
+    eps: Option<f64>,
+}
+
+impl Default for RdsBuilder {
+    fn default() -> Self {
+        Self {
+            dim: None,
+            alpha: None,
+            window: Window::Infinite,
+            shards: 1,
+            seed: 0xC0FF_EE00,
+            expected_len: 1 << 20,
+            k: 1,
+            kappa0: None,
+            eps: None,
+        }
+    }
+}
+
+impl RdsBuilder {
+    /// Sets the ambient dimension `d` (required).
+    pub fn dim(mut self, dim: usize) -> Self {
+        self.dim = Some(dim);
+        self
+    }
+
+    /// Sets the near-duplicate distance threshold `alpha` (required).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = Some(alpha);
+        self
+    }
+
+    /// Restricts queries to a sliding window ([`Window::Sequence`] /
+    /// [`Window::Time`]); [`Window::Infinite`] (the default) covers the
+    /// whole stream.
+    pub fn window(mut self, window: Window) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Shards ingestion across `n` worker threads (default 1 = a plain
+    /// in-process sampler). Works for every window model.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Sets the PRNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the expected stream length `m` (an estimate is fine).
+    pub fn expected_len(mut self, m: u64) -> Self {
+        self.expected_len = m;
+        self
+    }
+
+    /// Sets the number of distinct samples per query (scales the accept
+    /// thresholds, Section 2.3).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Overrides the threshold constant `kappa_0`.
+    pub fn kappa0(mut self, kappa0: f64) -> Self {
+        self.kappa0 = Some(kappa0);
+        self
+    }
+
+    /// Tunes the handle for F0 estimation at relative error `eps`
+    /// (Section 5): the accept-set threshold becomes
+    /// `ceil(kappa_B / eps^2)` instead of `kappa_0 k log m`.
+    pub fn count_accuracy(mut self, eps: f64) -> Self {
+        self.eps = Some(eps);
+        self
+    }
+
+    /// Validates every parameter and assembles the backend.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RdsError`]: missing/invalid `dim` or `alpha`, a bad window,
+    /// shard count, `k`, `kappa0`, or `eps` — never a panic.
+    pub fn build(self) -> Result<Rds, RdsError> {
+        let dim = self.dim.unwrap_or(0); // 0 is rejected by validation below
+        let alpha = self.alpha.unwrap_or(f64::NAN); // NaN likewise
+        let mut b = SamplerConfig::builder(dim, alpha)
+            .seed(self.seed)
+            .expected_len(self.expected_len)
+            .k(self.k);
+        if let Some(kappa0) = self.kappa0 {
+            b = b.kappa0(kappa0);
+        }
+        let cfg = b.build()?;
+        let threshold = match self.eps {
+            Some(eps) => {
+                if !(eps > 0.0 && eps <= 1.0) {
+                    return Err(RdsError::InvalidEps { eps });
+                }
+                (DEFAULT_KAPPA_B / (eps * eps)).ceil().max(1.0) as usize
+            }
+            None => cfg.threshold(),
+        };
+        if self.shards == 0 {
+            return Err(RdsError::InvalidShards);
+        }
+        let backend = match (self.window, self.shards) {
+            (Window::Infinite, 1) => {
+                Backend::Single(Box::new(RobustL0Sampler::try_with_threshold(cfg, threshold)?))
+            }
+            (Window::Infinite, n) => {
+                Backend::Engine(ShardedEngine::try_with_threshold(cfg, n, threshold)?)
+            }
+            (window, 1) => Backend::Window(Box::new(SlidingWindowSampler::try_with_threshold(
+                cfg, window, threshold,
+            )?)),
+            (window, n) => Backend::WindowEngine(
+                ShardedEngine::try_sliding_window_with_threshold(cfg, window, n, threshold)?,
+            ),
+        };
+        Ok(Rds {
+            backend,
+            window: self.window,
+            shards: self.shards,
+            fed: 0,
+        })
+    }
+}
+
+impl Rds {
+    /// Starts a builder with the library defaults.
+    pub fn builder() -> RdsBuilder {
+        RdsBuilder::default()
+    }
+
+    /// Feeds one point, stamped with the arrival index (sequence number
+    /// == timestamp). Use [`Self::process_item`] for explicit timestamps
+    /// (time-based windows).
+    pub fn process(&mut self, p: Point) {
+        let stamp = Stamp::at(self.fed);
+        self.process_item(StreamItem::new(p, stamp));
+    }
+
+    /// Feeds one stamped stream item. Stamps must be non-decreasing.
+    pub fn process_item(&mut self, item: StreamItem) {
+        self.fed += 1;
+        match &mut self.backend {
+            Backend::Single(s) => {
+                s.process(&item.point);
+            }
+            Backend::Window(s) => {
+                s.process(&item);
+            }
+            Backend::Engine(e) => e.ingest_item(item),
+            Backend::WindowEngine(e) => e.ingest_item(item),
+        }
+    }
+
+    /// Draws one uniformly random sampled entity, owned. `None` iff
+    /// nothing was processed (or nothing is live in the window).
+    pub fn query(&mut self) -> Option<GroupRecord> {
+        match &mut self.backend {
+            Backend::Single(s) => DistinctSampler::query_record(s.as_mut()),
+            Backend::Window(s) => DistinctSampler::query_record(s.as_mut()),
+            Backend::Engine(e) => e.query(),
+            Backend::WindowEngine(e) => e.query(),
+        }
+    }
+
+    /// Draws up to `k` distinct sampled entities, owned.
+    pub fn query_k(&mut self, k: usize) -> Vec<GroupRecord> {
+        match &mut self.backend {
+            Backend::Single(s) => DistinctSampler::query_k(s.as_mut(), k),
+            Backend::Window(s) => DistinctSampler::query_k(s.as_mut(), k),
+            Backend::Engine(e) => e.query_k(k),
+            Backend::WindowEngine(e) => e.query_k(k),
+        }
+    }
+
+    /// The estimate of the number of distinct entities (in the window,
+    /// for window backends).
+    pub fn f0_estimate(&mut self) -> f64 {
+        match &mut self.backend {
+            Backend::Single(s) => DistinctSampler::f0_estimate(s.as_ref()),
+            Backend::Window(s) => DistinctSampler::f0_estimate(s.as_ref()),
+            Backend::Engine(e) => e.f0_estimate(),
+            Backend::WindowEngine(e) => e.f0_estimate(),
+        }
+    }
+
+    /// Number of items fed through this handle.
+    pub fn seen(&self) -> u64 {
+        self.fed
+    }
+
+    /// The window model in force.
+    pub fn window(&self) -> Window {
+        self.window
+    }
+
+    /// The shard count (1 = in-process sampler).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grouped_point(i: u64, n_groups: u64) -> Point {
+        Point::new(vec![(i % n_groups) as f64 * 10.0 + 0.01 * ((i / n_groups) % 3) as f64])
+    }
+
+    fn base() -> RdsBuilder {
+        Rds::builder().dim(1).alpha(0.5).seed(5).expected_len(2048)
+    }
+
+    #[test]
+    fn all_four_backends_agree_on_exact_counts() {
+        for (window, shards) in [
+            (Window::Infinite, 1),
+            (Window::Infinite, 4),
+            (Window::Sequence(1 << 14), 1),
+            (Window::Sequence(1 << 14), 4),
+        ] {
+            let mut rds = base().window(window).shards(shards).build().expect("valid");
+            for i in 0..360u64 {
+                rds.process(grouped_point(i, 18));
+            }
+            assert_eq!(
+                rds.f0_estimate(),
+                18.0,
+                "backend (window {window:?}, shards {shards}) missed the count"
+            );
+            let q = rds.query().expect("non-empty");
+            assert!(q.count > 0);
+            assert_eq!(rds.seen(), 360);
+            let picks = rds.query_k(3);
+            assert_eq!(picks.len(), 3);
+            for a in 0..picks.len() {
+                for b in (a + 1)..picks.len() {
+                    assert!(!picks[a].rep.within(&picks[b].rep, 0.5));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_backends_expire_old_entities() {
+        for shards in [1usize, 3] {
+            let mut rds = base()
+                .window(Window::Sequence(32))
+                .shards(shards)
+                .build()
+                .expect("valid");
+            for i in 0..256u64 {
+                rds.process(grouped_point(i, 16));
+            }
+            assert_eq!(rds.f0_estimate(), 16.0);
+            for _ in 0..64u64 {
+                rds.process(Point::new(vec![0.0]));
+            }
+            assert_eq!(rds.f0_estimate(), 1.0, "shards {shards}: window did not slide");
+        }
+    }
+
+    #[test]
+    fn time_based_window_through_the_facade() {
+        let mut rds = base().window(Window::Time(10)).shards(2).build().expect("valid");
+        for g in 0..5u64 {
+            rds.process_item(StreamItem::new(
+                Point::new(vec![g as f64 * 10.0]),
+                Stamp::new(g, 0),
+            ));
+        }
+        assert_eq!(rds.f0_estimate(), 5.0);
+        rds.process_item(StreamItem::new(Point::new(vec![990.0]), Stamp::new(5, 30)));
+        assert_eq!(rds.f0_estimate(), 1.0);
+    }
+
+    #[test]
+    fn count_accuracy_controls_the_threshold() {
+        // eps = 1 → threshold 16: 12 groups stay exact
+        let mut rds = base().count_accuracy(1.0).build().expect("valid");
+        for i in 0..120u64 {
+            rds.process(grouped_point(i, 12));
+        }
+        assert_eq!(rds.f0_estimate(), 12.0);
+    }
+
+    #[test]
+    fn builder_surfaces_typed_errors() {
+        assert!(matches!(
+            Rds::builder().alpha(0.5).build(),
+            Err(RdsError::InvalidDimension { .. })
+        ));
+        assert!(matches!(
+            Rds::builder().dim(2).build(),
+            Err(RdsError::InvalidAlpha { .. })
+        ));
+        assert!(matches!(
+            base().shards(0).build(),
+            Err(RdsError::InvalidShards)
+        ));
+        assert!(matches!(
+            base().count_accuracy(0.0).build(),
+            Err(RdsError::InvalidEps { .. })
+        ));
+        assert!(matches!(
+            base().window(Window::Sequence(0)).build(),
+            Err(RdsError::EmptyWindow)
+        ));
+        assert!(matches!(
+            base().k(0).build(),
+            Err(RdsError::InvalidK)
+        ));
+    }
+
+    #[test]
+    fn backend_swap_needs_no_signature_churn() {
+        // The satellite contract: identical calling code against single
+        // and sharded backends.
+        let run = |shards: usize| -> (f64, Option<GroupRecord>) {
+            let mut rds = base().shards(shards).build().expect("valid");
+            for i in 0..100u64 {
+                rds.process(grouped_point(i, 10));
+            }
+            (rds.f0_estimate(), rds.query())
+        };
+        let (f0_single, q_single) = run(1);
+        let (f0_sharded, q_sharded) = run(4);
+        assert_eq!(f0_single, f0_sharded);
+        assert!(q_single.is_some() && q_sharded.is_some());
+    }
+}

@@ -18,26 +18,42 @@
 //! * distributed unions ([`core::DistributedSampling`]), `k`-sampling,
 //!   high-dimensional and angular-metric variants.
 //!
-//! This umbrella crate re-exports the workspace members; depend on the
-//! individual `rds-*` crates for narrower builds.
+//! This umbrella crate re-exports the workspace members and provides the
+//! [`Rds`] facade — one window-agnostic, shard-agnostic handle over every
+//! sampler regime; depend on the individual `rds-*` crates for narrower
+//! builds.
 //!
 //! ```
-//! use robust_distinct_sampling::core::{RobustL0Sampler, SamplerConfig};
-//! use robust_distinct_sampling::geometry::Point;
+//! use robust_distinct_sampling::{Rds, geometry::Point};
 //!
-//! let cfg = SamplerConfig::new(2, 0.1).with_seed(7);
-//! let mut sampler = RobustL0Sampler::new(cfg);
+//! let mut rds = Rds::builder()
+//!     .dim(2)
+//!     .alpha(0.1)
+//!     .seed(7)
+//!     .build()
+//!     .expect("valid configuration");
 //! for i in 0..1000 {
 //!     // 10 entities, each emitting 100 noisy observations
 //!     let entity = (i % 10) as f64 * 5.0;
 //!     let jitter = 0.001 * (i / 10) as f64;
-//!     sampler.process(&Point::new(vec![entity + jitter, entity]));
+//!     rds.process(Point::new(vec![entity + jitter, entity]));
 //! }
-//! let sample = sampler.query().expect("stream non-empty");
-//! assert_eq!(sample.dim(), 2);
+//! let sample = rds.query().expect("stream non-empty");
+//! assert_eq!(sample.rep.dim(), 2);
+//! assert_eq!(rds.f0_estimate(), 10.0);
 //! ```
+//!
+//! Add `.window(Window::Sequence(w))` for sliding-window queries or
+//! `.shards(n)` for concurrent sharded ingestion — same handle, same
+//! calls. The concrete samplers behind the facade all implement
+//! [`core::DistinctSampler`], the trait to program against when a library
+//! needs to accept any family directly.
 
 #![warn(missing_docs)]
+
+mod facade;
+
+pub use facade::{Rds, RdsBuilder};
 
 pub use rds_baselines as baselines;
 pub use rds_core as core;
@@ -50,9 +66,10 @@ pub use rds_stream as stream;
 
 /// Commonly used types.
 pub mod prelude {
+    pub use crate::facade::{Rds, RdsBuilder};
     pub use rds_core::{
-        RobustF0Estimator, RobustHeavyHitters, RobustL0Sampler, SamplerConfig,
-        SlidingWindowF0, SlidingWindowSampler,
+        DistinctSampler, GroupRecord, RdsError, RobustF0Estimator, RobustHeavyHitters,
+        RobustL0Sampler, SamplerConfig, SamplerSummary, SlidingWindowF0, SlidingWindowSampler,
     };
     pub use rds_engine::ShardedEngine;
     pub use rds_geometry::{Grid, Point};

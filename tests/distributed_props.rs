@@ -35,7 +35,7 @@ fn site_summaries(cfg: &SamplerConfig, sites: &[Vec<Point>]) -> Vec<SiteSummary>
         .map(|stream| {
             let mut s = RobustL0Sampler::new(cfg.clone());
             s.process_batch(stream);
-            s.into_summary()
+            s.into_site_summary()
         })
         .collect()
 }

@@ -2,7 +2,7 @@
 //! generation → streaming → sampling → accuracy metrics, spanning all
 //! workspace crates.
 
-use rds_core::{RobustL0Sampler, SamplerConfig};
+use rds_core::{DistinctSampler, RobustL0Sampler, SamplerConfig};
 use rds_datasets::{partition, PaperDataset};
 use rds_hashing::point_identity;
 use rds_metrics::SampleHistogram;
