@@ -22,8 +22,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
 echo "==> benches compile"
 cargo bench -p rds-bench --no-run
 
-echo "==> sharded-engine throughput smoke bench"
-RDS_BENCH_FAST=1 cargo bench -p rds-bench --bench engine
+echo "==> sharded-engine throughput smoke bench (emits BENCH_engine.json)"
+RDS_BENCH_FAST=1 RDS_BENCH_OUT="$PWD/BENCH_engine.json" \
+    cargo bench -p rds-bench --bench engine
+test -s BENCH_engine.json || { echo "BENCH_engine.json missing"; exit 1; }
+
+echo "==> concurrent writer/reader stress suite (--release)"
+cargo test -q --release --test concurrent_split
 
 echo "==> merge/uniformity/window-boundary/conformance test suite"
 cargo test -q --test distributed_props --test uniformity --test sliding_window_bounds \

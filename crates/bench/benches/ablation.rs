@@ -21,7 +21,7 @@ fn dataset() -> Dataset {
 }
 
 fn scan(cfg: SamplerConfig, ds: &Dataset) -> usize {
-    let mut s = RobustL0Sampler::new(cfg);
+    let mut s = RobustL0Sampler::try_new(cfg).unwrap();
     for lp in &ds.points {
         s.process(black_box(&lp.point));
     }
@@ -33,10 +33,10 @@ fn bench_side_factor(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_side_factor");
     group.throughput(Throughput::Elements(ds.len() as u64));
     for side in [1.0f64, 2.0, 5.0] {
-        let cfg = SamplerConfig::new(ds.dim, ds.alpha)
-            .with_seed(5)
-            .with_expected_len(ds.len() as u64)
-            .with_side_factor(side);
+        let cfg = SamplerConfig::builder(ds.dim, ds.alpha)
+            .seed(5)
+            .expected_len(ds.len() as u64)
+            .side_factor(side).build().unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(side), &cfg, |b, cfg| {
             b.iter(|| black_box(scan(cfg.clone(), &ds)));
         });
@@ -49,10 +49,10 @@ fn bench_kappa0(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_kappa0");
     group.throughput(Throughput::Elements(ds.len() as u64));
     for kappa in [0.5f64, 4.0, 16.0] {
-        let cfg = SamplerConfig::new(ds.dim, ds.alpha)
-            .with_seed(5)
-            .with_expected_len(ds.len() as u64)
-            .with_kappa0(kappa);
+        let cfg = SamplerConfig::builder(ds.dim, ds.alpha)
+            .seed(5)
+            .expected_len(ds.len() as u64)
+            .kappa0(kappa).build().unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(kappa), &cfg, |b, cfg| {
             b.iter(|| black_box(scan(cfg.clone(), &ds)));
         });
@@ -65,10 +65,10 @@ fn bench_independence(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_hash_independence");
     group.throughput(Throughput::Elements(ds.len() as u64));
     for k in [2usize, 8, 32, 64] {
-        let cfg = SamplerConfig::new(ds.dim, ds.alpha)
-            .with_seed(5)
-            .with_expected_len(ds.len() as u64)
-            .with_independence(k);
+        let cfg = SamplerConfig::builder(ds.dim, ds.alpha)
+            .seed(5)
+            .expected_len(ds.len() as u64)
+            .independence(k).build().unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(k), &cfg, |b, cfg| {
             b.iter(|| black_box(scan(cfg.clone(), &ds)));
         });

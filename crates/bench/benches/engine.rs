@@ -1,5 +1,6 @@
-//! Throughput of the sharded ingestion engine at 1/2/4/8 shards, against
-//! the plain single-stream sampler.
+//! Throughput of the sharded ingestion engine at 1/2/4/8 shards against
+//! the plain single-stream sampler, plus the concurrent serving rate of
+//! the writer/reader split — with machine-readable output.
 //!
 //! The workload is the Section 5 F0 regime (threshold `kappa_B / eps^2`)
 //! on a stream with many entities, where Algorithm 1's per-point linear
@@ -9,15 +10,21 @@
 //! and shows up even on a single hardware thread; multicore machines add
 //! parallelism on top.
 //!
-//! The unsharded baseline consumes the stream through
-//! `rds_stream::batched` + `process_batch`, so both sides amortize
-//! per-item overhead the same way and the comparison isolates sharding.
+//! Besides the human-readable lines, the bench writes `BENCH_engine.json`
+//! (override the location with `RDS_BENCH_OUT`): points/sec per shard
+//! count, the unsharded baseline, and — for the split facade — writer
+//! points/sec with four readers querying concurrently plus the readers'
+//! aggregate queries/sec during ingest. `RDS_BENCH_FAST=1` shrinks the
+//! workload to a smoke test (used by CI).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rds_core::{RobustL0Sampler, SamplerConfig};
 use rds_engine::ShardedEngine;
 use rds_geometry::Point;
+use robust_distinct_sampling::Rds;
+use serde::Serialize;
 use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Entities on a well-separated 2-D lattice with near-duplicate jitter.
 fn stream(n_points: u64, n_entities: u64) -> Vec<Point> {
@@ -30,51 +37,167 @@ fn stream(n_points: u64, n_entities: u64) -> Vec<Point> {
         .collect()
 }
 
-const N_POINTS: u64 = 16_000;
-const N_ENTITIES: u64 = 2_000;
-const EPS: f64 = 0.09; // threshold 16/eps^2 ~ 1975 ≈ N_ENTITIES: no subsampling
+const EPS: f64 = 0.09; // threshold 16/eps^2 ~ 1975 ≈ n_entities: no subsampling
+
+fn fast_mode() -> bool {
+    std::env::var_os("RDS_BENCH_FAST").is_some_and(|v| v != "0")
+}
 
 fn f0_threshold() -> usize {
     (rds_core::DEFAULT_KAPPA_B / (EPS * EPS)).ceil() as usize
 }
 
-fn config() -> SamplerConfig {
-    SamplerConfig::new(2, 0.5)
-        .with_seed(42)
-        .with_expected_len(N_POINTS)
+fn config(n_points: u64) -> SamplerConfig {
+    SamplerConfig::builder(2, 0.5)
+        .seed(42)
+        .expected_len(n_points)
+        .build()
+        .expect("valid benchmark configuration")
 }
 
-fn bench_sharded_ingest(c: &mut Criterion) {
-    let points = stream(N_POINTS, N_ENTITIES);
-    let mut group = c.benchmark_group("engine_ingest");
-    group.throughput(Throughput::Elements(N_POINTS));
+#[derive(Serialize)]
+struct ShardRow {
+    shards: usize,
+    points_per_sec: f64,
+}
 
-    group.bench_function("unsharded_baseline", |b| {
-        b.iter(|| {
-            let mut s = RobustL0Sampler::with_threshold(config(), f0_threshold());
-            for batch in rds_stream::batched(points.iter().cloned(), 256) {
-                s.process_batch(black_box(&batch));
-            }
-            black_box(s.f0_estimate())
-        });
-    });
+#[derive(Serialize)]
+struct ConcurrentRow {
+    shards: usize,
+    readers: usize,
+    writer_points_per_sec: f64,
+    reader_queries_per_sec: f64,
+}
 
-    for shards in [1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("shards", shards),
-            &shards,
-            |b, &shards| {
-                b.iter(|| {
-                    let mut engine =
-                        ShardedEngine::with_threshold(config(), shards, f0_threshold());
-                    engine.ingest_batch(points.iter().cloned());
-                    black_box(engine.finish().f0_estimate())
-                });
-            },
-        );
+#[derive(Serialize)]
+struct EngineBenchReport {
+    n_points: u64,
+    n_entities: u64,
+    iterations: u32,
+    unsharded_points_per_sec: f64,
+    sharded: Vec<ShardRow>,
+    concurrent: ConcurrentRow,
+}
+
+/// Best-of-`iters` throughput of `run` over `n_points` items.
+fn points_per_sec(n_points: u64, iters: u32, mut run: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        run();
+        best = best.min(start.elapsed().as_secs_f64());
     }
-    group.finish();
+    n_points as f64 / best
 }
 
-criterion_group!(benches, bench_sharded_ingest);
-criterion_main!(benches);
+fn bench_unsharded(points: &[Point], iters: u32) -> f64 {
+    let n = points.len() as u64;
+    points_per_sec(n, iters, || {
+        let mut s =
+            RobustL0Sampler::try_with_threshold(config(n), f0_threshold()).expect("valid");
+        for batch in rds_stream::batched(points.iter().cloned(), 256) {
+            s.process_batch(black_box(&batch));
+        }
+        black_box(s.f0_estimate());
+    })
+}
+
+fn bench_sharded(points: &[Point], shards: usize, iters: u32) -> f64 {
+    let n = points.len() as u64;
+    points_per_sec(n, iters, || {
+        let mut engine = ShardedEngine::try_with_threshold(config(n), shards, f0_threshold())
+            .expect("valid");
+        engine.ingest_batch(points.iter().cloned());
+        black_box(engine.finish().f0_estimate());
+    })
+}
+
+/// The split facade under concurrent load: one writer ingesting the whole
+/// stream, `readers` cloned readers querying in a loop the whole time.
+/// Returns (writer points/sec, aggregate reader queries/sec).
+fn bench_concurrent(points: &[Point], shards: usize, readers: usize) -> (f64, f64) {
+    let n = points.len() as u64;
+    let (mut writer, reader) = Rds::builder()
+        .dim(2)
+        .alpha(0.5)
+        .seed(42)
+        .expected_len(n)
+        .count_accuracy(EPS)
+        .shards(shards)
+        .publish_every(1024)
+        .build_split()
+        .expect("valid");
+    let done = AtomicBool::new(false);
+    let queries = AtomicU64::new(0);
+    let start = Instant::now();
+    let elapsed = std::thread::scope(|scope| {
+        for _ in 0..readers {
+            let r = reader.clone();
+            let done = &done;
+            let queries = &queries;
+            scope.spawn(move || {
+                let mut local = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    black_box(r.f0_estimate());
+                    black_box(r.query());
+                    local += 2;
+                }
+                queries.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        for p in points {
+            writer.process(p.clone());
+        }
+        writer.publish();
+        let elapsed = start.elapsed().as_secs_f64();
+        done.store(true, Ordering::Relaxed);
+        elapsed
+    });
+    let total_queries = queries.load(Ordering::Relaxed);
+    (n as f64 / elapsed, total_queries as f64 / elapsed)
+}
+
+fn main() {
+    let (n_points, n_entities, iters) = if fast_mode() {
+        (4_000u64, 500u64, 1u32)
+    } else {
+        (16_000u64, 2_000u64, 3u32)
+    };
+    let points = stream(n_points, n_entities);
+
+    eprintln!("group engine_ingest ({n_points} points, {n_entities} entities)");
+    let unsharded = bench_unsharded(&points, iters);
+    eprintln!("  unsharded_baseline: {unsharded:.0} points/sec");
+    let mut sharded = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let pps = bench_sharded(&points, shards, iters);
+        eprintln!("  shards/{shards}: {pps:.0} points/sec");
+        sharded.push(ShardRow {
+            shards,
+            points_per_sec: pps,
+        });
+    }
+
+    eprintln!("group split_serving (writer + 4 readers, 4 shards)");
+    let (writer_pps, reader_qps) = bench_concurrent(&points, 4, 4);
+    eprintln!("  writer: {writer_pps:.0} points/sec while readers query");
+    eprintln!("  readers: {reader_qps:.0} queries/sec during ingest");
+
+    let report = EngineBenchReport {
+        n_points,
+        n_entities,
+        iterations: iters,
+        unsharded_points_per_sec: unsharded,
+        sharded,
+        concurrent: ConcurrentRow {
+            shards: 4,
+            readers: 4,
+            writer_points_per_sec: writer_pps,
+            reader_queries_per_sec: reader_qps,
+        },
+    };
+    let out = std::env::var("RDS_BENCH_OUT").unwrap_or_else(|_| "BENCH_engine.json".into());
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out, &json).expect("write BENCH_engine.json");
+    eprintln!("wrote {out}");
+}

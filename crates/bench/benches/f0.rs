@@ -29,9 +29,9 @@ fn bench_robust_f0(c: &mut Criterion) {
             &eps,
             |b, &eps| {
                 b.iter(|| {
-                    let cfg = SamplerConfig::new(ds.dim, ds.alpha)
-                        .with_seed(3)
-                        .with_expected_len(ds.len() as u64);
+                    let cfg = SamplerConfig::builder(ds.dim, ds.alpha)
+                        .seed(3)
+                        .expected_len(ds.len() as u64).build().unwrap();
                     let mut est = RobustF0Estimator::new(cfg, eps, 3);
                     for lp in &ds.points {
                         est.process(black_box(&lp.point));

@@ -32,11 +32,11 @@ fn bench_ptime(c: &mut Criterion) {
         group.throughput(Throughput::Elements(ds.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(name), &ds, |b, ds| {
             b.iter(|| {
-                let mut s = RobustL0Sampler::new(
-                    SamplerConfig::new(ds.dim, ds.alpha)
-                        .with_seed(7)
-                        .with_expected_len(ds.len() as u64),
-                );
+                let mut s = RobustL0Sampler::try_new(
+                    SamplerConfig::builder(ds.dim, ds.alpha)
+                        .seed(7)
+                        .expected_len(ds.len() as u64).build().unwrap(),
+                ).unwrap();
                 for lp in &ds.points {
                     s.process(black_box(&lp.point));
                 }

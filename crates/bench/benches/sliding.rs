@@ -30,11 +30,11 @@ fn bench_sliding(c: &mut Criterion) {
     for w in [256u64, 1024, 4096] {
         group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
             b.iter(|| {
-                let cfg = SamplerConfig::new(2, 0.5)
-                    .with_seed(11)
-                    .with_expected_len(items.len() as u64)
-                    .with_kappa0(2.0);
-                let mut s = SlidingWindowSampler::new(cfg, Window::Sequence(w));
+                let cfg = SamplerConfig::builder(2, 0.5)
+                    .seed(11)
+                    .expected_len(items.len() as u64)
+                    .kappa0(2.0).build().unwrap();
+                let mut s = SlidingWindowSampler::try_new(cfg, Window::Sequence(w)).unwrap();
                 for it in &items {
                     s.process(black_box(it));
                 }
@@ -53,9 +53,9 @@ fn bench_fixed_rate_subroutine(c: &mut Criterion) {
     for level in [0u32, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(level), &level, |b, &lvl| {
             b.iter(|| {
-                let cfg = SamplerConfig::new(2, 0.5)
-                    .with_seed(13)
-                    .with_expected_len(items.len() as u64);
+                let cfg = SamplerConfig::builder(2, 0.5)
+                    .seed(13)
+                    .expected_len(items.len() as u64).build().unwrap();
                 let mut s = FixedRateWindowSampler::new(cfg, Window::Sequence(512), lvl);
                 for it in &items {
                     s.process(black_box(it));

@@ -276,11 +276,11 @@ fn run_sw(opts: &Options) -> SwResult {
     let runs = if opts.runs == 0 { 4000 } else { opts.runs.min(4000) };
     let mut hist = SampleHistogram::new(n_groups as usize);
     for run in 0..runs {
-        let cfg = SamplerConfig::new(1, 0.5)
-            .with_seed(opts.seed ^ (run * 6151 + 11))
-            .with_expected_len(stream.len() as u64)
-            .with_kappa0(1.0);
-        let mut s = SlidingWindowSampler::new(cfg, Window::Sequence(window));
+        let cfg = SamplerConfig::builder(1, 0.5)
+            .seed(opts.seed ^ (run * 6151 + 11))
+            .expected_len(stream.len() as u64)
+            .kappa0(1.0).build().unwrap();
+        let mut s = SlidingWindowSampler::try_new(cfg, Window::Sequence(window)).unwrap();
         for it in &stream {
             s.process(it);
         }
@@ -317,9 +317,9 @@ fn run_f0(opts: &Options) -> Vec<F0Result> {
     let mut out = Vec::new();
     for which in [PaperDataset::Rand5, PaperDataset::Seeds] {
         let ds = which.generate(opts.seed);
-        let cfg = SamplerConfig::new(ds.dim, ds.alpha)
-            .with_seed(opts.seed)
-            .with_expected_len(ds.len() as u64);
+        let cfg = SamplerConfig::builder(ds.dim, ds.alpha)
+            .seed(opts.seed)
+            .expected_len(ds.len() as u64).build().unwrap();
         let mut robust = RobustF0Estimator::new(cfg, 0.3, 7);
         let mut kmv = KmvDistinctEstimator::new(512, opts.seed);
         let mut hll = HyperLogLog::new(12, opts.seed);

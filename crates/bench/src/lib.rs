@@ -75,15 +75,15 @@ impl GroupLookup {
 
 /// The sampler configuration the experiments use for a dataset.
 pub fn experiment_config(ds: &Dataset, seed: u64) -> SamplerConfig {
-    SamplerConfig::new(ds.dim, ds.alpha)
-        .with_seed(seed)
-        .with_expected_len(ds.len() as u64)
+    SamplerConfig::builder(ds.dim, ds.alpha)
+        .seed(seed)
+        .expected_len(ds.len() as u64).build().unwrap()
 }
 
 /// One full sampling run: stream the dataset through a fresh Algorithm 1
 /// instance and return the sampled group.
 pub fn one_sampling_run(ds: &Dataset, lookup: &GroupLookup, seed: u64) -> usize {
-    let mut sampler = RobustL0Sampler::new(experiment_config(ds, seed));
+    let mut sampler = RobustL0Sampler::try_new(experiment_config(ds, seed)).unwrap();
     for lp in &ds.points {
         sampler.process(&lp.point);
     }
@@ -143,7 +143,7 @@ pub fn cost_measurement(ds: &Dataset, scans: u32, seed: u64) -> CostResult {
     let mut timer = ItemTimer::new();
     let mut peak = 0usize;
     for s in 0..scans.max(1) {
-        let mut sampler = RobustL0Sampler::new(experiment_config(ds, seed + s as u64));
+        let mut sampler = RobustL0Sampler::try_new(experiment_config(ds, seed + s as u64)).unwrap();
         let run = timer.start();
         for lp in &ds.points {
             sampler.process(&lp.point);

@@ -14,7 +14,7 @@
 use rds_core::{RdsError, RobustHeavyHitters};
 use rds_geometry::Point;
 use rds_stream::{Stamp, StreamItem, Window};
-use robust_distinct_sampling::Rds;
+use robust_distinct_sampling::{Rds, Snapshot};
 use std::io::BufRead;
 
 /// Which command to run.
@@ -34,6 +34,19 @@ pub enum Command {
     Heavy {
         /// Frequency threshold.
         phi: f64,
+    },
+    /// Ingest the stream and persist the published [`Snapshot`] as JSON.
+    SnapshotSave {
+        /// Where to write the snapshot file.
+        path: String,
+    },
+    /// Answer `query_k` and `f0` offline from a saved snapshot file (no
+    /// stream input).
+    SnapshotQuery {
+        /// The snapshot file to load.
+        path: String,
+        /// Number of distinct samples to print.
+        k: usize,
     },
 }
 
@@ -100,6 +113,17 @@ impl CliError {
 pub fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut it = args.iter().peekable();
     let cmd = it.next().ok_or_else(usage)?;
+    // `snapshot <save|query> <path>` carries two positional operands.
+    let mut snapshot_action: Option<(String, String)> = None;
+    if cmd == "snapshot" {
+        let action = it
+            .next()
+            .ok_or("snapshot expects <save|query> <path>".to_string())?;
+        let path = it
+            .next()
+            .ok_or(format!("snapshot {action} expects a file path"))?;
+        snapshot_action = Some((action.clone(), path.clone()));
+    }
     let mut k = 1usize;
     let mut eps = 0.3f64;
     let mut phi = 0.1f64;
@@ -129,10 +153,6 @@ pub fn parse_cli(args: &[String]) -> Result<Cli, String> {
             other => return Err(format!("unknown option {other}\n{}", usage())),
         }
     }
-    let alpha = alpha.ok_or("--alpha is required".to_string())?;
-    if alpha <= 0.0 {
-        return Err("--alpha must be positive".into());
-    }
     let command = match cmd.as_str() {
         "sample" => Command::Sample { k },
         "count" => {
@@ -142,7 +162,24 @@ pub fn parse_cli(args: &[String]) -> Result<Cli, String> {
             Command::Count { eps }
         }
         "heavy" => Command::Heavy { phi },
+        "snapshot" => match snapshot_action.expect("set above for snapshot") {
+            (action, path) if action == "save" => Command::SnapshotSave { path },
+            (action, path) if action == "query" => Command::SnapshotQuery { path, k },
+            (action, _) => {
+                return Err(format!("unknown snapshot action {action}\n{}", usage()))
+            }
+        },
         other => return Err(format!("unknown command {other}\n{}", usage())),
+    };
+    // `snapshot query` reads a file, not a stream: alpha lives in the file.
+    let alpha = if matches!(command, Command::SnapshotQuery { .. }) {
+        alpha.unwrap_or(0.0)
+    } else {
+        let alpha = alpha.ok_or("--alpha is required".to_string())?;
+        if alpha <= 0.0 {
+            return Err("--alpha must be positive".into());
+        }
+        alpha
     };
     let window = window_len.map(|w| {
         if time_based {
@@ -160,6 +197,11 @@ pub fn parse_cli(args: &[String]) -> Result<Cli, String> {
     if shards > 1 && matches!(command, Command::Heavy { .. }) {
         return Err("heavy does not support --shards".into());
     }
+    if matches!(command, Command::SnapshotQuery { .. })
+        && (window.is_some() || shards > 1)
+    {
+        return Err("snapshot query reads a file; --window/--shards do not apply".into());
+    }
     Ok(Cli {
         command,
         alpha,
@@ -176,16 +218,20 @@ fn parse_num<T: std::str::FromStr>(s: &str, name: &str) -> Result<T, String> {
 
 /// The usage string.
 pub fn usage() -> String {
-    "usage: rds <sample|count|heavy> --alpha A [options] < points.csv\n\
+    "usage: rds <sample|count|heavy|snapshot> --alpha A [options] < points.csv\n\
      \n\
      Points arrive on stdin, one per line, comma- or whitespace-separated\n\
      coordinates. With --time, the LAST column is the item's timestamp.\n\
      Invalid flags or parameter combinations exit with code 2.\n\
      \n\
      commands:\n\
-     \x20 sample   print a uniform random entity (representative point)\n\
-     \x20 count    print the estimated number of distinct entities\n\
-     \x20 heavy    print entities above a frequency threshold\n\
+     \x20 sample                print a uniform random entity\n\
+     \x20 count                 print the estimated number of entities\n\
+     \x20 heavy                 print entities above a frequency threshold\n\
+     \x20 snapshot save <path>  ingest stdin, persist the snapshot as JSON\n\
+     \x20 snapshot query <path> answer --k samples + f0 offline from a\n\
+     \x20                       saved snapshot (no stream input; --seed\n\
+     \x20                       varies or replays the draw)\n\
      options:\n\
      \x20 --alpha A          near-duplicate distance threshold (required)\n\
      \x20 --k N              number of distinct samples (sample; default 1)\n\
@@ -247,7 +293,10 @@ fn build_rds(cli: &Cli, dim: usize) -> Result<Rds, RdsError> {
     match &cli.command {
         Command::Sample { k } => b = b.k((*k).max(1)),
         Command::Count { eps } => b = b.count_accuracy(*eps),
-        Command::Heavy { .. } => unreachable!("heavy does not use the facade"),
+        Command::SnapshotSave { .. } => {}
+        Command::Heavy { .. } | Command::SnapshotQuery { .. } => {
+            unreachable!("command does not build a streaming handle")
+        }
     }
     b.build()
 }
@@ -264,6 +313,9 @@ pub fn run<R: BufRead, W: std::io::Write>(
     input: R,
     out: &mut W,
 ) -> Result<u64, CliError> {
+    if let Command::SnapshotQuery { path, k } = &cli.command {
+        return run_snapshot_query(path, *k, cli.seed, out);
+    }
     let with_time = matches!(cli.window, Some(Window::Time(_)));
     let mut dim: Option<usize> = None;
     let mut n = 0u64;
@@ -336,8 +388,60 @@ pub fn run<R: BufRead, W: std::io::Write>(
                 }
             }
         }
+        Command::SnapshotSave { path } => {
+            let Some(mut r) = rds else {
+                return Err(CliError::Runtime(
+                    "snapshot save needs at least one input point".into(),
+                ));
+            };
+            let snap = r.snapshot();
+            let json = serde_json::to_string(&*snap)
+                .map_err(|e| CliError::Runtime(format!("serialize snapshot: {e}")))?;
+            std::fs::write(path, json)
+                .map_err(|e| CliError::Runtime(format!("write {path}: {e}")))?;
+            w(
+                out,
+                format!(
+                    "snapshot epoch {} covering {} items -> {path}",
+                    snap.epoch(),
+                    snap.seen()
+                ),
+            )?;
+        }
+        Command::SnapshotQuery { .. } => unreachable!("handled before the input loop"),
     }
     Ok(n)
+}
+
+/// Answers `query_k` and `f0` offline from a snapshot file. The `seed`
+/// picks the draw token, so repeated invocations can replay or vary the
+/// sample.
+fn run_snapshot_query<W: std::io::Write>(
+    path: &str,
+    k: usize,
+    seed: u64,
+    out: &mut W,
+) -> Result<u64, CliError> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Runtime(format!("read {path}: {e}")))?;
+    let snap: Snapshot = serde_json::from_str(&json)
+        .map_err(|e| CliError::Runtime(format!("parse {path}: {e}")))?;
+    let w = |out: &mut W, s: String| {
+        writeln!(out, "{s}").map_err(|e| CliError::Runtime(e.to_string()))
+    };
+    w(
+        out,
+        format!(
+            "epoch {} seen {} f0 {:.1}",
+            snap.epoch(),
+            snap.seen(),
+            snap.f0_estimate()
+        ),
+    )?;
+    for rec in snap.query_k_at(k.max(1), seed) {
+        w(out, format!("{:?} (seen {} times)", rec.rep.coords(), rec.count))?;
+    }
+    Ok(snap.seen())
 }
 
 #[cfg(test)]
@@ -597,6 +701,96 @@ mod tests {
         let mut out = Vec::new();
         run(&cli, Cursor::new(input), &mut out).expect("runs");
         assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn parses_snapshot_commands() {
+        let cli = parse_cli(&args("snapshot save /tmp/s.json --alpha 0.5 --seed 4"))
+            .expect("valid");
+        assert_eq!(
+            cli.command,
+            Command::SnapshotSave { path: "/tmp/s.json".into() }
+        );
+        let cli = parse_cli(&args("snapshot query /tmp/s.json --k 2")).expect("valid");
+        assert_eq!(
+            cli.command,
+            Command::SnapshotQuery { path: "/tmp/s.json".into(), k: 2 }
+        );
+    }
+
+    #[test]
+    fn snapshot_usage_errors_at_parse_time() {
+        assert!(parse_cli(&args("snapshot")).is_err());
+        assert!(parse_cli(&args("snapshot save")).is_err());
+        assert!(parse_cli(&args("snapshot frobnicate /tmp/x --alpha 1")).is_err());
+        // save ingests a stream, so alpha is required
+        assert!(parse_cli(&args("snapshot save /tmp/x.json")).is_err());
+        // query reads a file; stream flags are rejected
+        assert!(parse_cli(&args("snapshot query /tmp/x.json --shards 4")).is_err());
+        assert!(parse_cli(&args("snapshot query /tmp/x.json --window 5")).is_err());
+    }
+
+    #[test]
+    fn snapshot_save_then_query_round_trips_offline() {
+        let dir = std::env::temp_dir().join(format!("rds-cli-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("snapshot.json");
+        let path_str = path.to_str().expect("utf8 path").to_string();
+
+        // 8 well-separated entities, 10 observations each
+        let mut input = String::new();
+        for i in 0..80 {
+            input.push_str(&format!("{}.0, 1.0\n", (i % 8) * 10));
+        }
+        let cli = parse_cli(&args(&format!(
+            "snapshot save {path_str} --alpha 0.5 --seed 9"
+        )))
+        .expect("valid");
+        let mut out = Vec::new();
+        let n = run(&cli, Cursor::new(input), &mut out).expect("saves");
+        assert_eq!(n, 80);
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains(&path_str), "save output: {text}");
+
+        // offline: no stream input at all
+        let cli = parse_cli(&args(&format!("snapshot query {path_str} --k 3")))
+            .expect("valid");
+        let mut out = Vec::new();
+        run(&cli, Cursor::new(""), &mut out).expect("queries");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("f0 8.0"), "query output: {text}");
+        assert_eq!(text.lines().count(), 4, "header + 3 samples: {text}");
+
+        // the draw token replays: same --seed, same samples
+        let run_with_seed = |seed: u64| -> String {
+            let cli = parse_cli(&args(&format!(
+                "snapshot query {path_str} --k 2 --seed {seed}"
+            )))
+            .expect("valid");
+            let mut out = Vec::new();
+            run(&cli, Cursor::new(""), &mut out).expect("queries");
+            String::from_utf8(out).expect("utf8")
+        };
+        assert_eq!(run_with_seed(7), run_with_seed(7));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_save_of_empty_stream_is_a_runtime_error() {
+        let cli = parse_cli(&args("snapshot save /tmp/never-written.json --alpha 0.5"))
+            .expect("valid");
+        let mut out = Vec::new();
+        let err = run(&cli, Cursor::new(""), &mut out).expect_err("no points");
+        assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn snapshot_query_of_missing_file_is_a_runtime_error() {
+        let cli = parse_cli(&args("snapshot query /tmp/does-not-exist-rds.json"))
+            .expect("valid");
+        let mut out = Vec::new();
+        let err = run(&cli, Cursor::new(""), &mut out).expect_err("missing file");
+        assert_eq!(err.exit_code(), 1);
     }
 
     #[test]

@@ -15,10 +15,10 @@ use serde::{Deserialize, Serialize};
 /// (Algorithm 1 line 10 / Algorithm 3 line 10 and the k-sampling extension
 /// of Section 2.3), and `Θ(log m)`-wise independent hashing.
 ///
-/// Construct it fallibly through [`SamplerConfig::builder`] (validation
-/// surfaces as [`RdsError`]), or through the legacy panicking
-/// [`SamplerConfig::new`] + `with_*` chain, kept as thin wrappers over the
-/// builder for one release.
+/// Construct it through [`SamplerConfig::builder`]; validation surfaces
+/// from [`SamplerConfigBuilder::build`] as [`RdsError`], never a panic.
+/// (The legacy panicking `SamplerConfig::new` + `with_*` chain was removed
+/// after its one-release deprecation window.)
 ///
 /// # Examples
 ///
@@ -43,7 +43,8 @@ pub struct SamplerConfig {
     /// near-duplicates of the same entity.
     pub alpha: f64,
     /// Grid side length as a multiple of `alpha`. Default `1.0`; the
-    /// high-dimensional regime of Section 4 uses `d` ([`Self::high_dim`]).
+    /// high-dimensional regime of Section 4 uses `d`
+    /// ([`SamplerConfigBuilder::high_dim`]).
     pub side_factor: f64,
     /// The constant `kappa_0` in the `kappa_0 log m` acceptance threshold.
     pub kappa0: f64,
@@ -67,20 +68,6 @@ impl SamplerConfig {
     /// as [`RdsError`] instead of a panic.
     pub fn builder(dim: usize, alpha: f64) -> SamplerConfigBuilder {
         SamplerConfigBuilder::new(dim, alpha)
-    }
-
-    /// Creates a configuration with the paper's default parameters.
-    ///
-    /// Thin panicking wrapper over [`SamplerConfig::builder`], kept for
-    /// one release; prefer the builder in new code.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `dim == 0` or `alpha` is not strictly positive and finite.
-    pub fn new(dim: usize, alpha: f64) -> Self {
-        Self::builder(dim, alpha)
-            .build()
-            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Checks every parameter; the invariant behind the `assert!`-free
@@ -110,58 +97,6 @@ impl SamplerConfig {
             });
         }
         Ok(())
-    }
-
-    /// Sets the PRNG seed.
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// Sets the expected stream length `m`.
-    pub fn with_expected_len(mut self, m: u64) -> Self {
-        self.expected_len = m.max(4);
-        self
-    }
-
-    /// Sets the threshold constant `kappa_0` (panicking wrapper; prefer
-    /// [`SamplerConfigBuilder::kappa0`]).
-    pub fn with_kappa0(mut self, kappa0: f64) -> Self {
-        self.kappa0 = kappa0;
-        self.validate().unwrap_or_else(|e| panic!("{e}"));
-        self
-    }
-
-    /// Sets the number of without-replacement samples per query
-    /// (Section 2.3: the acceptance threshold becomes
-    /// `kappa_0 * k * log m`; panicking wrapper; prefer
-    /// [`SamplerConfigBuilder::k`]).
-    pub fn with_k(mut self, k: usize) -> Self {
-        self.k = k;
-        self.validate().unwrap_or_else(|e| panic!("{e}"));
-        self
-    }
-
-    /// Sets the grid side length as a multiple of `alpha` (panicking
-    /// wrapper; prefer [`SamplerConfigBuilder::side_factor`]).
-    pub fn with_side_factor(mut self, f: f64) -> Self {
-        self.side_factor = f;
-        self.validate().unwrap_or_else(|e| panic!("{e}"));
-        self
-    }
-
-    /// Overrides the hash independence (0 = auto).
-    pub fn with_independence(mut self, k: usize) -> Self {
-        self.independence = k;
-        self
-    }
-
-    /// Switches to the high-dimensional regime of Section 4: grid side
-    /// `d * alpha`, for `(alpha, beta)`-sparse data with
-    /// `beta > d^{1.5} alpha`.
-    pub fn high_dim(mut self) -> Self {
-        self.side_factor = self.dim as f64;
-        self
     }
 
     /// `log2` of the expected stream length (at least 2).
@@ -352,22 +287,25 @@ mod tests {
 
     #[test]
     fn threshold_scales_with_log_m_and_k() {
-        let base = SamplerConfig::new(2, 1.0).with_expected_len(1 << 10);
-        let long = base.clone().with_expected_len(1 << 20);
+        let base = SamplerConfig::builder(2, 1.0).expected_len(1 << 10).build().unwrap();
+        let long = SamplerConfig {
+            expected_len: 1 << 20,
+            ..base.clone()
+        };
         assert!(long.threshold() > base.threshold());
-        let k3 = base.clone().with_k(3);
+        let k3 = SamplerConfig { k: 3, ..base.clone() };
         assert_eq!(k3.threshold(), 3 * base.threshold());
     }
 
     #[test]
     fn high_dim_uses_side_d_alpha() {
-        let cfg = SamplerConfig::new(8, 0.25).high_dim();
+        let cfg = SamplerConfig::builder(8, 0.25).high_dim().build().unwrap();
         assert!((cfg.side() - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn context_is_deterministic_in_seed() {
-        let cfg = SamplerConfig::new(3, 0.5).with_seed(7);
+        let cfg = SamplerConfig::builder(3, 0.5).seed(7).build().unwrap();
         let a = SamplerContext::new(cfg.clone());
         let b = SamplerContext::new(cfg);
         let p = Point::new(vec![1.0, 2.0, 3.0]);
@@ -379,7 +317,7 @@ mod tests {
 
     #[test]
     fn level_zero_always_sampled() {
-        let ctx = SamplerContext::new(SamplerConfig::new(2, 0.5));
+        let ctx = SamplerContext::new(SamplerConfig::builder(2, 0.5).build().unwrap());
         let mut scratch = Vec::new();
         for i in 0..20 {
             let p = Point::new(vec![i as f64, -(i as f64)]);
@@ -390,7 +328,7 @@ mod tests {
 
     #[test]
     fn own_cell_sampled_implies_adjacent_sampled() {
-        let ctx = SamplerContext::new(SamplerConfig::new(2, 0.5).with_seed(3));
+        let ctx = SamplerContext::new(SamplerConfig::builder(2, 0.5).seed(3).build().unwrap());
         let mut scratch = Vec::new();
         for i in 0..200 {
             let p = Point::new(vec![i as f64 * 0.37, i as f64 * 0.11]);
@@ -407,7 +345,7 @@ mod tests {
     fn adjacent_sampling_is_monotone_in_level() {
         // Fact 1(b) lifted to neighbourhoods: sampled sets nest, so a
         // sampled adjacent cell at a finer rate is sampled at coarser ones.
-        let ctx = SamplerContext::new(SamplerConfig::new(3, 0.4).with_seed(11));
+        let ctx = SamplerContext::new(SamplerConfig::builder(3, 0.4).seed(11).build().unwrap());
         for i in 0..100 {
             let p = Point::new(vec![i as f64 * 0.21, 1.7, -i as f64 * 0.43]);
             for level in 1..6 {
@@ -419,9 +357,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "alpha must be positive")]
-    fn invalid_alpha_panics() {
-        let _ = SamplerConfig::new(2, 0.0);
+    fn invalid_alpha_is_a_typed_error() {
+        let err = SamplerConfig::builder(2, 0.0).build().unwrap_err();
+        assert!(err.to_string().contains("alpha must be positive"));
     }
 
     #[test]
@@ -450,27 +388,6 @@ mod tests {
     }
 
     #[test]
-    fn builder_agrees_with_panicking_constructors() {
-        let built = SamplerConfig::builder(3, 0.25)
-            .seed(11)
-            .expected_len(500)
-            .kappa0(2.0)
-            .k(2)
-            .side_factor(1.5)
-            .independence(10)
-            .build()
-            .expect("valid");
-        let legacy = SamplerConfig::new(3, 0.25)
-            .with_seed(11)
-            .with_expected_len(500)
-            .with_kappa0(2.0)
-            .with_k(2)
-            .with_side_factor(1.5)
-            .with_independence(10);
-        assert_eq!(built, legacy);
-    }
-
-    #[test]
     fn builder_high_dim_uses_side_d_alpha() {
         let cfg = SamplerConfig::builder(8, 0.25).high_dim().build().expect("valid");
         assert!((cfg.side() - 2.0).abs() < 1e-12);
@@ -478,7 +395,7 @@ mod tests {
 
     #[test]
     fn config_round_trips_through_serde() {
-        let cfg = SamplerConfig::new(4, 0.5).with_seed(9).with_k(3);
+        let cfg = SamplerConfig::builder(4, 0.5).seed(9).k(3).build().unwrap();
         let wire = serde_json::to_string(&cfg).expect("serializes");
         let back: SamplerConfig = serde_json::from_str(&wire).expect("deserializes");
         assert_eq!(back, cfg);
@@ -486,7 +403,7 @@ mod tests {
 
     #[test]
     fn auto_independence_is_at_least_eight() {
-        let cfg = SamplerConfig::new(2, 1.0).with_expected_len(16);
+        let cfg = SamplerConfig::builder(2, 1.0).expected_len(16).build().unwrap();
         assert!(cfg.effective_independence() >= 8);
     }
 }

@@ -63,9 +63,6 @@ pub struct MergedSummary {
     level: u32,
     acc: Vec<GroupRecord>,
     rej: Vec<GroupRecord>,
-    /// Queries derive a fresh deterministic RNG from `cfg.seed` and this
-    /// draw counter, so the summary stays plain data (serializable).
-    draws: u64,
 }
 
 impl RobustL0Sampler {
@@ -110,33 +107,33 @@ impl MergedSummary {
             level,
             acc,
             rej,
-            draws: 0,
         }
     }
 
-    fn fresh_rng(&mut self) -> StdRng {
-        self.draws = self.draws.wrapping_add(1);
-        derived_rng(self.cfg.seed, self.draws, 0xD157)
+    fn rng_for(&self, draw: u64) -> StdRng {
+        derived_rng(self.cfg.seed, draw, 0xD157)
     }
 
     /// Draws a robust ℓ0-sample of the union of the site streams: the
-    /// representative of a uniformly random sampled group.
-    pub fn query(&mut self) -> Option<Point> {
-        let mut rng = self.fresh_rng();
+    /// representative of a uniformly random sampled group. All randomness
+    /// comes from `draw`; pass distinct tokens for independent draws.
+    pub fn query(&self, draw: u64) -> Option<Point> {
+        let mut rng = self.rng_for(draw);
         self.acc.choose(&mut rng).map(|r| r.rep.clone())
     }
 
-    /// Draws the full record of a uniformly random sampled group.
-    pub fn query_record(&mut self) -> Option<GroupRecord> {
-        let mut rng = self.fresh_rng();
+    /// Draws the full record of a uniformly random sampled group,
+    /// deterministically in `draw`.
+    pub fn query_record(&self, draw: u64) -> Option<GroupRecord> {
+        let mut rng = self.rng_for(draw);
         self.acc.choose(&mut rng).cloned()
     }
 
     /// Draws `min(k, |Sacc|)` *distinct* sampled groups of the union
     /// (sampling without replacement, the Section 2.3 extension lifted to
-    /// the coordinator).
-    pub fn query_k(&mut self, k: usize) -> Vec<GroupRecord> {
-        let mut rng = self.fresh_rng();
+    /// the coordinator), deterministically in `draw`.
+    pub fn query_k(&self, k: usize, draw: u64) -> Vec<GroupRecord> {
+        let mut rng = self.rng_for(draw);
         let mut idx: Vec<usize> = (0..self.acc.len()).collect();
         idx.shuffle(&mut rng);
         idx.truncate(k);
@@ -222,12 +219,12 @@ impl SamplerSummary for MergedSummary {
         MergedSummary::f0_estimate(self)
     }
 
-    fn query_record(&mut self) -> Option<GroupRecord> {
-        MergedSummary::query_record(self)
+    fn query_record(&self, draw: u64) -> Option<GroupRecord> {
+        MergedSummary::query_record(self, draw)
     }
 
-    fn query_k(&mut self, k: usize) -> Vec<GroupRecord> {
-        MergedSummary::query_k(self, k)
+    fn query_k(&self, k: usize, draw: u64) -> Vec<GroupRecord> {
+        MergedSummary::query_k(self, k, draw)
     }
 }
 
@@ -278,13 +275,14 @@ fn absorb_record(
 /// use rds_core::{DistributedSampling, SamplerConfig};
 /// use rds_geometry::Point;
 ///
-/// let dist = DistributedSampling::new(SamplerConfig::new(1, 0.5).with_seed(9));
+/// let dist = DistributedSampling::new(SamplerConfig::builder(1, 0.5).seed(9).build().unwrap());
 /// let mut a = dist.new_site();
 /// let mut b = dist.new_site();
 /// a.process(&Point::new(vec![0.0]));
 /// b.process(&Point::new(vec![50.0]));
-/// let mut merged = dist.merge([&a, &b]).expect("same config");
-/// assert!(merged.query().is_some());
+/// let merged = dist.merge([&a, &b]).expect("same config");
+/// // summaries are immutable: the draw token supplies the randomness
+/// assert!(merged.query(1).is_some());
 /// assert_eq!(merged.f0_estimate(), 2.0);
 /// ```
 #[derive(Clone, Debug)]
@@ -303,7 +301,7 @@ impl DistributedSampling {
 
     /// Creates a site-local sampler (identical grid/hash across sites).
     pub fn new_site(&self) -> RobustL0Sampler {
-        RobustL0Sampler::new(self.cfg.clone())
+        RobustL0Sampler::try_new(self.cfg.clone()).unwrap()
     }
 
     /// Snapshots a site sampler's state for shipping to the coordinator
@@ -368,7 +366,7 @@ mod tests {
     #[test]
     fn merge_of_disjoint_sites_counts_all_groups() {
         let dist = DistributedSampling::new(
-            SamplerConfig::new(1, 0.5).with_seed(1).with_expected_len(200),
+            SamplerConfig::builder(1, 0.5).seed(1).expected_len(200).build().unwrap(),
         );
         let mut a = dist.new_site();
         let mut b = dist.new_site();
@@ -386,7 +384,7 @@ mod tests {
     #[test]
     fn cross_site_groups_are_deduplicated() {
         let dist = DistributedSampling::new(
-            SamplerConfig::new(1, 0.5).with_seed(2).with_expected_len(64),
+            SamplerConfig::builder(1, 0.5).seed(2).expected_len(64).build().unwrap(),
         );
         let mut a = dist.new_site();
         let mut b = dist.new_site();
@@ -403,10 +401,10 @@ mod tests {
     #[test]
     fn merge_unifies_mismatched_levels() {
         let dist = DistributedSampling::new(
-            SamplerConfig::new(1, 0.5)
-                .with_seed(3)
-                .with_expected_len(4096)
-                .with_kappa0(0.5),
+            SamplerConfig::builder(1, 0.5)
+                .seed(3)
+                .expected_len(4096)
+                .kappa0(0.5).build().unwrap(),
         );
         let mut a = dist.new_site();
         let mut b = dist.new_site();
@@ -429,19 +427,19 @@ mod tests {
     #[test]
     fn merged_query_is_some_when_any_site_nonempty() {
         let dist = DistributedSampling::new(
-            SamplerConfig::new(1, 0.5).with_seed(4).with_expected_len(16),
+            SamplerConfig::builder(1, 0.5).seed(4).expected_len(16).build().unwrap(),
         );
         let a = dist.new_site();
         let mut b = dist.new_site();
         b.process(&Point::new(vec![5.0]));
-        let mut merged = dist.merge([&a, &b]).expect("same cfg");
-        assert_eq!(merged.query(), Some(Point::new(vec![5.0])));
+        let merged = dist.merge([&a, &b]).expect("same cfg");
+        assert_eq!(merged.query(1), Some(Point::new(vec![5.0])));
     }
 
     #[test]
     fn into_site_summary_agrees_with_cloning_site_summary() {
         let dist = DistributedSampling::new(
-            SamplerConfig::new(1, 0.5).with_seed(31).with_expected_len(128),
+            SamplerConfig::builder(1, 0.5).seed(31).expected_len(128).build().unwrap(),
         );
         let mut site = dist.new_site();
         for i in 0..64u64 {
@@ -462,7 +460,7 @@ mod tests {
     #[test]
     fn merged_query_k_returns_distinct_groups() {
         let dist = DistributedSampling::new(
-            SamplerConfig::new(1, 0.5).with_seed(32).with_expected_len(256),
+            SamplerConfig::builder(1, 0.5).seed(32).expected_len(256).build().unwrap(),
         );
         let mut a = dist.new_site();
         let mut b = dist.new_site();
@@ -470,8 +468,8 @@ mod tests {
             a.process(&grouped_point(i, 8));
             b.process(&grouped_point(i, 16));
         }
-        let mut merged = dist.merge([&a, &b]).expect("same cfg");
-        let picks = merged.query_k(3);
+        let merged = dist.merge([&a, &b]).expect("same cfg");
+        let picks = merged.query_k(3, 1);
         assert_eq!(picks.len(), 3);
         for i in 0..picks.len() {
             for j in (i + 1)..picks.len() {
@@ -480,13 +478,13 @@ mod tests {
         }
         // asking for more than |Sacc| returns everything once
         let n_acc = merged.accept_set().len();
-        assert_eq!(merged.query_k(usize::MAX).len(), n_acc);
+        assert_eq!(merged.query_k(usize::MAX, 2).len(), n_acc);
     }
 
     #[test]
     fn mismatched_configs_are_rejected() {
-        let dist = DistributedSampling::new(SamplerConfig::new(1, 0.5).with_seed(5));
-        let alien = RobustL0Sampler::new(SamplerConfig::new(1, 0.5).with_seed(6));
+        let dist = DistributedSampling::new(SamplerConfig::builder(1, 0.5).seed(5).build().unwrap());
+        let alien = RobustL0Sampler::try_new(SamplerConfig::builder(1, 0.5).seed(6).build().unwrap()).unwrap();
         assert!(dist.merge([&alien]).is_none());
     }
 
@@ -495,7 +493,7 @@ mod tests {
         // MergedSummary::merge (the trait path the sharded engine reduces
         // over) must agree with DistributedSampling::merge_summaries.
         use crate::sampler::DistinctSampler;
-        let cfg = SamplerConfig::new(1, 0.5).with_seed(41).with_expected_len(512);
+        let cfg = SamplerConfig::builder(1, 0.5).seed(41).expected_len(512).build().unwrap();
         let dist = DistributedSampling::new(cfg.clone());
         let mut sites: Vec<RobustL0Sampler> = (0..3).map(|_| dist.new_site()).collect();
         for i in 0..300u64 {
@@ -515,8 +513,8 @@ mod tests {
     #[test]
     fn pairwise_merge_rejects_config_mismatch() {
         use crate::sampler::{DistinctSampler, SamplerSummary};
-        let a = RobustL0Sampler::new(SamplerConfig::new(1, 0.5).with_seed(1));
-        let b = RobustL0Sampler::new(SamplerConfig::new(1, 0.5).with_seed(2));
+        let a = RobustL0Sampler::try_new(SamplerConfig::builder(1, 0.5).seed(1).build().unwrap()).unwrap();
+        let b = RobustL0Sampler::try_new(SamplerConfig::builder(1, 0.5).seed(2).build().unwrap()).unwrap();
         assert!(matches!(
             DistinctSampler::summary(&a).merge(DistinctSampler::summary(&b)),
             Err(RdsError::ConfigMismatch { .. })
@@ -529,10 +527,10 @@ mod tests {
         let mut hist = rds_metrics::SampleHistogram::new(n_union as usize);
         for run in 0..400u64 {
             let dist = DistributedSampling::new(
-                SamplerConfig::new(1, 0.5)
-                    .with_seed(run * 97 + 7)
-                    .with_expected_len(256)
-                    .with_kappa0(1.0),
+                SamplerConfig::builder(1, 0.5)
+                    .seed(run * 97 + 7)
+                    .expected_len(256)
+                    .kappa0(1.0).build().unwrap(),
             );
             let mut a = dist.new_site();
             let mut b = dist.new_site();
@@ -540,8 +538,8 @@ mod tests {
                 a.process(&grouped_point(i, 8)); // groups 0..8
                 b.process(&Point::new(vec![(8 + (i % 8)) as f64 * 10.0])); // groups 8..16
             }
-            let mut merged = dist.merge([&a, &b]).expect("same cfg");
-            let q = merged.query().expect("non-empty");
+            let merged = dist.merge([&a, &b]).expect("same cfg");
+            let q = merged.query(1).expect("non-empty");
             hist.record((q.get(0) / 10.0).round() as usize);
         }
         assert!(
@@ -560,7 +558,7 @@ mod serde_tests {
     #[test]
     fn site_summary_round_trips_through_json() {
         let dist = DistributedSampling::new(
-            SamplerConfig::new(2, 0.5).with_seed(21).with_expected_len(64),
+            SamplerConfig::builder(2, 0.5).seed(21).expected_len(64).build().unwrap(),
         );
         let mut site = dist.new_site();
         for i in 0..40u64 {
@@ -573,15 +571,15 @@ mod serde_tests {
         assert_eq!(back.acc.len(), summary.acc.len());
         assert_eq!(back.config_seed, summary.config_seed);
         // merging the deserialized summary works like merging the site
-        let mut merged = dist.merge_summaries(&[back]).expect("same seed");
-        assert!(merged.query().is_some());
+        let merged = dist.merge_summaries(&[back]).expect("same seed");
+        assert!(merged.query(1).is_some());
         assert_eq!(merged.f0_estimate(), 8.0);
     }
 
     #[test]
     fn summaries_from_multiple_sites_merge_after_the_wire() {
         let dist = DistributedSampling::new(
-            SamplerConfig::new(1, 0.5).with_seed(22).with_expected_len(64),
+            SamplerConfig::builder(1, 0.5).seed(22).expected_len(64).build().unwrap(),
         );
         let mut a = dist.new_site();
         let mut b = dist.new_site();
@@ -603,7 +601,7 @@ mod serde_tests {
         // MergedSummary survives serialization with its query and merge
         // capabilities intact.
         let dist = DistributedSampling::new(
-            SamplerConfig::new(1, 0.5).with_seed(25).with_expected_len(128),
+            SamplerConfig::builder(1, 0.5).seed(25).expected_len(128).build().unwrap(),
         );
         let mut a = dist.new_site();
         let mut b = dist.new_site();
@@ -613,7 +611,7 @@ mod serde_tests {
         }
         let merged = dist.merge([&a, &b]).expect("same cfg");
         let wire = serde_json::to_string(&merged).expect("serializes");
-        let mut back: MergedSummary = serde_json::from_str(&wire).expect("deserializes");
+        let back: MergedSummary = serde_json::from_str(&wire).expect("deserializes");
         assert_eq!(back.f0_estimate(), merged.f0_estimate());
         assert_eq!(back.level(), merged.level());
         assert_eq!(back.alpha(), merged.alpha());
@@ -623,7 +621,7 @@ mod serde_tests {
             assert_eq!(x.count, y.count);
             assert_eq!(x.cell_hash, y.cell_hash);
         }
-        assert!(back.query().is_some());
+        assert!(back.query(1).is_some());
         // still mergeable after the wire
         let mut c = dist.new_site();
         c.process(&Point::new(vec![500.0]));
@@ -634,8 +632,8 @@ mod serde_tests {
 
     #[test]
     fn wire_summary_with_wrong_seed_is_rejected() {
-        let dist = DistributedSampling::new(SamplerConfig::new(1, 0.5).with_seed(23));
-        let other = RobustL0Sampler::new(SamplerConfig::new(1, 0.5).with_seed(24));
+        let dist = DistributedSampling::new(SamplerConfig::builder(1, 0.5).seed(23).build().unwrap());
+        let other = RobustL0Sampler::try_new(SamplerConfig::builder(1, 0.5).seed(24).build().unwrap()).unwrap();
         let summary = DistributedSampling::summarize(&other);
         assert!(dist.merge_summaries(&[summary]).is_none());
     }

@@ -3,11 +3,13 @@
 //! fallible constructors (`SamplerConfig::builder().build()`,
 //! `RobustL0Sampler::try_new`, `SlidingWindowSampler::try_new`, the
 //! engine's `try_*` constructors and the umbrella facade's
-//! `Rds::builder().build()`).
+//! `Rds::builder().build()` / `build_split()`). The panicking wrappers
+//! that shadowed them for one deprecation release are gone — `try_*` and
+//! the builders are the only construction paths.
 //!
-//! The `Display` strings deliberately match the historical panic messages
-//! so the thin panicking wrappers (kept for one release) fail with the
-//! exact text existing callers and tests expect.
+//! The `Display` strings still match the historical panic messages, so
+//! callers that `unwrap()`/`expect()` a `try_*` result fail with text
+//! containing what the old panics said.
 
 use std::fmt;
 

@@ -46,7 +46,7 @@ fn median(mut xs: Vec<f64>) -> f64 {
 /// use rds_core::{RobustF0Estimator, SamplerConfig};
 /// use rds_geometry::Point;
 ///
-/// let cfg = SamplerConfig::new(1, 0.5).with_seed(2);
+/// let cfg = SamplerConfig::builder(1, 0.5).seed(2).build().unwrap();
 /// let mut est = RobustF0Estimator::new(cfg, 0.5, 5);
 /// for i in 0..300 {
 ///     // 30 groups, 10 near-duplicates each
@@ -80,10 +80,11 @@ impl RobustF0Estimator {
         let threshold = (kappa_b / (eps * eps)).ceil() as usize;
         let copies = (0..n_copies)
             .map(|i| {
-                let cfg_i = cfg
-                    .clone()
-                    .with_seed(cfg.seed.wrapping_add(0x9E37_79B9 * (i as u64 + 1)));
-                RobustL0Sampler::with_threshold(cfg_i, threshold)
+                let cfg_i = SamplerConfig {
+                    seed: cfg.seed.wrapping_add(0x9E37_79B9 * (i as u64 + 1)),
+                    ..cfg.clone()
+                };
+                RobustL0Sampler::try_with_threshold(cfg_i, threshold).unwrap()
             })
             .collect();
         Self { copies, eps }
@@ -148,10 +149,11 @@ impl SlidingWindowF0 {
         let threshold = cfg.threshold();
         let copies = (0..n_copies)
             .map(|i| {
-                let cfg_i = cfg
-                    .clone()
-                    .with_seed(cfg.seed.wrapping_add(0xDEAD_BEEF * (i as u64 + 1)));
-                SlidingWindowSampler::new(cfg_i, window)
+                let cfg_i = SamplerConfig {
+                    seed: cfg.seed.wrapping_add(0xDEAD_BEEF * (i as u64 + 1)),
+                    ..cfg.clone()
+                };
+                SlidingWindowSampler::try_new(cfg_i, window).unwrap()
             })
             .collect();
         Self {
@@ -223,9 +225,9 @@ mod tests {
     #[test]
     fn infinite_window_estimate_tracks_truth() {
         let n_groups = 200u64;
-        let cfg = SamplerConfig::new(1, 0.5)
-            .with_seed(3)
-            .with_expected_len(4000);
+        let cfg = SamplerConfig::builder(1, 0.5)
+            .seed(3)
+            .expected_len(4000).build().unwrap();
         let mut est = RobustF0Estimator::new(cfg, 0.5, 7);
         for i in 0..4000u64 {
             est.process(&grouped_point(i, n_groups));
@@ -239,7 +241,7 @@ mod tests {
 
     #[test]
     fn batch_processing_matches_per_point_processing() {
-        let cfg = SamplerConfig::new(1, 0.5).with_seed(9).with_expected_len(512);
+        let cfg = SamplerConfig::builder(1, 0.5).seed(9).expected_len(512).build().unwrap();
         let points: Vec<Point> = (0..512u64).map(|i| grouped_point(i, 64)).collect();
         let mut one = RobustF0Estimator::new(cfg.clone(), 0.5, 3);
         for p in &points {
@@ -255,7 +257,7 @@ mod tests {
     #[test]
     fn estimate_is_exact_before_any_subsampling() {
         // few groups, large threshold: R stays 1 and |Sacc| counts groups
-        let cfg = SamplerConfig::new(1, 0.5).with_seed(4);
+        let cfg = SamplerConfig::builder(1, 0.5).seed(4).build().unwrap();
         let mut est = RobustF0Estimator::new(cfg, 1.0, 3);
         for i in 0..60u64 {
             est.process(&grouped_point(i, 12));
@@ -265,7 +267,7 @@ mod tests {
 
     #[test]
     fn eps_controls_threshold_monotonically() {
-        let cfg = SamplerConfig::new(1, 0.5);
+        let cfg = SamplerConfig::builder(1, 0.5).build().unwrap();
         let coarse = RobustF0Estimator::new(cfg.clone(), 1.0, 1);
         let fine = RobustF0Estimator::new(cfg, 0.25, 1);
         assert!(fine.words() >= coarse.words());
@@ -275,10 +277,10 @@ mod tests {
     #[test]
     fn sliding_window_estimate_tracks_truth() {
         let n_groups = 48u64;
-        let cfg = SamplerConfig::new(1, 0.5)
-            .with_seed(5)
-            .with_expected_len(2048)
-            .with_kappa0(1.0);
+        let cfg = SamplerConfig::builder(1, 0.5)
+            .seed(5)
+            .expected_len(2048)
+            .kappa0(1.0).build().unwrap();
         let mut est = SlidingWindowF0::new(cfg, Window::Sequence(512), 0.8);
         for i in 0..2048u64 {
             est.process(&StreamItem::new(grouped_point(i, n_groups), Stamp::at(i)));
@@ -294,10 +296,10 @@ mod tests {
     fn sliding_window_estimate_follows_window_shrink() {
         // stream switches from 64 groups to 4 groups; after a full window
         // of the new regime the estimate must drop
-        let cfg = SamplerConfig::new(1, 0.5)
-            .with_seed(6)
-            .with_expected_len(4096)
-            .with_kappa0(1.0);
+        let cfg = SamplerConfig::builder(1, 0.5)
+            .seed(6)
+            .expected_len(4096)
+            .kappa0(1.0).build().unwrap();
         let mut est = SlidingWindowF0::new(cfg, Window::Sequence(256), 0.8);
         for i in 0..1024u64 {
             est.process(&StreamItem::new(grouped_point(i, 64), Stamp::at(i)));
@@ -316,10 +318,10 @@ mod tests {
 
     #[test]
     fn fm_estimate_is_positive_and_ordered() {
-        let cfg = SamplerConfig::new(1, 0.5)
-            .with_seed(7)
-            .with_expected_len(2048)
-            .with_kappa0(1.0);
+        let cfg = SamplerConfig::builder(1, 0.5)
+            .seed(7)
+            .expected_len(2048)
+            .kappa0(1.0).build().unwrap();
         let mut small = SlidingWindowF0::new(cfg.clone(), Window::Sequence(256), 1.0);
         let mut large = SlidingWindowF0::new(cfg, Window::Sequence(256), 1.0);
         for i in 0..1024u64 {
@@ -333,6 +335,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "eps must be in (0, 1]")]
     fn invalid_eps_rejected() {
-        let _ = RobustF0Estimator::new(SamplerConfig::new(1, 0.5), 0.0, 1);
+        let _ = RobustF0Estimator::new(SamplerConfig::builder(1, 0.5).build().unwrap(), 0.0, 1);
     }
 }

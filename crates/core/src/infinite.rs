@@ -118,8 +118,8 @@ pub enum ProcessOutcome {
 /// use rds_core::{RobustL0Sampler, SamplerConfig};
 /// use rds_geometry::Point;
 ///
-/// let cfg = SamplerConfig::new(2, 0.5).with_seed(1);
-/// let mut sampler = RobustL0Sampler::new(cfg);
+/// let cfg = SamplerConfig::builder(2, 0.5).seed(1).build().unwrap();
+/// let mut sampler = RobustL0Sampler::try_new(cfg).unwrap();
 /// for i in 0..100 {
 ///     // 10 groups of 10 near-duplicates each
 ///     let base = (i % 10) as f64 * 10.0;
@@ -149,13 +149,8 @@ pub struct RobustL0Sampler {
 
 impl RobustL0Sampler {
     /// Creates the sampler with the configuration's default threshold
-    /// `kappa_0 * k * log2 m`.
-    pub fn new(cfg: SamplerConfig) -> Self {
-        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible variant of [`Self::new`]: re-validates the configuration
-    /// (useful when it was built by hand rather than through
+    /// `kappa_0 * k * log2 m`, re-validating the configuration (useful
+    /// when it was built by hand rather than through
     /// [`SamplerConfig::builder`]).
     ///
     /// # Errors
@@ -169,15 +164,6 @@ impl RobustL0Sampler {
     /// Creates the sampler with an explicit `|Sacc|` threshold. Section 5
     /// uses this to turn the sampler into an F0 estimator (threshold
     /// `kappa_B / eps^2`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threshold == 0` or the configuration is invalid.
-    pub fn with_threshold(cfg: SamplerConfig, threshold: usize) -> Self {
-        Self::try_with_threshold(cfg, threshold).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible variant of [`Self::with_threshold`].
     ///
     /// # Errors
     ///
@@ -471,7 +457,7 @@ mod tests {
 
     #[test]
     fn first_point_is_always_accepted() {
-        let mut s = RobustL0Sampler::new(SamplerConfig::new(2, 0.5));
+        let mut s = RobustL0Sampler::try_new(SamplerConfig::builder(2, 0.5).build().unwrap()).unwrap();
         // R starts at 1 so the very first point lands in Sacc.
         assert_eq!(
             s.process(&Point::new(vec![3.3, 4.4])),
@@ -482,7 +468,7 @@ mod tests {
 
     #[test]
     fn duplicates_are_skipped_and_counted() {
-        let mut s = RobustL0Sampler::new(SamplerConfig::new(2, 0.5));
+        let mut s = RobustL0Sampler::try_new(SamplerConfig::builder(2, 0.5).build().unwrap()).unwrap();
         s.process(&Point::new(vec![0.0, 0.0]));
         assert_eq!(
             s.process(&Point::new(vec![0.1, 0.0])),
@@ -493,7 +479,7 @@ mod tests {
 
     #[test]
     fn query_is_none_only_before_any_point() {
-        let mut s = RobustL0Sampler::new(SamplerConfig::new(2, 0.5));
+        let mut s = RobustL0Sampler::try_new(SamplerConfig::builder(2, 0.5).build().unwrap()).unwrap();
         assert!(s.query().is_none());
         s.process(&Point::new(vec![1.0, 1.0]));
         assert!(s.query().is_some());
@@ -524,10 +510,10 @@ mod tests {
     #[test]
     fn sample_is_always_a_first_point_of_its_group() {
         let (pts, labels, _n, alpha) = small_dataset(3);
-        let cfg = SamplerConfig::new(4, alpha)
-            .with_seed(17)
-            .with_expected_len(pts.len() as u64);
-        let mut s = RobustL0Sampler::new(cfg);
+        let cfg = SamplerConfig::builder(4, alpha)
+            .seed(17)
+            .expected_len(pts.len() as u64).build().unwrap();
+        let mut s = RobustL0Sampler::try_new(cfg).unwrap();
         feed(&mut s, &pts);
 
         // the representative of each ground-truth group = first occurrence
@@ -549,11 +535,11 @@ mod tests {
     #[test]
     fn accept_set_respects_threshold_after_processing() {
         let (pts, _, _, alpha) = small_dataset(4);
-        let cfg = SamplerConfig::new(4, alpha)
-            .with_seed(5)
-            .with_expected_len(pts.len() as u64)
-            .with_kappa0(1.0); // tight threshold to force doublings
-        let mut s = RobustL0Sampler::new(cfg);
+        let cfg = SamplerConfig::builder(4, alpha)
+            .seed(5)
+            .expected_len(pts.len() as u64)
+            .kappa0(1.0).build().unwrap(); // tight threshold to force doublings
+        let mut s = RobustL0Sampler::try_new(cfg).unwrap();
         feed(&mut s, &pts);
         assert!(s.accept_set().len() <= s.threshold());
         assert!(s.rate_doublings() > 0, "expected at least one doubling");
@@ -564,10 +550,10 @@ mod tests {
         // Lemma 2.5 (whp); with these seeds it must hold deterministically.
         for seed in 0..10u64 {
             let (pts, _, _, alpha) = small_dataset(seed);
-            let cfg = SamplerConfig::new(4, alpha)
-                .with_seed(seed.wrapping_mul(0x9E37))
-                .with_expected_len(pts.len() as u64);
-            let mut s = RobustL0Sampler::new(cfg);
+            let cfg = SamplerConfig::builder(4, alpha)
+                .seed(seed.wrapping_mul(0x9E37))
+                .expected_len(pts.len() as u64).build().unwrap();
+            let mut s = RobustL0Sampler::try_new(cfg).unwrap();
             for p in &pts {
                 s.process(p);
                 assert!(
@@ -584,10 +570,10 @@ mod tests {
         // No two stored records may be within alpha of each other: each
         // candidate group has exactly one representative.
         let (pts, _, _, alpha) = small_dataset(6);
-        let cfg = SamplerConfig::new(4, alpha)
-            .with_seed(23)
-            .with_expected_len(pts.len() as u64);
-        let mut s = RobustL0Sampler::new(cfg);
+        let cfg = SamplerConfig::builder(4, alpha)
+            .seed(23)
+            .expected_len(pts.len() as u64).build().unwrap();
+        let mut s = RobustL0Sampler::try_new(cfg).unwrap();
         feed(&mut s, &pts);
         let all: Vec<&GroupRecord> = s.accept_set().iter().chain(s.reject_set().iter()).collect();
         for i in 0..all.len() {
@@ -603,10 +589,10 @@ mod tests {
     #[test]
     fn group_counts_sum_to_points_of_candidate_groups() {
         let (pts, labels, n, alpha) = small_dataset(7);
-        let cfg = SamplerConfig::new(4, alpha)
-            .with_seed(29)
-            .with_expected_len(pts.len() as u64);
-        let mut s = RobustL0Sampler::new(cfg);
+        let cfg = SamplerConfig::builder(4, alpha)
+            .seed(29)
+            .expected_len(pts.len() as u64).build().unwrap();
+        let mut s = RobustL0Sampler::try_new(cfg).unwrap();
         feed(&mut s, &pts);
         // group sizes from ground truth
         let mut sizes = vec![0u64; n];
@@ -631,10 +617,10 @@ mod tests {
     #[test]
     fn reservoir_member_is_in_the_same_group() {
         let (pts, _, _, alpha) = small_dataset(8);
-        let cfg = SamplerConfig::new(4, alpha)
-            .with_seed(31)
-            .with_expected_len(pts.len() as u64);
-        let mut s = RobustL0Sampler::new(cfg);
+        let cfg = SamplerConfig::builder(4, alpha)
+            .seed(31)
+            .expected_len(pts.len() as u64).build().unwrap();
+        let mut s = RobustL0Sampler::try_new(cfg).unwrap();
         feed(&mut s, &pts);
         for rec in s.accept_set() {
             assert!(
@@ -657,10 +643,10 @@ mod tests {
         let runs = 600;
         let mut hist = rds_metrics::SampleHistogram::new(ds.n_groups);
         for run in 0..runs {
-            let cfg = SamplerConfig::new(4, ds.alpha)
-                .with_seed(run as u64 * 7919 + 13)
-                .with_expected_len(pts.len() as u64);
-            let mut s = RobustL0Sampler::new(cfg);
+            let cfg = SamplerConfig::builder(4, ds.alpha)
+                .seed(run as u64 * 7919 + 13)
+                .expected_len(pts.len() as u64).build().unwrap();
+            let mut s = RobustL0Sampler::try_new(cfg).unwrap();
             feed(&mut s, &pts);
             let sample = s.query().expect("sample exists").clone();
             let g = pts
@@ -683,11 +669,11 @@ mod tests {
     #[test]
     fn k_query_returns_distinct_groups() {
         let (pts, _, _, alpha) = small_dataset(9);
-        let cfg = SamplerConfig::new(4, alpha)
-            .with_seed(37)
-            .with_expected_len(pts.len() as u64)
-            .with_k(3);
-        let mut s = RobustL0Sampler::new(cfg);
+        let cfg = SamplerConfig::builder(4, alpha)
+            .seed(37)
+            .expected_len(pts.len() as u64)
+            .k(3).build().unwrap();
+        let mut s = RobustL0Sampler::try_new(cfg).unwrap();
         feed(&mut s, &pts);
         let picks = s.query_k(3);
         assert_eq!(picks.len(), 3);
@@ -701,10 +687,10 @@ mod tests {
     #[test]
     fn f0_estimate_tracks_group_count() {
         let (pts, _, n, alpha) = small_dataset(10);
-        let cfg = SamplerConfig::new(4, alpha)
-            .with_seed(41)
-            .with_expected_len(pts.len() as u64);
-        let mut s = RobustL0Sampler::new(cfg);
+        let cfg = SamplerConfig::builder(4, alpha)
+            .seed(41)
+            .expected_len(pts.len() as u64).build().unwrap();
+        let mut s = RobustL0Sampler::try_new(cfg).unwrap();
         feed(&mut s, &pts);
         // with the default generous threshold nothing is subsampled, so
         // the estimate counts candidate groups exactly
@@ -717,20 +703,22 @@ mod tests {
     #[test]
     fn space_is_bounded_and_tracked() {
         let (pts, _, _, alpha) = small_dataset(11);
-        let cfg = SamplerConfig::new(4, alpha)
-            .with_seed(43)
-            .with_expected_len(pts.len() as u64)
-            .with_kappa0(1.0);
-        let mut s = RobustL0Sampler::new(cfg);
+        let cfg = SamplerConfig::builder(4, alpha)
+            .seed(43)
+            .expected_len(pts.len() as u64)
+            .kappa0(1.0).build().unwrap();
+        let mut s = RobustL0Sampler::try_new(cfg).unwrap();
         feed(&mut s, &pts);
         assert!(s.peak_words() >= s.words());
         assert!(s.peak_words() > 0);
     }
 
     #[test]
-    #[should_panic(expected = "threshold must be at least 1")]
     fn zero_threshold_rejected() {
-        let _ = RobustL0Sampler::with_threshold(SamplerConfig::new(2, 1.0), 0);
+        let err =
+            RobustL0Sampler::try_with_threshold(SamplerConfig::builder(2, 1.0).build().unwrap(), 0)
+                .unwrap_err();
+        assert!(err.to_string().contains("threshold must be at least 1"));
     }
 
     #[test]
@@ -738,16 +726,16 @@ mod tests {
         // The sharded engine relies on this: feeding a batch must leave
         // the sampler in exactly the state per-point feeding produces.
         let (pts, _, _, alpha) = small_dataset(12);
-        let cfg = SamplerConfig::new(4, alpha)
-            .with_seed(47)
-            .with_expected_len(pts.len() as u64)
-            .with_kappa0(1.0); // force doublings mid-batch
-        let mut one = RobustL0Sampler::new(cfg.clone());
+        let cfg = SamplerConfig::builder(4, alpha)
+            .seed(47)
+            .expected_len(pts.len() as u64)
+            .kappa0(1.0).build().unwrap(); // force doublings mid-batch
+        let mut one = RobustL0Sampler::try_new(cfg.clone()).unwrap();
         let mut per_point = BatchStats::default();
         for p in &pts {
             per_point.record(one.process(p));
         }
-        let mut batched = RobustL0Sampler::new(cfg);
+        let mut batched = RobustL0Sampler::try_new(cfg).unwrap();
         let mut stats = BatchStats::default();
         for chunk in pts.chunks(17) {
             stats.merge(&batched.process_batch(chunk));
@@ -767,7 +755,7 @@ mod tests {
 
     #[test]
     fn empty_batch_is_a_no_op() {
-        let mut s = RobustL0Sampler::new(SamplerConfig::new(2, 0.5));
+        let mut s = RobustL0Sampler::try_new(SamplerConfig::builder(2, 0.5).build().unwrap()).unwrap();
         let stats = s.process_batch(&[]);
         assert_eq!(stats, BatchStats::default());
         assert_eq!(s.seen(), 0);

@@ -41,12 +41,6 @@ impl JlRobustSampler {
     /// * `eps` — JL distortion; the projected space uses
     ///   `alpha' = (1 + eps) * alpha` and dimension
     ///   `k = ceil(8 ln m / eps^2)` (capped at `in_dim`).
-    pub fn new(in_dim: usize, alpha: f64, eps: f64, cfg: SamplerConfig) -> Self {
-        assert_eq!(cfg.dim, in_dim, "config dimension must match input");
-        Self::try_new(in_dim, alpha, eps, cfg).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible variant of [`Self::new`].
     ///
     /// # Errors
     ///
@@ -185,14 +179,14 @@ impl SamplerSummary for JlSummary {
         self.inner.f0_estimate()
     }
 
-    fn query_record(&mut self) -> Option<GroupRecord> {
+    fn query_record(&self, draw: u64) -> Option<GroupRecord> {
         self.inner
-            .query_record()
+            .query_record(draw)
             .map(|rec| lift_record(&self.originals, rec))
     }
 
-    fn query_k(&mut self, k: usize) -> Vec<GroupRecord> {
-        let recs = self.inner.query_k(k);
+    fn query_k(&self, k: usize, draw: u64) -> Vec<GroupRecord> {
+        let recs = self.inner.query_k(k, draw);
         recs.into_iter()
             .map(|rec| lift_record(&self.originals, rec))
             .collect()
@@ -286,10 +280,10 @@ mod tests {
     fn projected_sampler_returns_original_points() {
         let dim = 128;
         let stream = hd_stream(10, 6, dim, 1);
-        let cfg = SamplerConfig::new(dim, 0.5)
-            .with_seed(9)
-            .with_expected_len(stream.len() as u64);
-        let mut s = JlRobustSampler::new(dim, 0.5, 0.5, cfg);
+        let cfg = SamplerConfig::builder(dim, 0.5)
+            .seed(9)
+            .expected_len(stream.len() as u64).build().unwrap();
+        let mut s = JlRobustSampler::try_new(dim, 0.5, 0.5, cfg).unwrap();
         for (p, _) in &stream {
             s.process(p);
         }
@@ -301,10 +295,10 @@ mod tests {
     #[test]
     fn projection_reduces_dimension() {
         let dim = 512;
-        let cfg = SamplerConfig::new(dim, 0.5)
-            .with_seed(10)
-            .with_expected_len(1 << 10);
-        let s = JlRobustSampler::new(dim, 0.5, 0.5, cfg);
+        let cfg = SamplerConfig::builder(dim, 0.5)
+            .seed(10)
+            .expected_len(1 << 10).build().unwrap();
+        let s = JlRobustSampler::try_new(dim, 0.5, 0.5, cfg).unwrap();
         assert!(s.projected_dim() < dim);
         assert!(s.projected_dim() > 0);
     }
@@ -315,10 +309,10 @@ mod tests {
         // projected space (distance <= (1+eps) alpha)
         let dim = 128;
         let stream = hd_stream(8, 8, dim, 2);
-        let cfg = SamplerConfig::new(dim, 0.5)
-            .with_seed(11)
-            .with_expected_len(stream.len() as u64);
-        let mut s = JlRobustSampler::new(dim, 0.5, 0.5, cfg);
+        let cfg = SamplerConfig::builder(dim, 0.5)
+            .seed(11)
+            .expected_len(stream.len() as u64).build().unwrap();
+        let mut s = JlRobustSampler::try_new(dim, 0.5, 0.5, cfg).unwrap();
         let mut accepted_or_rejected = 0;
         for (p, _) in &stream {
             match s.process(p) {
@@ -331,8 +325,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "config dimension must match")]
     fn mismatched_dim_rejected() {
-        let _ = JlRobustSampler::new(64, 0.5, 0.5, SamplerConfig::new(32, 0.5));
+        let err =
+            JlRobustSampler::try_new(64, 0.5, 0.5, SamplerConfig::builder(32, 0.5).build().unwrap())
+                .unwrap_err();
+        assert!(matches!(err, RdsError::InvalidDimension { dim: 32 }));
     }
 }

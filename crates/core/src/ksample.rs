@@ -2,7 +2,7 @@
 //!
 //! * **Without replacement** — raise the accept-set threshold to
 //!   `kappa_0 * k * log m` (so `|Sacc| >= k` w.h.p.) and draw `k` distinct
-//!   groups; this is [`SamplerConfig::with_k`] plus
+//!   groups; this is [`crate::SamplerConfigBuilder::k`] plus
 //!   [`RobustL0Sampler::query_k`] / [`SlidingWindowSampler::query_k`]. The
 //!   [`KDistinctSampler`] wrapper packages the pattern.
 //! * **With replacement** — run `k` independent one-sample instances in
@@ -25,7 +25,7 @@ use rds_stream::StreamItem;
 /// use rds_core::{KDistinctSampler, SamplerConfig};
 /// use rds_geometry::Point;
 ///
-/// let mut s = KDistinctSampler::new(SamplerConfig::new(1, 0.5).with_seed(1), 3);
+/// let mut s = KDistinctSampler::try_new(SamplerConfig::builder(1, 0.5).seed(1).build().unwrap(), 3).unwrap();
 /// for i in 0..200 {
 ///     s.process(&Point::new(vec![(i % 20) as f64 * 10.0]));
 /// }
@@ -40,15 +40,6 @@ pub struct KDistinctSampler {
 impl KDistinctSampler {
     /// Creates the sampler; the threshold scales with `k` as in
     /// Section 2.3.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `k == 0`.
-    pub fn new(cfg: SamplerConfig, k: usize) -> Self {
-        Self::try_new(cfg, k).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible variant of [`Self::new`].
     ///
     /// # Errors
     ///
@@ -137,20 +128,24 @@ pub struct KWithReplacementSampler {
 impl KWithReplacementSampler {
     /// Creates `k` independent copies with derived seeds.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `k == 0`.
-    pub fn new(cfg: SamplerConfig, k: usize) -> Self {
-        assert!(k >= 1, "k must be at least 1");
+    /// [`RdsError::InvalidK`] when `k == 0`, or any
+    /// [`SamplerConfig::validate`] failure.
+    pub fn try_new(cfg: SamplerConfig, k: usize) -> Result<Self, RdsError> {
+        if k == 0 {
+            return Err(RdsError::InvalidK);
+        }
         let copies = (0..k)
             .map(|i| {
-                let cfg_i = cfg
-                    .clone()
-                    .with_seed(cfg.seed.wrapping_add(0xABCD * (i as u64 + 1)));
-                RobustL0Sampler::new(cfg_i)
+                let cfg_i = SamplerConfig {
+                    seed: cfg.seed.wrapping_add(0xABCD * (i as u64 + 1)),
+                    ..cfg.clone()
+                };
+                RobustL0Sampler::try_new(cfg_i)
             })
-            .collect();
-        Self { copies }
+            .collect::<Result<_, _>>()?;
+        Ok(Self { copies })
     }
 
     /// Feeds one stream point to every copy.
@@ -187,7 +182,7 @@ mod tests {
 
     #[test]
     fn without_replacement_returns_distinct() {
-        let mut s = KDistinctSampler::new(SamplerConfig::new(1, 0.5).with_seed(2), 5);
+        let mut s = KDistinctSampler::try_new(SamplerConfig::builder(1, 0.5).seed(2).build().unwrap(), 5).unwrap();
         feed_groups(400, 40, &mut |p| s.process(p));
         let picks = s.sample();
         assert_eq!(picks.len(), 5);
@@ -201,21 +196,21 @@ mod tests {
     #[test]
     fn without_replacement_saturates_at_group_count() {
         // only 2 groups exist; asking for 5 yields 2
-        let mut s = KDistinctSampler::new(SamplerConfig::new(1, 0.5).with_seed(3), 5);
+        let mut s = KDistinctSampler::try_new(SamplerConfig::builder(1, 0.5).seed(3).build().unwrap(), 5).unwrap();
         feed_groups(50, 2, &mut |p| s.process(p));
         assert_eq!(s.sample().len(), 2);
     }
 
     #[test]
     fn threshold_scales_with_k() {
-        let one = KDistinctSampler::new(SamplerConfig::new(1, 0.5), 1);
-        let five = KDistinctSampler::new(SamplerConfig::new(1, 0.5), 5);
+        let one = KDistinctSampler::try_new(SamplerConfig::builder(1, 0.5).build().unwrap(), 1).unwrap();
+        let five = KDistinctSampler::try_new(SamplerConfig::builder(1, 0.5).build().unwrap(), 5).unwrap();
         assert_eq!(five.inner().threshold(), 5 * one.inner().threshold());
     }
 
     #[test]
     fn with_replacement_returns_k_samples() {
-        let mut s = KWithReplacementSampler::new(SamplerConfig::new(1, 0.5).with_seed(4), 4);
+        let mut s = KWithReplacementSampler::try_new(SamplerConfig::builder(1, 0.5).seed(4).build().unwrap(), 4).unwrap();
         feed_groups(300, 30, &mut |p| s.process(p));
         assert_eq!(s.sample().len(), 4);
         assert_eq!(s.k(), 4);
@@ -226,10 +221,10 @@ mod tests {
         // over several reconstructions the k draws must not always agree
         let mut agreements = 0;
         for seed in 0..20u64 {
-            let mut s = KWithReplacementSampler::new(
-                SamplerConfig::new(1, 0.5).with_seed(seed * 31 + 1),
+            let mut s = KWithReplacementSampler::try_new(
+                SamplerConfig::builder(1, 0.5).seed(seed * 31 + 1).build().unwrap(),
                 2,
-            );
+            ).unwrap();
             feed_groups(200, 20, &mut |p| s.process(p));
             let picks = s.sample();
             if picks[0] == picks[1] {
@@ -240,8 +235,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "k must be at least 1")]
     fn zero_k_rejected() {
-        let _ = KDistinctSampler::new(SamplerConfig::new(1, 0.5), 0);
+        let err = KDistinctSampler::try_new(SamplerConfig::builder(1, 0.5).build().unwrap(), 0)
+            .unwrap_err();
+        assert!(matches!(err, RdsError::InvalidK));
     }
 }

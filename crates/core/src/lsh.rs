@@ -222,11 +222,6 @@ pub struct MetricGroup {
 impl<P: LshPartitioner> MetricRobustSampler<P> {
     /// Creates the sampler; `threshold` bounds `|Sacc|` as in Algorithm 1
     /// (use `kappa_0 log m`).
-    pub fn new(partitioner: P, threshold: usize, seed: u64) -> Self {
-        Self::try_new(partitioner, threshold, seed).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible variant of [`Self::new`].
     ///
     /// # Errors
     ///
@@ -386,7 +381,6 @@ pub struct MetricSummary<P: LshPartitioner> {
     acc: Vec<MetricGroup>,
     rej: Vec<MetricGroup>,
     seed: u64,
-    draws: u64,
 }
 
 impl<P: LshPartitioner> MetricSummary<P> {
@@ -400,9 +394,8 @@ impl<P: LshPartitioner> MetricSummary<P> {
         self.level
     }
 
-    fn fresh_rng(&mut self) -> StdRng {
-        self.draws = self.draws.wrapping_add(1);
-        derived_rng(self.seed, self.draws, 0x4C53_D157)
+    fn rng_for(&self, draw: u64) -> StdRng {
+        derived_rng(self.seed, draw, 0x4C53_D157)
     }
 
     fn any_adjacent_sampled(&self, p: &Point, level: u32) -> bool {
@@ -499,7 +492,6 @@ impl<P: LshPartitioner + Clone> SamplerSummary for MetricSummary<P> {
             acc,
             rej,
             seed: expected_seed,
-            draws: 0,
         }))
     }
 
@@ -507,13 +499,13 @@ impl<P: LshPartitioner + Clone> SamplerSummary for MetricSummary<P> {
         self.acc.len() as f64 * 2f64.powi(self.level as i32)
     }
 
-    fn query_record(&mut self) -> Option<GroupRecord> {
-        let mut rng = self.fresh_rng();
+    fn query_record(&self, draw: u64) -> Option<GroupRecord> {
+        let mut rng = self.rng_for(draw);
         self.acc.choose(&mut rng).map(metric_record)
     }
 
-    fn query_k(&mut self, k: usize) -> Vec<GroupRecord> {
-        let mut rng = self.fresh_rng();
+    fn query_k(&self, k: usize, draw: u64) -> Vec<GroupRecord> {
+        let mut rng = self.rng_for(draw);
         let mut idx: Vec<usize> = (0..self.acc.len()).collect();
         idx.shuffle(&mut rng);
         idx.truncate(k);
@@ -568,7 +560,6 @@ impl<P: LshPartitioner + Clone> DistinctSampler for MetricRobustSampler<P> {
             acc: self.acc.clone(),
             rej: self.rej.clone(),
             seed: self.seed,
-            draws: 0,
         }
     }
 
@@ -580,7 +571,6 @@ impl<P: LshPartitioner + Clone> DistinctSampler for MetricRobustSampler<P> {
             acc: self.acc,
             rej: self.rej,
             seed: self.seed,
-            draws: 0,
         }
     }
 }
@@ -676,7 +666,7 @@ mod tests {
     fn metric_sampler_tracks_groups_once() {
         let stream = angular_stream(15, 8, 24, 0.003, 5);
         let part = SimHashPartitioner::new(24, 12, 0.05, 6);
-        let mut s = MetricRobustSampler::new(part, 64, 7);
+        let mut s = MetricRobustSampler::try_new(part, 64, 7).unwrap();
         for (p, _) in &stream {
             s.process(p);
         }
@@ -696,7 +686,7 @@ mod tests {
     fn metric_sampler_subsamples_under_tight_threshold() {
         let stream = angular_stream(60, 3, 24, 0.002, 8);
         let part = SimHashPartitioner::new(24, 14, 0.04, 9);
-        let mut s = MetricRobustSampler::new(part, 8, 10);
+        let mut s = MetricRobustSampler::try_new(part, 8, 10).unwrap();
         for (p, _) in &stream {
             s.process(p);
         }
@@ -714,7 +704,7 @@ mod tests {
         let mut misses = 0u32;
         for run in 0..400u64 {
             let part = SimHashPartitioner::new(16, 12, 0.05, run * 13 + 1);
-            let mut s = MetricRobustSampler::new(part, 6, run * 17 + 3);
+            let mut s = MetricRobustSampler::try_new(part, 6, run * 17 + 3).unwrap();
             for (p, _) in &stream {
                 s.process(p);
             }

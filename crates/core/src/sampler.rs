@@ -24,6 +24,7 @@ use rand::rngs::StdRng;
 use rand::seq::{IndexedRandom, SliceRandom};
 use rand::{RngExt, SeedableRng};
 use rds_stream::{Stamp, StreamItem};
+use serde::{Deserialize, Serialize};
 
 /// A mergeable, queryable snapshot of a sampler's state.
 ///
@@ -32,6 +33,13 @@ use rds_stream::{Stamp, StreamItem};
 /// Merging is only defined between summaries whose samplers shared one
 /// configuration; [`SamplerSummary::merge`] reports
 /// [`RdsError::ConfigMismatch`] otherwise.
+///
+/// Summaries are **immutable**: every query takes `&self` plus an explicit
+/// `draw` token that supplies all the randomness (the RNG is derived
+/// deterministically from the shared seed and the token). Callers that
+/// want fresh samples per call keep their own counter and pass `draw`,
+/// `draw + 1`, ...; concurrent readers can share one frozen summary behind
+/// an `Arc` and draw independently without locks.
 pub trait SamplerSummary: Sized {
     /// Combines two summaries into a summary of the union of their
     /// streams.
@@ -66,12 +74,14 @@ pub trait SamplerSummary: Sized {
     /// summary.
     fn f0_estimate(&self) -> f64;
 
-    /// Draws one uniformly random sampled group. `None` iff the summary
-    /// covers no group.
-    fn query_record(&mut self) -> Option<GroupRecord>;
+    /// Draws one uniformly random sampled group; all randomness comes from
+    /// `draw` (distinct tokens give independent draws, the same token
+    /// replays the same draw). `None` iff the summary covers no group.
+    fn query_record(&self, draw: u64) -> Option<GroupRecord>;
 
-    /// Draws up to `k` *distinct* sampled groups.
-    fn query_k(&mut self, k: usize) -> Vec<GroupRecord>;
+    /// Draws up to `k` *distinct* sampled groups, deterministically in
+    /// `draw`.
+    fn query_k(&self, k: usize, draw: u64) -> Vec<GroupRecord>;
 }
 
 /// The unified streaming interface of all six sampler families.
@@ -95,7 +105,7 @@ pub trait SamplerSummary: Sized {
 ///     }
 /// }
 ///
-/// let mut s = RobustL0Sampler::new(SamplerConfig::new(1, 0.5).with_seed(1));
+/// let mut s = RobustL0Sampler::try_new(SamplerConfig::builder(1, 0.5).seed(1).build().unwrap()).unwrap();
 /// let pts: Vec<Point> = (0..50).map(|i| Point::new(vec![(i % 5) as f64 * 10.0])).collect();
 /// feed(&mut s, &pts);
 /// assert!(s.query_record().is_some());
@@ -171,22 +181,20 @@ pub trait DistinctSampler {
 /// the same reason the infinite-window merge is: all parties share one
 /// grid and hash, so an entry's level-membership is a function of its
 /// cached hash alone.
-#[derive(Clone, Debug)]
+///
+/// The summary is plain immutable data: it serializes (the offline
+/// `rds snapshot` path), and queries take `&self` plus a `draw` token.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct WindowSummary {
     cfg: SamplerConfig,
     /// `(level, entry)` for every accepted entry.
     entries: Vec<(u32, WindowGroupEntry)>,
-    draws: u64,
 }
 
 impl WindowSummary {
     /// Builds a summary from a sampler's accepted entries.
     pub fn from_parts(cfg: SamplerConfig, entries: Vec<(u32, WindowGroupEntry)>) -> Self {
-        Self {
-            cfg,
-            entries,
-            draws: 0,
-        }
+        Self { cfg, entries }
     }
 
     /// The accepted entries with their levels.
@@ -204,18 +212,16 @@ impl WindowSummary {
         &self.cfg
     }
 
-    fn fresh_rng(&mut self) -> StdRng {
-        self.draws = self.draws.wrapping_add(1);
-        derived_rng(self.cfg.seed, self.draws, 0x51D1_D157)
+    fn rng_for(&self, draw: u64) -> StdRng {
+        derived_rng(self.cfg.seed, draw, 0x51D1_D157)
     }
 
     /// Pools the entries at the common (coarsest) rate: every entry at
     /// level `ℓ` survives with probability `2^-(c-ℓ)`.
-    fn pool(&mut self) -> Vec<GroupRecord> {
+    fn pool(&self, rng: &mut StdRng) -> Vec<GroupRecord> {
         let Some(c) = self.entries.iter().map(|(l, _)| *l).max() else {
             return Vec::new();
         };
-        let mut rng = self.fresh_rng();
         self.entries
             .iter()
             .filter(|(l, _)| {
@@ -228,10 +234,11 @@ impl WindowSummary {
 }
 
 /// The deterministic per-draw RNG of the plain-data summaries: derived
-/// from the shared seed, a draw counter and a per-type salt, so summaries
-/// stay serializable (no RNG state) while successive queries still vary.
-pub(crate) fn derived_rng(seed: u64, draws: u64, salt: u64) -> StdRng {
-    StdRng::seed_from_u64(seed.wrapping_add(draws.wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ salt)
+/// from the shared seed, the caller's draw token and a per-type salt, so
+/// summaries stay serializable and immutable (no RNG state) while distinct
+/// tokens still give independent draws.
+pub(crate) fn derived_rng(seed: u64, draw: u64, salt: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_add(draw.wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ salt)
 }
 
 /// The trait-level [`GroupRecord`] view of a window entry: `rep` is the
@@ -298,15 +305,15 @@ impl SamplerSummary for WindowSummary {
             .sum()
     }
 
-    fn query_record(&mut self) -> Option<GroupRecord> {
-        let pool = self.pool();
-        let mut rng = self.fresh_rng();
+    fn query_record(&self, draw: u64) -> Option<GroupRecord> {
+        let mut rng = self.rng_for(draw);
+        let pool = self.pool(&mut rng);
         pool.choose(&mut rng).cloned()
     }
 
-    fn query_k(&mut self, k: usize) -> Vec<GroupRecord> {
-        let mut pool = self.pool();
-        let mut rng = self.fresh_rng();
+    fn query_k(&self, k: usize, draw: u64) -> Vec<GroupRecord> {
+        let mut rng = self.rng_for(draw);
+        let mut pool = self.pool(&mut rng);
         pool.shuffle(&mut rng);
         pool.truncate(k);
         pool
@@ -325,9 +332,9 @@ mod tests {
     }
 
     fn cfg(seed: u64) -> SamplerConfig {
-        SamplerConfig::new(1, 0.5)
-            .with_seed(seed)
-            .with_expected_len(1 << 12)
+        SamplerConfig::builder(1, 0.5)
+            .seed(seed)
+            .expected_len(1 << 12).build().unwrap()
     }
 
     /// The generic helper all backends share in the engine/facade.
@@ -339,8 +346,8 @@ mod tests {
 
     #[test]
     fn trait_objects_by_generic_fn_agree_on_counts() {
-        let mut inf = RobustL0Sampler::new(cfg(1));
-        let mut win = SlidingWindowSampler::new(cfg(1), Window::Sequence(1 << 20));
+        let mut inf = RobustL0Sampler::try_new(cfg(1)).unwrap();
+        let mut win = SlidingWindowSampler::try_new(cfg(1), Window::Sequence(1 << 20)).unwrap();
         let mut fixed = FixedRateWindowSampler::new(cfg(1), Window::Sequence(1 << 20), 0);
         feed(&mut inf, 120, 12);
         feed(&mut win, 120, 12);
@@ -354,8 +361,8 @@ mod tests {
 
     #[test]
     fn window_summary_merges_disjoint_shards() {
-        let mut a = SlidingWindowSampler::new(cfg(2), Window::Sequence(1 << 10));
-        let mut b = SlidingWindowSampler::new(cfg(2), Window::Sequence(1 << 10));
+        let mut a = SlidingWindowSampler::try_new(cfg(2), Window::Sequence(1 << 10)).unwrap();
+        let mut b = SlidingWindowSampler::try_new(cfg(2), Window::Sequence(1 << 10)).unwrap();
         for i in 0..60u64 {
             a.process(&item((i % 6) as f64 * 10.0, i));
             b.process(&item((6 + i % 6) as f64 * 10.0, i));
@@ -366,23 +373,23 @@ mod tests {
 
     #[test]
     fn window_summary_deduplicates_split_groups() {
-        let mut a = SlidingWindowSampler::new(cfg(3), Window::Sequence(1 << 10));
-        let mut b = SlidingWindowSampler::new(cfg(3), Window::Sequence(1 << 10));
+        let mut a = SlidingWindowSampler::try_new(cfg(3), Window::Sequence(1 << 10)).unwrap();
+        let mut b = SlidingWindowSampler::try_new(cfg(3), Window::Sequence(1 << 10)).unwrap();
         // one group observed by both shards
         for i in 0..20u64 {
             a.process(&item(0.0, i));
             b.process(&item(0.1, i));
         }
-        let mut merged = a.summary().merge(b.summary()).expect("same config");
+        let merged = a.summary().merge(b.summary()).expect("same config");
         assert_eq!(merged.f0_estimate(), 1.0);
-        let rec = merged.query_record().expect("non-empty");
+        let rec = merged.query_record(1).expect("non-empty");
         assert_eq!(rec.count, 40, "counts must add up across shards");
     }
 
     #[test]
     fn window_summary_merge_rejects_config_mismatch() {
-        let a = SlidingWindowSampler::new(cfg(4), Window::Sequence(8));
-        let b = SlidingWindowSampler::new(cfg(5), Window::Sequence(8));
+        let a = SlidingWindowSampler::try_new(cfg(4), Window::Sequence(8)).unwrap();
+        let b = SlidingWindowSampler::try_new(cfg(5), Window::Sequence(8)).unwrap();
         assert!(matches!(
             a.summary().merge(b.summary()),
             Err(RdsError::ConfigMismatch { .. })
@@ -391,20 +398,20 @@ mod tests {
 
     #[test]
     fn empty_summary_queries_are_empty() {
-        let s = SlidingWindowSampler::new(cfg(6), Window::Sequence(8));
-        let mut sum = s.summary();
+        let s = SlidingWindowSampler::try_new(cfg(6), Window::Sequence(8)).unwrap();
+        let sum = s.summary();
         assert!(sum.is_empty());
-        assert!(sum.query_record().is_none());
-        assert!(sum.query_k(3).is_empty());
+        assert!(sum.query_record(1).is_none());
+        assert!(sum.query_k(3, 1).is_empty());
         assert_eq!(sum.f0_estimate(), 0.0);
     }
 
     #[test]
     fn query_k_zero_is_empty_for_every_family() {
-        let mut inf = RobustL0Sampler::new(cfg(7));
+        let mut inf = RobustL0Sampler::try_new(cfg(7)).unwrap();
         feed(&mut inf, 30, 3);
         assert!(inf.query_k(0).is_empty());
-        let mut win = SlidingWindowSampler::new(cfg(7), Window::Sequence(64));
+        let mut win = SlidingWindowSampler::try_new(cfg(7), Window::Sequence(64)).unwrap();
         feed(&mut win, 30, 3);
         // UFCS: the inherent `query_k` (returning `GroupSample`s) wins on
         // the concrete type; this exercises the trait method.
@@ -414,12 +421,12 @@ mod tests {
     #[test]
     fn default_process_batch_matches_per_item() {
         let items: Vec<StreamItem> = (0..90u64).map(|i| item((i % 9) as f64 * 10.0, i)).collect();
-        let mut one = SlidingWindowSampler::new(cfg(8), Window::Sequence(256));
+        let mut one = SlidingWindowSampler::try_new(cfg(8), Window::Sequence(256)).unwrap();
         let mut per = BatchStats::default();
         for it in &items {
             per.record(one.process(it));
         }
-        let mut batched = SlidingWindowSampler::new(cfg(8), Window::Sequence(256));
+        let mut batched = SlidingWindowSampler::try_new(cfg(8), Window::Sequence(256)).unwrap();
         let mut stats = BatchStats::default();
         for chunk in items.chunks(13) {
             stats.merge(&batched.process_batch(chunk));

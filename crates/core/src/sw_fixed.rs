@@ -26,8 +26,9 @@ use std::sync::Arc;
 
 /// Per-group state of the sliding-window samplers: the representative
 /// `u`, the latest point `p` (the value of the pair `(u, p) ∈ A`), and
-/// bookkeeping.
-#[derive(Clone, Debug)]
+/// bookkeeping. Serializes as part of [`WindowSummary`] (the offline
+/// snapshot path).
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct WindowGroupEntry {
     /// The group's representative for the current window.
     pub rep: Point,
@@ -89,7 +90,7 @@ impl WindowGroupEntry {
 /// use rds_geometry::Point;
 /// use rds_stream::{Stamp, StreamItem, Window};
 ///
-/// let cfg = SamplerConfig::new(1, 0.5).with_seed(3);
+/// let cfg = SamplerConfig::builder(1, 0.5).seed(3).build().unwrap();
 /// let mut s = FixedRateWindowSampler::new(cfg, Window::Sequence(4), 0);
 /// for i in 0..10u64 {
 ///     let item = StreamItem::new(Point::new(vec![i as f64 * 10.0]), Stamp::at(i));
@@ -433,7 +434,7 @@ mod tests {
     }
 
     fn cfg() -> SamplerConfig {
-        SamplerConfig::new(1, 0.5).with_seed(7).with_expected_len(64)
+        SamplerConfig::builder(1, 0.5).seed(7).expected_len(64).build().unwrap()
     }
 
     #[test]
@@ -514,7 +515,7 @@ mod tests {
     #[test]
     fn level_sampling_thins_the_entries() {
         // At a high level most groups are ignored.
-        let cfg = SamplerConfig::new(1, 0.5).with_seed(11).with_expected_len(1 << 12);
+        let cfg = SamplerConfig::builder(1, 0.5).seed(11).expected_len(1 << 12).build().unwrap();
         let mut s = FixedRateWindowSampler::new(cfg, Window::Sequence(4096), 6);
         for i in 0..4096u64 {
             s.process(&item(i as f64 * 10.0, i));
@@ -529,7 +530,7 @@ mod tests {
 
     #[test]
     fn split_promotes_prefix_and_keeps_suffix_here() {
-        let cfg = SamplerConfig::new(1, 0.5).with_seed(13).with_expected_len(1 << 10);
+        let cfg = SamplerConfig::builder(1, 0.5).seed(13).expected_len(1 << 10).build().unwrap();
         let mut s = FixedRateWindowSampler::new(cfg, Window::Sequence(1024), 0);
         for i in 0..64u64 {
             s.process(&item(i as f64 * 10.0, i));

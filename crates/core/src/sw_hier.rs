@@ -86,8 +86,8 @@ impl From<&WindowGroupEntry> for GroupSample {
 /// use rds_geometry::Point;
 /// use rds_stream::{Stamp, StreamItem, Window};
 ///
-/// let cfg = SamplerConfig::new(1, 0.5).with_seed(5);
-/// let mut s = SlidingWindowSampler::new(cfg, Window::Sequence(16));
+/// let cfg = SamplerConfig::builder(1, 0.5).seed(5).build().unwrap();
+/// let mut s = SlidingWindowSampler::try_new(cfg, Window::Sequence(16)).unwrap();
 /// for i in 0..100u64 {
 ///     s.process(&StreamItem::new(Point::new(vec![(i % 40) as f64 * 10.0]), Stamp::at(i)));
 /// }
@@ -109,23 +109,14 @@ pub struct SlidingWindowSampler {
 }
 
 impl SlidingWindowSampler {
-    /// Creates the sampler over a bounded window.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `window` is [`Window::Infinite`] (use
-    /// [`crate::RobustL0Sampler`] for the infinite window) or has zero
-    /// length.
-    pub fn new(cfg: SamplerConfig, window: Window) -> Self {
-        Self::try_new(cfg, window).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible variant of [`Self::new`].
+    /// Creates the sampler over a bounded window (with the
+    /// configuration's default threshold).
     ///
     /// # Errors
     ///
     /// [`RdsError::UnboundedWindow`] / [`RdsError::EmptyWindow`] for a bad
-    /// window, or any [`SamplerConfig::validate`] failure.
+    /// window (use [`crate::RobustL0Sampler`] for the infinite window), or
+    /// any [`SamplerConfig::validate`] failure.
     pub fn try_new(cfg: SamplerConfig, window: Window) -> Result<Self, RdsError> {
         let threshold = cfg.threshold();
         Self::try_with_threshold(cfg, window, threshold)
@@ -133,16 +124,6 @@ impl SlidingWindowSampler {
 
     /// Creates the sampler with an explicit per-level `|Sacc|` threshold
     /// (the Section 5 F0 regime uses `kappa_B / eps^2`).
-    ///
-    /// # Panics
-    ///
-    /// Panics on an unbounded or empty window, a zero threshold, or an
-    /// invalid configuration.
-    pub fn with_threshold(cfg: SamplerConfig, window: Window, threshold: usize) -> Self {
-        Self::try_with_threshold(cfg, window, threshold).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible variant of [`Self::with_threshold`].
     ///
     /// # Errors
     ///
@@ -292,7 +273,7 @@ impl SlidingWindowSampler {
     }
 
     /// Draws up to `k` *distinct* groups (Section 2.3: configure
-    /// [`SamplerConfig::with_k`] so the per-level threshold scales with
+    /// [`crate::SamplerConfigBuilder::k`] so the per-level threshold scales with
     /// `k`).
     pub fn query_k(&mut self, k: usize) -> Vec<GroupSample> {
         let mut pool = self.pooled(|e| GroupSample::from(e));
@@ -486,9 +467,9 @@ mod tests {
     }
 
     fn cfg(seed: u64) -> SamplerConfig {
-        SamplerConfig::new(1, 0.5)
-            .with_seed(seed)
-            .with_expected_len(1 << 12)
+        SamplerConfig::builder(1, 0.5)
+            .seed(seed)
+            .expected_len(1 << 12).build().unwrap()
     }
 
     /// Brute-force ground truth: group ids of live points under a
@@ -506,7 +487,7 @@ mod tests {
 
     #[test]
     fn query_none_only_when_window_empty() {
-        let mut s = SlidingWindowSampler::new(cfg(1), Window::Sequence(4));
+        let mut s = SlidingWindowSampler::try_new(cfg(1), Window::Sequence(4)).unwrap();
         assert!(s.query().is_none());
         s.process(&item(0.0, 0));
         assert!(s.query().is_some());
@@ -514,7 +495,7 @@ mod tests {
 
     #[test]
     fn single_group_stream_always_samples_it() {
-        let mut s = SlidingWindowSampler::new(cfg(2), Window::Sequence(8));
+        let mut s = SlidingWindowSampler::try_new(cfg(2), Window::Sequence(8)).unwrap();
         for i in 0..50u64 {
             s.process(&item(0.1 * ((i % 3) as f64), i));
             let q = s.query().expect("window never empty");
@@ -525,7 +506,7 @@ mod tests {
     #[test]
     fn sampled_latest_point_is_always_live() {
         let w = 16u64;
-        let mut s = SlidingWindowSampler::new(cfg(3), Window::Sequence(w));
+        let mut s = SlidingWindowSampler::try_new(cfg(3), Window::Sequence(w)).unwrap();
         let stream: Vec<StreamItem> = (0..300u64)
             .map(|i| item(((i * 7) % 60) as f64 * 10.0, i))
             .collect();
@@ -547,7 +528,7 @@ mod tests {
     #[test]
     fn tracked_groups_are_a_subset_of_live_groups() {
         let w = 32u64;
-        let mut s = SlidingWindowSampler::new(cfg(4), Window::Sequence(w));
+        let mut s = SlidingWindowSampler::try_new(cfg(4), Window::Sequence(w)).unwrap();
         let stream: Vec<StreamItem> = (0..400u64)
             .map(|i| item(((i * 13) % 90) as f64 * 10.0, i))
             .collect();
@@ -563,7 +544,7 @@ mod tests {
 
     #[test]
     fn no_group_is_tracked_twice() {
-        let mut s = SlidingWindowSampler::new(cfg(5), Window::Sequence(64));
+        let mut s = SlidingWindowSampler::try_new(cfg(5), Window::Sequence(64)).unwrap();
         for i in 0..500u64 {
             s.process(&item(((i * 13) % 90) as f64 * 10.0, i));
             let mut reps: Vec<i64> = s
@@ -579,10 +560,10 @@ mod tests {
 
     #[test]
     fn cascade_keeps_levels_at_threshold() {
-        let mut s = SlidingWindowSampler::new(
-            cfg(6).with_kappa0(0.5), // tight threshold to force splits
+        let mut s = SlidingWindowSampler::try_new(
+            SamplerConfig { kappa0: 0.5, ..cfg(6) }, // tight threshold to force splits
             Window::Sequence(256),
-        );
+        ).unwrap();
         let mut over_budget_steps = 0u64;
         for i in 0..2000u64 {
             s.process(&item(((i * 13) % 512) as f64 * 10.0, i));
@@ -612,7 +593,7 @@ mod tests {
 
     #[test]
     fn levels_above_zero_only_hold_rate_passing_accepts() {
-        let mut s = SlidingWindowSampler::new(cfg(7).with_kappa0(0.5), Window::Sequence(128));
+        let mut s = SlidingWindowSampler::try_new(SamplerConfig { kappa0: 0.5, ..cfg(7) }, Window::Sequence(128)).unwrap();
         for i in 0..1500u64 {
             s.process(&item(((i * 29) % 300) as f64 * 10.0, i));
         }
@@ -630,7 +611,7 @@ mod tests {
 
     #[test]
     fn time_based_window_works() {
-        let mut s = SlidingWindowSampler::new(cfg(8), Window::Time(10));
+        let mut s = SlidingWindowSampler::try_new(cfg(8), Window::Time(10)).unwrap();
         // bursts: 5 groups at time 0, 1 group at time 20
         for g in 0..5u64 {
             s.process(&StreamItem::new(
@@ -652,7 +633,7 @@ mod tests {
     fn rejected_group_refresh_keeps_sampler_answerable() {
         // Regression test for deviation 3: force a scenario where the only
         // live group was once rejected at a high level, then refreshed.
-        let mut s = SlidingWindowSampler::new(cfg(9).with_kappa0(0.5), Window::Sequence(64));
+        let mut s = SlidingWindowSampler::try_new(SamplerConfig { kappa0: 0.5, ..cfg(9) }, Window::Sequence(64)).unwrap();
         // Fill with many groups to push entries upward (some rejected).
         for i in 0..512u64 {
             s.process(&item(((i * 13) % 128) as f64 * 10.0, i));
@@ -681,13 +662,13 @@ mod tests {
             .collect();
         let mut hist = rds_metrics::SampleHistogram::new(n_groups as usize);
         for run in 0..800u64 {
-            let mut s = SlidingWindowSampler::new(
-                SamplerConfig::new(1, 0.5)
-                    .with_seed(run * 101 + 7)
-                    .with_expected_len(240)
-                    .with_kappa0(1.0),
+            let mut s = SlidingWindowSampler::try_new(
+                SamplerConfig::builder(1, 0.5)
+                    .seed(run * 101 + 7)
+                    .expected_len(240)
+                    .kappa0(1.0).build().unwrap(),
                 Window::Sequence(2 * n_groups),
-            );
+            ).unwrap();
             for it in &stream {
                 s.process(it);
             }
@@ -705,10 +686,10 @@ mod tests {
 
     #[test]
     fn k_query_returns_distinct_groups() {
-        let mut s = SlidingWindowSampler::new(
-            cfg(10).with_k(3).with_kappa0(1.0),
+        let mut s = SlidingWindowSampler::try_new(
+            SamplerConfig { k: 3, kappa0: 1.0, ..cfg(10) },
             Window::Sequence(64),
-        );
+        ).unwrap();
         for i in 0..200u64 {
             s.process(&item((i % 40) as f64 * 10.0, i));
         }
@@ -724,7 +705,7 @@ mod tests {
     #[test]
     fn f0_estimate_is_in_the_right_ballpark() {
         let n_groups = 64u64;
-        let mut s = SlidingWindowSampler::new(cfg(11), Window::Sequence(512));
+        let mut s = SlidingWindowSampler::try_new(cfg(11), Window::Sequence(512)).unwrap();
         for i in 0..2048u64 {
             s.process(&item((i % n_groups) as f64 * 10.0, i));
         }
@@ -739,13 +720,13 @@ mod tests {
     fn space_stays_polylogarithmic() {
         // window 4096, ~8192 groups: the naive tracker would hold 4096
         // entries; the hierarchy must stay well below that.
-        let mut s = SlidingWindowSampler::new(
-            SamplerConfig::new(1, 0.5)
-                .with_seed(12)
-                .with_expected_len(1 << 14)
-                .with_kappa0(1.0),
+        let mut s = SlidingWindowSampler::try_new(
+            SamplerConfig::builder(1, 0.5)
+                .seed(12)
+                .expected_len(1 << 14)
+                .kappa0(1.0).build().unwrap(),
             Window::Sequence(4096),
-        );
+        ).unwrap();
         for i in 0..16384u64 {
             s.process(&item((i % 8192) as f64 * 10.0, i));
         }
@@ -758,9 +739,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bounded window")]
     fn infinite_window_is_rejected() {
-        let _ = SlidingWindowSampler::new(cfg(13), Window::Infinite);
+        let err = SlidingWindowSampler::try_new(cfg(13), Window::Infinite).unwrap_err();
+        assert!(matches!(err, RdsError::UnboundedWindow));
     }
 
     #[test]
@@ -768,8 +749,8 @@ mod tests {
         let stream: Vec<StreamItem> = (0..100u64)
             .map(|i| item((i % 20) as f64 * 10.0, i))
             .collect();
-        let mut a = SlidingWindowSampler::new(cfg(14), Window::Sequence(16));
-        let mut b = SlidingWindowSampler::new(cfg(14), Window::Time(16));
+        let mut a = SlidingWindowSampler::try_new(cfg(14), Window::Sequence(16)).unwrap();
+        let mut b = SlidingWindowSampler::try_new(cfg(14), Window::Time(16)).unwrap();
         for it in &stream {
             a.process(it);
             b.process(it);

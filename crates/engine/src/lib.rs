@@ -34,17 +34,27 @@
 //!   [`DistinctSampler::process_batch`], amortizing channel traffic and
 //!   per-item bookkeeping over the batch.
 //!
+//! Reads never mutate the stream state implicitly: [`ShardedEngine::flush`]
+//! is the only operation that ships partially filled batch buffers to the
+//! workers, and [`ShardedEngine::snapshot`] merges what the workers have
+//! *received* without draining anything — so a monitoring path that
+//! snapshots mid-stream observes the engine, it does not alter its
+//! batching. Call `flush` first when a read must cover every ingested
+//! item; [`ShardedEngine::finish`] always covers everything (it flushes,
+//! then moves the final shard states out).
+//!
 //! ```
 //! use rds_core::SamplerConfig;
 //! use rds_engine::ShardedEngine;
 //! use rds_geometry::Point;
 //!
-//! let cfg = SamplerConfig::new(1, 0.5).with_seed(7);
-//! let mut engine = ShardedEngine::new(cfg, 4);
+//! let cfg = SamplerConfig::builder(1, 0.5).seed(7).build().expect("valid");
+//! let mut engine = ShardedEngine::try_new(cfg, 4).expect("valid");
 //! for i in 0..400u64 {
 //!     // 40 entities, 10 near-duplicate observations each
 //!     engine.ingest(Point::new(vec![(i % 40) as f64 * 10.0]));
 //! }
+//! engine.flush(); // reads do not flush implicitly
 //! assert!(engine.query().is_some());
 //! let f0 = engine.finish().f0_estimate();
 //! assert!((f0 - 40.0).abs() < 20.0);
@@ -117,14 +127,17 @@ impl Router {
 /// merging the per-shard [`DistinctSampler::Summary`]s.
 ///
 /// The default type parameter is the infinite-window [`RobustL0Sampler`];
-/// [`ShardedEngine::sliding_window`] builds the same pipeline over
-/// [`SlidingWindowSampler`]s, and [`ShardedEngine::with_factory`] accepts
-/// any [`DistinctSampler`].
+/// [`ShardedEngine::try_sliding_window`] builds the same pipeline over
+/// [`SlidingWindowSampler`]s, and [`ShardedEngine::try_with_factory`]
+/// accepts any [`DistinctSampler`].
 ///
-/// All query methods implicitly [`flush`](Self::flush) first, so results
-/// always reflect every ingested item. Dropping the engine shuts the
-/// workers down; [`finish`](Self::finish) does the same but hands back
-/// the final merged summary without cloning shard state.
+/// Reads are side-effect free: [`snapshot`](Self::snapshot) and the query
+/// methods cover exactly the items already shipped to the workers and
+/// never drain the per-shard batch buffers — call
+/// [`flush`](Self::flush) explicitly when a read must include every
+/// ingested item. Dropping the engine shuts the workers down;
+/// [`finish`](Self::finish) flushes, then hands back the final merged
+/// summary without cloning shard state.
 #[derive(Debug)]
 pub struct ShardedEngine<S: DistinctSampler = RobustL0Sampler> {
     router: Router,
@@ -133,6 +146,7 @@ pub struct ShardedEngine<S: DistinctSampler = RobustL0Sampler> {
     batch_size: usize,
     seen: u64,
     last_stamp: Stamp,
+    draws: u64,
 }
 
 impl std::fmt::Debug for Router {
@@ -160,20 +174,6 @@ where
     /// from the same configuration as `cfg` — identical grid and hash are
     /// what make the summary merge sound; `cfg` itself only drives the
     /// router.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n_shards == 0` or the configuration is invalid; see
-    /// [`Self::try_with_factory`] for the fallible variant.
-    pub fn with_factory(
-        cfg: &SamplerConfig,
-        n_shards: usize,
-        make: impl FnMut(usize) -> S,
-    ) -> Self {
-        Self::try_with_factory(cfg, n_shards, make).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible variant of [`Self::with_factory`].
     ///
     /// # Errors
     ///
@@ -223,6 +223,7 @@ where
             batch_size: DEFAULT_BATCH_SIZE,
             seen: 0,
             last_stamp: Stamp::at(0),
+            draws: 0,
         })
     }
 
@@ -253,7 +254,10 @@ where
     /// agrees with the unsharded sampler's.
     pub fn ingest_item(&mut self, item: StreamItem) {
         self.seen += 1;
-        self.last_stamp = item.stamp;
+        // max, not assign: an `advance` past the stream's own stamps must
+        // not be rewound by a later item (stamps are non-decreasing, so
+        // for plain streams this is the same assignment as before).
+        self.last_stamp = self.last_stamp.max(item.stamp);
         let s = self.router.shard_of(&item.point, self.shards.len());
         let shard = &mut self.shards[s];
         shard.routed += 1;
@@ -296,12 +300,17 @@ where
         }
     }
 
-    /// Flushes, then snapshots every shard's summary (the workers keep
-    /// running and can ingest more afterwards). Window samplers are
+    /// Snapshots every shard's summary **without flushing**: the result
+    /// covers exactly the items the workers have received (shipped
+    /// batches), not the ones still sitting in this handle's per-shard
+    /// batch buffers. The workers keep running and can ingest more
+    /// afterwards — snapshotting is non-draining. Window samplers are
     /// advanced to the engine's latest stamp first, so quiet shards
     /// expire correctly.
-    pub fn summaries(&mut self) -> Vec<S::Summary> {
-        self.flush();
+    ///
+    /// Call [`Self::flush`] first when the snapshot must cover every
+    /// ingested item.
+    pub fn shard_summaries(&mut self) -> Vec<S::Summary> {
         let now = self.last_stamp;
         let mut pending = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
@@ -318,31 +327,50 @@ where
             .collect()
     }
 
-    /// Flushes and merges the current shard states into one summary over
-    /// the whole stream so far.
-    pub fn merged(&mut self) -> S::Summary {
-        Self::reduce(self.summaries())
+    /// Merges the current shard states into one summary — the
+    /// non-draining publication path ([`Self::shard_summaries`] reduced
+    /// with the summary merge). Unlike [`Self::finish`], the engine keeps
+    /// running; unlike the pre-split API, nothing is flushed implicitly:
+    /// items still buffered in this handle are *not* covered until
+    /// [`Self::flush`] ships them.
+    pub fn snapshot(&mut self) -> S::Summary {
+        Self::reduce(self.shard_summaries())
     }
 
-    /// The merged robust F0 estimate over the union of the shards.
+    /// The merged robust F0 estimate over the union of the shards (over
+    /// flushed items only; see [`Self::snapshot`]).
     pub fn f0_estimate(&mut self) -> f64 {
-        self.merged().f0_estimate()
+        self.snapshot().f0_estimate()
     }
 
-    /// Draws one robust ℓ0-sample over the whole stream: the owned record
-    /// of a uniformly random sampled entity. `None` iff nothing was
-    /// ingested (or, for window backends, nothing is live).
+    /// Draws one robust ℓ0-sample over the flushed stream: the owned
+    /// record of a uniformly random sampled entity. `None` iff nothing
+    /// reached the workers (or, for window backends, nothing is live).
     pub fn query(&mut self) -> Option<GroupRecord> {
-        self.merged().query_record()
+        self.draws += 1;
+        self.snapshot().query_record(self.draws)
     }
 
-    /// Draws up to `k` distinct sampled entities, owned.
+    /// Draws up to `k` distinct sampled entities, owned (over flushed
+    /// items only; see [`Self::snapshot`]).
     pub fn query_k(&mut self, k: usize) -> Vec<GroupRecord> {
-        self.merged().query_k(k)
+        self.draws += 1;
+        self.snapshot().query_k(k, self.draws)
+    }
+
+    /// Advances the engine clock to `now` without feeding an item: the
+    /// next snapshot expires window entries older than `now` on every
+    /// shard (a no-op for infinite-window samplers). Stamps must be
+    /// non-decreasing; an older `now` is ignored.
+    pub fn advance(&mut self, now: Stamp) {
+        self.last_stamp = self.last_stamp.max(now);
     }
 
     /// Shuts the workers down and merges their final states, moving (not
-    /// cloning) every shard's state into the summary.
+    /// cloning) every shard's state into the summary. `finish` covers
+    /// every ingested item: it flushes the batch buffers before joining
+    /// the workers ([`Self::snapshot`], by contrast, is the non-draining
+    /// mid-stream publication path).
     pub fn finish(mut self) -> S::Summary {
         self.flush();
         let now = self.last_stamp;
@@ -393,15 +421,6 @@ impl ShardedEngine<RobustL0Sampler> {
     /// infinite-window site sampler of the shared configuration
     /// (Algorithm 1's default threshold).
     ///
-    /// # Panics
-    ///
-    /// Panics if `n_shards == 0` or the configuration is invalid.
-    pub fn new(cfg: SamplerConfig, n_shards: usize) -> Self {
-        Self::try_new(cfg, n_shards).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible variant of [`Self::new`].
-    ///
     /// # Errors
     ///
     /// [`RdsError::InvalidShards`] or any [`SamplerConfig::validate`]
@@ -411,18 +430,8 @@ impl ShardedEngine<RobustL0Sampler> {
         Self::try_with_threshold(cfg, n_shards, threshold)
     }
 
-    /// Like [`Self::new`] with an explicit accept-set threshold per shard
-    /// (Section 5's F0 regime uses `kappa_B / eps^2`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n_shards == 0`, `threshold == 0`, or the configuration
-    /// is invalid.
-    pub fn with_threshold(cfg: SamplerConfig, n_shards: usize, threshold: usize) -> Self {
-        Self::try_with_threshold(cfg, n_shards, threshold).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible variant of [`Self::with_threshold`].
+    /// Like [`Self::try_new`] with an explicit accept-set threshold per
+    /// shard (Section 5's F0 regime uses `kappa_B / eps^2`).
     ///
     /// # Errors
     ///
@@ -437,7 +446,8 @@ impl ShardedEngine<RobustL0Sampler> {
             return Err(RdsError::InvalidThreshold);
         }
         Self::try_with_factory(&cfg, n_shards, |_| {
-            RobustL0Sampler::with_threshold(cfg.clone(), threshold)
+            RobustL0Sampler::try_with_threshold(cfg.clone(), threshold)
+                .expect("configuration validated above")
         })
     }
 }
@@ -447,16 +457,6 @@ impl ShardedEngine<SlidingWindowSampler> {
     /// over `window` sharing the configuration. Items must be ingested
     /// through [`Self::ingest_item`] with their global stamps (or
     /// [`Self::ingest`], which stamps by arrival index).
-    ///
-    /// # Panics
-    ///
-    /// Panics on zero shards, an unbounded/empty window, or an invalid
-    /// configuration.
-    pub fn sliding_window(cfg: SamplerConfig, window: Window, n_shards: usize) -> Self {
-        Self::try_sliding_window(cfg, window, n_shards).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible variant of [`Self::sliding_window`].
     ///
     /// # Errors
     ///
@@ -498,7 +498,8 @@ impl ShardedEngine<SlidingWindowSampler> {
             }
         })?;
         Self::try_with_factory(&cfg, n_shards, |_| {
-            SlidingWindowSampler::with_threshold(cfg.clone(), window, threshold)
+            SlidingWindowSampler::try_with_threshold(cfg.clone(), window, threshold)
+                .expect("window, threshold and configuration validated above")
         })
     }
 }
@@ -526,19 +527,38 @@ mod tests {
     }
 
     fn cfg(seed: u64) -> SamplerConfig {
-        SamplerConfig::new(1, 0.5)
-            .with_seed(seed)
-            .with_expected_len(2048)
+        SamplerConfig::builder(1, 0.5)
+            .seed(seed)
+            .expected_len(2048).build().unwrap()
     }
 
     #[test]
     fn counts_groups_exactly_when_nothing_subsamples() {
-        let mut engine = ShardedEngine::new(cfg(1), 4).with_batch_size(32);
+        let mut engine = ShardedEngine::try_new(cfg(1), 4).unwrap().with_batch_size(32);
         for i in 0..512u64 {
             engine.ingest(grouped_point(i, 16));
         }
         assert_eq!(engine.seen(), 512);
+        engine.flush();
         assert_eq!(engine.f0_estimate(), 16.0);
+    }
+
+    #[test]
+    fn snapshot_is_non_draining_and_flush_is_explicit() {
+        // The satellite contract: reads cover only flushed items and do
+        // not silently ship the batch buffers.
+        let mut engine = ShardedEngine::try_new(cfg(30), 2).unwrap().with_batch_size(1024);
+        for i in 0..100u64 {
+            engine.ingest(grouped_point(i, 10));
+        }
+        // nothing shipped yet: the snapshot covers the empty prefix
+        assert_eq!(engine.f0_estimate(), 0.0);
+        assert!(engine.query().is_none());
+        // an explicit flush makes every ingested item visible
+        engine.flush();
+        assert_eq!(engine.f0_estimate(), 10.0);
+        // snapshotting did not drain the workers: a second read agrees
+        assert_eq!(engine.snapshot().f0_estimate(), 10.0);
     }
 
     #[test]
@@ -548,9 +568,9 @@ mod tests {
         let n_groups = 300u64;
         let eps = 0.5f64;
         let threshold = (16.0 / (eps * eps)).ceil() as usize;
-        let base = cfg(2).with_expected_len(6000);
-        let mut single = RobustL0Sampler::with_threshold(base.clone(), threshold);
-        let mut engine = ShardedEngine::with_threshold(base, 8, threshold);
+        let base = SamplerConfig { expected_len: 6000, ..cfg(2) };
+        let mut single = RobustL0Sampler::try_with_threshold(base.clone(), threshold).unwrap();
+        let mut engine = ShardedEngine::try_with_threshold(base, 8, threshold).unwrap();
         for i in 0..6000u64 {
             let p = grouped_point(i, n_groups);
             single.process(&p);
@@ -572,7 +592,7 @@ mod tests {
     #[test]
     fn sharded_ingestion_is_deterministic() {
         let run = || {
-            let mut engine = ShardedEngine::new(cfg(3), 3).with_batch_size(7);
+            let mut engine = ShardedEngine::try_new(cfg(3), 3).unwrap().with_batch_size(7);
             for i in 0..600u64 {
                 engine.ingest(grouped_point(i, 50));
             }
@@ -583,26 +603,29 @@ mod tests {
 
     #[test]
     fn mid_stream_queries_do_not_disturb_ingestion() {
-        let mut engine = ShardedEngine::new(cfg(4), 2).with_batch_size(16);
+        let mut engine = ShardedEngine::try_new(cfg(4), 2).unwrap().with_batch_size(16);
         for i in 0..128u64 {
             engine.ingest(grouped_point(i, 8));
         }
+        engine.flush();
         let early = engine.f0_estimate();
         assert_eq!(early, 8.0);
         for i in 128..1024u64 {
             engine.ingest(grouped_point(i, 32));
         }
+        engine.flush();
         assert_eq!(engine.f0_estimate(), 32.0);
         assert_eq!(engine.seen(), 1024);
     }
 
     #[test]
     fn query_returns_an_ingested_entity() {
-        let mut engine = ShardedEngine::new(cfg(5), 4);
+        let mut engine = ShardedEngine::try_new(cfg(5), 4).unwrap();
         assert!(engine.query().is_none());
         for i in 0..64u64 {
             engine.ingest(grouped_point(i, 4));
         }
+        engine.flush();
         let q = engine.query().expect("non-empty");
         let entity = (q.rep.get(0) / 10.0).round();
         assert!((0.0..4.0).contains(&entity), "sample {q:?} not an entity");
@@ -610,10 +633,11 @@ mod tests {
 
     #[test]
     fn query_k_returns_distinct_entities() {
-        let mut engine = ShardedEngine::new(cfg(6), 4);
+        let mut engine = ShardedEngine::try_new(cfg(6), 4).unwrap();
         for i in 0..256u64 {
             engine.ingest(grouped_point(i, 16));
         }
+        engine.flush();
         let picks = engine.query_k(5);
         assert_eq!(picks.len(), 5);
         for i in 0..picks.len() {
@@ -626,8 +650,8 @@ mod tests {
     #[test]
     fn one_shard_degenerates_to_a_single_site() {
         // With one shard the engine is a plain sampler behind a channel.
-        let mut single = RobustL0Sampler::new(cfg(7));
-        let mut engine = ShardedEngine::new(cfg(7), 1).with_batch_size(10);
+        let mut single = RobustL0Sampler::try_new(cfg(7)).unwrap();
+        let mut engine = ShardedEngine::try_new(cfg(7), 1).unwrap().with_batch_size(10);
         for i in 0..300u64 {
             let p = grouped_point(i, 24);
             single.process(&p);
@@ -642,7 +666,7 @@ mod tests {
     fn routing_is_entity_affine() {
         // Near-duplicates of one entity overwhelmingly route to one shard:
         // the load of the busiest shard per entity must be most of it.
-        let mut engine = ShardedEngine::new(cfg(8), 4);
+        let mut engine = ShardedEngine::try_new(cfg(8), 4).unwrap();
         let mut split_entities = 0u32;
         let n_entities = 64u64;
         for e in 0..n_entities {
@@ -668,7 +692,7 @@ mod tests {
         let mut hist = rds_metrics::SampleHistogram::new(n_groups);
         for run in 0..300u64 {
             let mut engine =
-                ShardedEngine::new(cfg(run * 131 + 11), 4).with_batch_size(32);
+                ShardedEngine::try_new(cfg(run * 131 + 11), 4).unwrap().with_batch_size(32);
             for i in 0..256u64 {
                 engine.ingest(grouped_point(i, n_groups as u64));
             }
@@ -689,12 +713,13 @@ mod tests {
         // groups, and agrees with the unsharded sampler when nothing
         // subsamples.
         let w = 64u64;
-        let mut engine = ShardedEngine::sliding_window(cfg(21), Window::Sequence(w), 4)
+        let mut engine = ShardedEngine::try_sliding_window(cfg(21), Window::Sequence(w), 4).unwrap()
             .with_batch_size(16);
         // Phase 1: 16 groups cycling; all 16 live at any time after warmup.
         for i in 0..512u64 {
             engine.ingest(grouped_point(i, 16));
         }
+        engine.flush();
         assert_eq!(engine.f0_estimate(), 16.0, "all 16 groups live in the window");
         // Phase 2: only group 0 streams; after w items everything else
         // expired — including on shards that received none of the new
@@ -702,6 +727,7 @@ mod tests {
         for i in 512..512 + 2 * w {
             engine.ingest(Point::new(vec![0.01 * (i % 3) as f64]));
         }
+        engine.flush();
         assert_eq!(engine.f0_estimate(), 1.0, "only group 0 is live");
         let q = engine.query().expect("window non-empty");
         assert!(
@@ -715,9 +741,9 @@ mod tests {
     #[test]
     fn sharded_window_matches_unsharded_on_live_group_count() {
         let w = 128u64;
-        let mut single = SlidingWindowSampler::new(cfg(22), Window::Sequence(w));
+        let mut single = SlidingWindowSampler::try_new(cfg(22), Window::Sequence(w)).unwrap();
         let mut engine =
-            ShardedEngine::sliding_window(cfg(22), Window::Sequence(w), 4).with_batch_size(8);
+            ShardedEngine::try_sliding_window(cfg(22), Window::Sequence(w), 4).unwrap().with_batch_size(8);
         for i in 0..1024u64 {
             let p = grouped_point(i, 32);
             single.process(&StreamItem::new(p.clone(), Stamp::at(i)));
@@ -725,13 +751,14 @@ mod tests {
         }
         // generous threshold: neither side subsamples, both count exactly
         assert_eq!(single.f0_estimate(), 32.0);
+        engine.flush();
         assert_eq!(engine.f0_estimate(), 32.0);
     }
 
     #[test]
     fn sharded_time_window_expires_by_timestamp() {
         let mut engine =
-            ShardedEngine::sliding_window(cfg(23), Window::Time(10), 3).with_batch_size(4);
+            ShardedEngine::try_sliding_window(cfg(23), Window::Time(10), 3).unwrap().with_batch_size(4);
         // burst of 6 groups at time 0
         for g in 0..6u64 {
             engine.ingest_item(StreamItem::new(
@@ -739,9 +766,11 @@ mod tests {
                 Stamp::new(g, 0),
             ));
         }
+        engine.flush();
         assert_eq!(engine.f0_estimate(), 6.0);
         // one group at time 20: the burst is out of the window
         engine.ingest_item(StreamItem::new(Point::new(vec![990.0]), Stamp::new(6, 20)));
+        engine.flush();
         assert_eq!(engine.f0_estimate(), 1.0);
         let q = engine.query().expect("non-empty");
         assert_eq!(q.rep, Point::new(vec![990.0]));
@@ -769,14 +798,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one shard")]
-    fn zero_shards_rejected() {
-        let _ = ShardedEngine::new(cfg(9), 0);
+    #[should_panic(expected = "batch size must be at least 1")]
+    fn zero_batch_size_rejected() {
+        let _ = ShardedEngine::try_new(cfg(10), 1).unwrap().with_batch_size(0);
     }
 
     #[test]
-    #[should_panic(expected = "batch size must be at least 1")]
-    fn zero_batch_size_rejected() {
-        let _ = ShardedEngine::new(cfg(10), 1).with_batch_size(0);
+    fn advance_expires_quiet_windows_without_items() {
+        let mut engine = ShardedEngine::try_sliding_window(cfg(31), Window::Time(10), 2)
+            .unwrap()
+            .with_batch_size(4);
+        for g in 0..5u64 {
+            engine.ingest_item(StreamItem::new(
+                Point::new(vec![g as f64 * 10.0]),
+                Stamp::new(g, 0),
+            ));
+        }
+        engine.flush();
+        assert_eq!(engine.f0_estimate(), 5.0);
+        // No new items — only the clock moves. Every shard must expire.
+        engine.advance(Stamp::new(5, 100));
+        assert_eq!(engine.f0_estimate(), 0.0);
+        // advance is monotone: an older stamp cannot resurrect anything
+        engine.advance(Stamp::new(0, 0));
+        assert_eq!(engine.f0_estimate(), 0.0);
     }
 }

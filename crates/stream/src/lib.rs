@@ -15,13 +15,14 @@
 #![warn(missing_docs)]
 
 use rds_geometry::Point;
+use serde::{Deserialize, Serialize};
 
 /// The position of a stream item in both window clocks: its sequence number
 /// (arrival index) and its timestamp.
 ///
 /// For sequence-based windows only `seq` matters; for time-based windows
 /// only `time`. Items must arrive with non-decreasing stamps.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Stamp {
     /// Arrival index (0-based, strictly increasing).
     pub seq: u64,
@@ -107,6 +108,44 @@ impl Window {
     /// Whether this is the infinite window.
     pub fn is_infinite(&self) -> bool {
         matches!(self, Window::Infinite)
+    }
+}
+
+// The vendored serde derive handles only named-field structs, so the
+// window enum maps to/from a `{ "model": ..., "w": ... }` tree by hand.
+impl serde::Serialize for Window {
+    fn to_value(&self) -> serde::Value {
+        let (model, w) = match *self {
+            Window::Infinite => ("infinite", None),
+            Window::Sequence(w) => ("sequence", Some(w)),
+            Window::Time(w) => ("time", Some(w)),
+        };
+        let mut entries = vec![("model".to_string(), serde::Value::Str(model.to_string()))];
+        if let Some(w) = w {
+            entries.push(("w".to_string(), serde::Value::U64(w)));
+        }
+        serde::Value::Map(entries)
+    }
+}
+
+impl serde::Deserialize for Window {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let model = match value.get("model") {
+            Some(serde::Value::Str(s)) => s.as_str(),
+            _ => return Err(serde::DeError::missing("model")),
+        };
+        let w = || -> Result<u64, serde::DeError> {
+            u64::from_value(value.get("w").unwrap_or(&serde::Value::Null))
+                .map_err(|e| serde::DeError::custom(format!("field `w`: {e}")))
+        };
+        match model {
+            "infinite" => Ok(Window::Infinite),
+            "sequence" => Ok(Window::Sequence(w()?)),
+            "time" => Ok(Window::Time(w()?)),
+            other => Err(serde::DeError::custom(format!(
+                "unknown window model `{other}`"
+            ))),
+        }
     }
 }
 

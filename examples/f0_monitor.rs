@@ -1,62 +1,106 @@
-//! Monitoring distinct entities under near-duplicates: robust F0 vs the
-//! industry-standard HyperLogLog.
+//! A *live* monitor of distinct entities under near-duplicates: one
+//! writer thread ingests a jittery sensor stream through `RdsWriter`
+//! while a reader thread — holding only a cloned `RdsReader` — prints
+//! the robust F0 estimate as snapshots are published. At the end the
+//! robust count is compared against HyperLogLog and KMV, which count
+//! every retransmission as a new distinct reading.
 //!
-//! A sensor fleet re-transmits readings with jitter; HyperLogLog counts
-//! every retransmission as a new distinct reading, while the robust
-//! estimator (Section 5 of the paper) counts *entities*.
+//! This is the writer/reader split in its natural habitat: the reader
+//! never touches the ingest path (queries are `&self` on an immutable
+//! epoch-stamped snapshot), and the writer never waits on the reader.
 //!
 //! Run with: `cargo run --release --example f0_monitor`
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use robust_distinct_sampling::baselines::{HyperLogLog, KmvDistinctEstimator};
-use robust_distinct_sampling::core::{RobustF0Estimator, SamplerConfig};
 use robust_distinct_sampling::geometry::Point;
 use robust_distinct_sampling::hashing::point_identity;
+use robust_distinct_sampling::Rds;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(3);
     let dim = 4;
     let alpha = 0.05;
+    let n_sensors = 400usize;
 
-    println!("{:>8} {:>10} {:>10} {:>10} {:>10}", "sensors", "points", "robust", "HLL", "KMV");
-    for &n_sensors in &[50usize, 100, 200, 400] {
-        // each sensor re-transmits 20..60 jittered readings
-        let mut stream: Vec<Point> = Vec::new();
-        for _ in 0..n_sensors {
-            let base: Vec<f64> = (0..dim).map(|_| rng.random_range(0.0..1000.0)).collect();
-            for _ in 0..rng.random_range(20..60) {
-                let jitter: Vec<f64> = base
-                    .iter()
-                    .map(|c| c + rng.random_range(-0.01..0.01))
-                    .collect();
-                stream.push(Point::new(jitter));
+    // Each sensor re-transmits 20..60 jittered readings; shuffled so
+    // near-duplicates interleave like real traffic.
+    let mut stream: Vec<Point> = Vec::new();
+    for _ in 0..n_sensors {
+        let base: Vec<f64> = (0..dim).map(|_| rng.random_range(0.0..1000.0)).collect();
+        for _ in 0..rng.random_range(20..60) {
+            let jitter: Vec<f64> = base
+                .iter()
+                .map(|c| c + rng.random_range(-0.01..0.01))
+                .collect();
+            stream.push(Point::new(jitter));
+        }
+    }
+    for i in (1..stream.len()).rev() {
+        stream.swap(i, rng.random_range(0..=i));
+    }
+
+    let (mut writer, reader) = Rds::builder()
+        .dim(dim)
+        .alpha(alpha)
+        .seed(5)
+        .expected_len(stream.len() as u64)
+        .count_accuracy(0.3)
+        .publish_every(1024)
+        .build_split()
+        .expect("valid configuration");
+
+    let mut hll = HyperLogLog::new(12, 9);
+    let mut kmv = KmvDistinctEstimator::new(256, 9);
+    let done = AtomicBool::new(false);
+
+    println!("{:>8} {:>10} {:>10}", "epoch", "seen", "robust F0");
+    std::thread::scope(|scope| {
+        // The monitor: a plain reader clone on its own thread, printing a
+        // line whenever the writer publishes a fresh snapshot.
+        let monitor = reader.clone();
+        let done_ref = &done;
+        scope.spawn(move || {
+            let mut last_epoch = u64::MAX;
+            loop {
+                let snap = monitor.snapshot();
+                if snap.epoch() != last_epoch {
+                    last_epoch = snap.epoch();
+                    println!(
+                        "{:>8} {:>10} {:>10.0}",
+                        snap.epoch(),
+                        snap.seen(),
+                        snap.f0_estimate()
+                    );
+                }
+                if done_ref.load(Ordering::Relaxed) {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
             }
-        }
-        for i in (1..stream.len()).rev() {
-            stream.swap(i, rng.random_range(0..=i));
-        }
+        });
 
-        let cfg = SamplerConfig::new(dim, alpha)
-            .with_seed(5)
-            .with_expected_len(stream.len() as u64);
-        let mut robust = RobustF0Estimator::new(cfg, 0.3, 5);
-        let mut hll = HyperLogLog::new(12, 9);
-        let mut kmv = KmvDistinctEstimator::new(256, 9);
+        // The writer: full-speed ingestion; the cadence publishes every
+        // 1024 items without the reader ever blocking it.
         for p in &stream {
-            robust.process(p);
+            writer.process(p.clone());
             let id = point_identity(p.coords(), 1);
             hll.process(id);
             kmv.process(id);
         }
-        println!(
-            "{:>8} {:>10} {:>10.0} {:>10.0} {:>10.0}",
-            n_sensors,
-            stream.len(),
-            robust.estimate(),
-            hll.estimate(),
-            kmv.estimate()
-        );
-    }
-    println!("\nHLL/KMV count retransmissions; the robust estimator counts sensors.");
+        writer.publish();
+        done.store(true, Ordering::Relaxed);
+    });
+
+    println!(
+        "\n{} sensors, {} transmissions: robust {:.0} vs HLL {:.0} vs KMV {:.0}",
+        n_sensors,
+        stream.len(),
+        reader.f0_estimate(),
+        hll.estimate(),
+        kmv.estimate()
+    );
+    println!("HLL/KMV count retransmissions; the robust estimator counts sensors.");
 }

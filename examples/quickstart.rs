@@ -82,9 +82,9 @@ fn main() {
         sharded.f0_estimate()
     );
 
-    let cfg = SamplerConfig::new(dim, alpha)
-        .with_seed(42)
-        .with_expected_len(stream.len() as u64);
+    let cfg = SamplerConfig::builder(dim, alpha)
+        .seed(42)
+        .expected_len(stream.len() as u64).build().unwrap();
 
     // --- Robust F0 estimation (Section 5) -------------------------------
     let mut f0 = RobustF0Estimator::new(cfg, 0.3, 5);

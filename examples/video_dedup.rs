@@ -66,10 +66,10 @@ fn main() {
 
     for t in 0..trials {
         // robust sampler: uniform over videos
-        let cfg = SamplerConfig::new(DIM, ALPHA)
-            .with_seed(1000 + t)
-            .with_expected_len(cat.stream.len() as u64);
-        let mut robust = RobustL0Sampler::new(cfg);
+        let cfg = SamplerConfig::builder(DIM, ALPHA)
+            .seed(1000 + t)
+            .expected_len(cat.stream.len() as u64).build().unwrap();
+        let mut robust = RobustL0Sampler::try_new(cfg).unwrap();
         // naive baseline: uniform over uploads
         let mut naive = PointMinRankSampler::new(2000 + t);
         for (p, _) in &cat.stream {

@@ -1,40 +1,55 @@
-//! The `Rds` facade: one window-agnostic, shard-agnostic entry point.
+//! The `Rds` facade: one window-agnostic, shard-agnostic entry point,
+//! split into a writer handle and lock-free reader handles.
 //!
-//! `Rds::builder()` collects the problem parameters — dimension, the
+//! [`Rds::builder`] collects the problem parameters — dimension, the
 //! near-duplicate threshold `alpha`, the window model, the shard count —
-//! and `build()` picks the backend: a single in-process sampler for
+//! and assembles the backend: a single in-process sampler for
 //! `shards == 1`, the sharded engine otherwise; the infinite-window
 //! sampler for [`Window::Infinite`], the sliding-window hierarchy for a
-//! bounded window. Every combination answers the same queries through the
-//! same handle, so callers swap regimes by changing configuration, not
-//! code.
+//! bounded window.
+//!
+//! Two construction paths share that backend:
+//!
+//! * [`RdsBuilder::build_split`] returns the handle pair
+//!   `(RdsWriter, RdsReader)`. The writer owns ingestion and decides when
+//!   to [`publish`](RdsWriter::publish) an immutable, epoch-stamped
+//!   [`Snapshot`]; readers are `Clone + Send + Sync`, answer every query
+//!   with `&self` from the latest published snapshot, and never touch the
+//!   ingest hot path — serve them from as many threads as you like.
+//! * [`RdsBuilder::build`] returns the classic single-threaded [`Rds`],
+//!   now a thin wrapper over the pair that publishes before every query.
 //!
 //! ```
 //! use robust_distinct_sampling::{Rds, geometry::Point};
 //!
-//! let mut rds = Rds::builder()
+//! let (mut writer, reader) = Rds::builder()
 //!     .dim(1)
 //!     .alpha(0.5)
 //!     .seed(7)
-//!     .build()
+//!     .build_split()
 //!     .expect("valid configuration");
 //! for i in 0..200u64 {
-//!     rds.process(Point::new(vec![(i % 20) as f64 * 10.0]));
+//!     writer.process(Point::new(vec![(i % 20) as f64 * 10.0]));
 //! }
-//! assert_eq!(rds.f0_estimate(), 20.0);
-//! let sample = rds.query().expect("stream non-empty");
+//! writer.publish();
+//! // `reader` is Clone + Send + Sync and queries with `&self`
+//! assert_eq!(reader.f0_estimate(), 20.0);
+//! let sample = reader.query().expect("stream non-empty");
 //! assert_eq!(sample.rep.dim(), 1);
 //! ```
 
 use rds_core::{
-    DistinctSampler, GroupRecord, RdsError, RobustL0Sampler, SamplerConfig, SlidingWindowSampler,
-    DEFAULT_KAPPA_B,
+    DistinctSampler, GroupRecord, MergedSummary, RdsError, RobustL0Sampler, SamplerConfig,
+    SamplerSummary, SlidingWindowSampler, WindowSummary, DEFAULT_KAPPA_B,
 };
 use rds_engine::ShardedEngine;
 use rds_geometry::Point;
 use rds_stream::{Stamp, StreamItem, Window};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
 
-/// Which concrete pipeline serves the handle. One variant per
+/// Which concrete pipeline serves the writer. One variant per
 /// (window, sharding) combination; all four speak [`DistinctSampler`] /
 /// the engine's merged-summary API.
 enum Backend {
@@ -48,18 +63,406 @@ enum Backend {
     WindowEngine(ShardedEngine<SlidingWindowSampler>),
 }
 
-/// A unified robust-distinct-sampling handle over any window model and
-/// shard count. Build one with [`Rds::builder`].
-pub struct Rds {
+/// The summary a snapshot freezes: merged infinite-window state or pooled
+/// window entries. Both are plain immutable data with `&self` queries.
+#[derive(Clone, Debug)]
+enum SnapshotSummary {
+    Infinite(MergedSummary),
+    Window(WindowSummary),
+}
+
+// The vendored serde derive handles only named-field structs; the enum
+// maps to `{ "kind": ..., "summary": ... }` by hand.
+impl Serialize for SnapshotSummary {
+    fn to_value(&self) -> serde::Value {
+        let (kind, inner) = match self {
+            SnapshotSummary::Infinite(s) => ("infinite", s.to_value()),
+            SnapshotSummary::Window(s) => ("window", s.to_value()),
+        };
+        serde::Value::Map(vec![
+            ("kind".to_string(), serde::Value::Str(kind.to_string())),
+            ("summary".to_string(), inner),
+        ])
+    }
+}
+
+impl Deserialize for SnapshotSummary {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let kind = match value.get("kind") {
+            Some(serde::Value::Str(s)) => s.as_str(),
+            _ => return Err(serde::DeError::missing("kind")),
+        };
+        let inner = value
+            .get("summary")
+            .ok_or_else(|| serde::DeError::missing("summary"))?;
+        match kind {
+            "infinite" => Ok(SnapshotSummary::Infinite(MergedSummary::from_value(inner)?)),
+            "window" => Ok(SnapshotSummary::Window(WindowSummary::from_value(inner)?)),
+            other => Err(serde::DeError::custom(format!(
+                "unknown snapshot kind `{other}`"
+            ))),
+        }
+    }
+}
+
+/// A frozen, epoch-stamped view of everything the writer had published:
+/// immutable plain data, so any number of readers (or offline consumers —
+/// it serializes, see `rds snapshot`) can query it concurrently with
+/// `&self`.
+///
+/// Randomness is explicit: [`Snapshot::query_at`] / [`Snapshot::query_k_at`]
+/// take a `draw` token that fully determines the draw. [`RdsReader`]
+/// passes fresh tokens for you (one shared counter across all clones of
+/// a pair).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Snapshot {
+    epoch: u64,
+    seen: u64,
+    window: Window,
+    summary: SnapshotSummary,
+}
+
+impl Snapshot {
+    /// The publication number: 0 for the empty snapshot every handle pair
+    /// starts with, then incremented by one per [`RdsWriter::publish`].
+    /// Strictly monotone per writer — readers can detect staleness by
+    /// comparing epochs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of items the writer had processed when this snapshot was
+    /// published (all of them are covered by the snapshot).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The window model the handle pair was built with.
+    pub fn window(&self) -> Window {
+        self.window
+    }
+
+    /// The estimate of the number of distinct entities covered (live
+    /// entities, for window snapshots).
+    pub fn f0_estimate(&self) -> f64 {
+        match &self.summary {
+            SnapshotSummary::Infinite(s) => s.f0_estimate(),
+            SnapshotSummary::Window(s) => SamplerSummary::f0_estimate(s),
+        }
+    }
+
+    /// Draws one uniformly random sampled entity; the `draw` token
+    /// supplies all randomness (same token, same result). `None` iff the
+    /// snapshot covers no entity.
+    pub fn query_at(&self, draw: u64) -> Option<GroupRecord> {
+        match &self.summary {
+            SnapshotSummary::Infinite(s) => s.query_record(draw),
+            SnapshotSummary::Window(s) => SamplerSummary::query_record(s, draw),
+        }
+    }
+
+    /// Draws up to `k` distinct sampled entities, deterministically in
+    /// `draw`.
+    pub fn query_k_at(&self, k: usize, draw: u64) -> Vec<GroupRecord> {
+        match &self.summary {
+            SnapshotSummary::Infinite(s) => s.query_k(k, draw),
+            SnapshotSummary::Window(s) => SamplerSummary::query_k(s, k, draw),
+        }
+    }
+}
+
+/// The shared slot a writer publishes into and readers load from. The
+/// lock is held only to swap/clone an `Arc` — nanoseconds — so readers
+/// never block ingestion and the writer never waits on a query in
+/// progress (queries run on the reader's own `Arc` after the load).
+#[derive(Debug)]
+struct SnapshotCell {
+    current: RwLock<Arc<Snapshot>>,
+}
+
+impl SnapshotCell {
+    fn new(initial: Snapshot) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(initial)),
+        }
+    }
+
+    fn load(&self) -> Arc<Snapshot> {
+        self.current
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn store(&self, snapshot: Snapshot) {
+        *self
+            .current
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = Arc::new(snapshot);
+    }
+}
+
+/// Extracts the backend's current state as a frozen snapshot summary —
+/// the one summary-extraction path shared by [`RdsWriter::publish`] and
+/// the epoch-0 snapshot of [`RdsBuilder::build_split`]. Window backends
+/// are advanced to `now` first so quiet streams still expire; engine
+/// backends flush so the snapshot covers every ingested item.
+fn freeze(backend: &mut Backend, now: Stamp) -> SnapshotSummary {
+    match backend {
+        Backend::Single(s) => SnapshotSummary::Infinite(DistinctSampler::summary(s.as_ref())),
+        Backend::Window(s) => {
+            DistinctSampler::advance(s.as_mut(), now);
+            SnapshotSummary::Window(DistinctSampler::summary(s.as_ref()))
+        }
+        Backend::Engine(e) => {
+            e.flush();
+            SnapshotSummary::Infinite(e.snapshot())
+        }
+        Backend::WindowEngine(e) => {
+            e.flush();
+            SnapshotSummary::Window(e.snapshot())
+        }
+    }
+}
+
+/// When the writer publishes a fresh [`Snapshot`] on its own, besides
+/// explicit [`RdsWriter::publish`] calls.
+///
+/// Publication costs one summary extraction (and, sharded, one flush +
+/// per-shard snapshot round trip), so the cadence trades reader freshness
+/// against ingest throughput: `EveryN(4096)` (the default) keeps readers
+/// at most 4096 items behind at ~0.1% ingest overhead on typical
+/// configurations; `Manual` gives latency-insensitive pipelines full
+/// control; `EveryBatch` pins freshness to [`RdsWriter::process_batch`]
+/// boundaries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PublishCadence {
+    /// Only explicit [`RdsWriter::publish`] calls publish.
+    Manual,
+    /// Publish after every `n` processed items (and on `publish`).
+    EveryN(u64),
+    /// Publish at the end of every [`RdsWriter::process_batch`] call
+    /// (and on `publish`).
+    EveryBatch,
+}
+
+/// The default automatic publication interval (items).
+pub const DEFAULT_PUBLISH_EVERY: u64 = 4096;
+
+/// The ingestion half of a split handle pair: owns the backend, feeds it,
+/// and publishes immutable [`Snapshot`]s for the [`RdsReader`]s.
+///
+/// The writer is deliberately not `Clone`: one thread ingests. Everything
+/// the serving path needs lives in the reader.
+pub struct RdsWriter {
     backend: Backend,
     window: Window,
     shards: usize,
     fed: u64,
+    last_stamp: Stamp,
+    epoch: u64,
+    since_publish: u64,
+    cadence: PublishCadence,
+    cell: Arc<SnapshotCell>,
 }
 
-/// Fallible builder for [`Rds`]; `dim` and `alpha` are required, all
-/// other parameters have the library defaults. Validation happens in
-/// [`Self::build`] and surfaces as [`RdsError`] — no panics.
+impl std::fmt::Debug for RdsWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RdsWriter")
+            .field("window", &self.window)
+            .field("shards", &self.shards)
+            .field("fed", &self.fed)
+            .field("epoch", &self.epoch)
+            .field("cadence", &self.cadence)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RdsWriter {
+    /// Feeds one point, stamped with the arrival index (sequence number
+    /// == timestamp). Use [`Self::process_item`] for explicit timestamps
+    /// (time-based windows).
+    pub fn process(&mut self, p: Point) {
+        let stamp = Stamp::at(self.fed);
+        self.process_item(StreamItem::new(p, stamp));
+    }
+
+    /// Feeds one stamped stream item. Stamps must be non-decreasing.
+    pub fn process_item(&mut self, item: StreamItem) {
+        self.fed += 1;
+        self.last_stamp = self.last_stamp.max(item.stamp);
+        match &mut self.backend {
+            Backend::Single(s) => {
+                s.process(&item.point);
+            }
+            Backend::Window(s) => {
+                s.process(&item);
+            }
+            Backend::Engine(e) => e.ingest_item(item),
+            Backend::WindowEngine(e) => e.ingest_item(item),
+        }
+        self.since_publish += 1;
+        if let PublishCadence::EveryN(n) = self.cadence {
+            if self.since_publish >= n.max(1) {
+                self.publish();
+            }
+        }
+    }
+
+    /// Feeds every point of an iterator (stamped by arrival index), then
+    /// publishes if the cadence is [`PublishCadence::EveryBatch`].
+    pub fn process_batch<I>(&mut self, points: I)
+    where
+        I: IntoIterator<Item = Point>,
+    {
+        for p in points {
+            self.process(p);
+        }
+        if self.cadence == PublishCadence::EveryBatch {
+            self.publish();
+        }
+    }
+
+    /// Advances the clock to `now` without feeding a point: the next
+    /// published snapshot expires window entries older than `now` (a
+    /// no-op for the infinite window). Stamps must be non-decreasing; an
+    /// older `now` is ignored.
+    pub fn advance(&mut self, now: Stamp) {
+        self.last_stamp = self.last_stamp.max(now);
+        if let Backend::Engine(e) = &mut self.backend {
+            e.advance(now);
+        } else if let Backend::WindowEngine(e) = &mut self.backend {
+            e.advance(now);
+        }
+    }
+
+    /// Publishes a fresh [`Snapshot`] covering every processed item and
+    /// returns its epoch. Readers see it on their next query; snapshots
+    /// they already hold stay valid (they are immutable).
+    ///
+    /// This is the only point where the writer does read-side work:
+    /// sharded backends flush their batch buffers and merge the per-shard
+    /// summaries here, single-process backends clone their candidate
+    /// sets.
+    pub fn publish(&mut self) -> u64 {
+        let summary = freeze(&mut self.backend, self.last_stamp);
+        self.epoch += 1;
+        self.since_publish = 0;
+        self.cell.store(Snapshot {
+            epoch: self.epoch,
+            seen: self.fed,
+            window: self.window,
+            summary,
+        });
+        self.epoch
+    }
+
+    /// Number of items fed through this writer (published or not).
+    pub fn seen(&self) -> u64 {
+        self.fed
+    }
+
+    /// The epoch of the latest published snapshot (0 = only the initial
+    /// empty snapshot exists).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The window model in force.
+    pub fn window(&self) -> Window {
+        self.window
+    }
+
+    /// The shard count (1 = in-process sampler).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The publication cadence in force.
+    pub fn cadence(&self) -> PublishCadence {
+        self.cadence
+    }
+
+    /// Changes the publication cadence mid-stream.
+    pub fn set_cadence(&mut self, cadence: PublishCadence) {
+        self.cadence = cadence;
+    }
+}
+
+/// The serving half of a split handle pair: answers `query`/`query_k`/
+/// `f0_estimate`/`seen` from the latest published [`Snapshot`] with
+/// `&self`, never touching the ingest path.
+///
+/// `RdsReader` is `Clone + Send + Sync`: clone it into every serving
+/// thread. All clones of a pair share one draw counter, so every query —
+/// from any thread — consumes a fresh token and no two handles ever
+/// replay each other's draws; the only shared mutable state is that
+/// counter bump and the snapshot slot's brief `Arc` swap. (To *replay* a
+/// draw deliberately, use [`Snapshot::query_at`] with an explicit
+/// token.)
+#[derive(Clone, Debug)]
+pub struct RdsReader {
+    cell: Arc<SnapshotCell>,
+    draws: Arc<AtomicU64>,
+}
+
+impl RdsReader {
+    fn next_draw(&self) -> u64 {
+        self.draws.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The latest published snapshot. The `Arc` stays valid (and
+    /// immutable) however long the caller holds it; later publications do
+    /// not disturb it.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.cell.load()
+    }
+
+    /// Draws one uniformly random sampled entity from the latest
+    /// snapshot. `None` iff nothing was published yet (or nothing is live
+    /// in the window).
+    pub fn query(&self) -> Option<GroupRecord> {
+        self.snapshot().query_at(self.next_draw())
+    }
+
+    /// Draws up to `k` distinct sampled entities from the latest
+    /// snapshot.
+    pub fn query_k(&self, k: usize) -> Vec<GroupRecord> {
+        self.snapshot().query_k_at(k, self.next_draw())
+    }
+
+    /// The estimate of the number of distinct entities in the latest
+    /// snapshot (live entities, for window backends).
+    pub fn f0_estimate(&self) -> f64 {
+        self.snapshot().f0_estimate()
+    }
+
+    /// Number of items covered by the latest snapshot.
+    pub fn seen(&self) -> u64 {
+        self.snapshot().seen()
+    }
+
+    /// The epoch of the latest snapshot — monotonically non-decreasing
+    /// across calls on any reader of the pair.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch()
+    }
+}
+
+/// A unified robust-distinct-sampling handle over any window model and
+/// shard count — the single-threaded convenience wrapper over the
+/// [`RdsWriter`]/[`RdsReader`] pair ([`Rds::builder`] + `build_split`
+/// for concurrent serving). Queries publish implicitly, so results always
+/// reflect every processed item.
+pub struct Rds {
+    writer: RdsWriter,
+    reader: RdsReader,
+}
+
+/// Fallible builder for [`Rds`] and the split handle pair; `dim` and
+/// `alpha` are required, all other parameters have the library defaults.
+/// Validation happens in [`Self::build`] / [`Self::build_split`] and
+/// surfaces as [`RdsError`] — no panics.
 #[derive(Clone, Debug)]
 pub struct RdsBuilder {
     dim: Option<usize>,
@@ -71,6 +474,7 @@ pub struct RdsBuilder {
     k: usize,
     kappa0: Option<f64>,
     eps: Option<f64>,
+    cadence: PublishCadence,
 }
 
 impl Default for RdsBuilder {
@@ -85,6 +489,7 @@ impl Default for RdsBuilder {
             k: 1,
             kappa0: None,
             eps: None,
+            cadence: PublishCadence::EveryN(DEFAULT_PUBLISH_EVERY),
         }
     }
 }
@@ -150,13 +555,28 @@ impl RdsBuilder {
         self
     }
 
-    /// Validates every parameter and assembles the backend.
+    /// Sets the snapshot publication cadence of the split pair (default
+    /// [`PublishCadence::EveryN`] with [`DEFAULT_PUBLISH_EVERY`]).
+    pub fn publish_cadence(mut self, cadence: PublishCadence) -> Self {
+        self.cadence = cadence;
+        self
+    }
+
+    /// Shorthand for `publish_cadence(PublishCadence::EveryN(n))`.
+    pub fn publish_every(self, n: u64) -> Self {
+        self.publish_cadence(PublishCadence::EveryN(n))
+    }
+
+    /// Validates every parameter, assembles the backend and splits it
+    /// into the ingestion and serving handles. The pair starts with an
+    /// empty epoch-0 snapshot, so readers are usable (if empty-handed)
+    /// before the first publication.
     ///
     /// # Errors
     ///
     /// Any [`RdsError`]: missing/invalid `dim` or `alpha`, a bad window,
     /// shard count, `k`, `kappa0`, or `eps` — never a panic.
-    pub fn build(self) -> Result<Rds, RdsError> {
+    pub fn build_split(self) -> Result<(RdsWriter, RdsReader), RdsError> {
         let dim = self.dim.unwrap_or(0); // 0 is rejected by validation below
         let alpha = self.alpha.unwrap_or(f64::NAN); // NaN likewise
         let mut b = SamplerConfig::builder(dim, alpha)
@@ -179,7 +599,7 @@ impl RdsBuilder {
         if self.shards == 0 {
             return Err(RdsError::InvalidShards);
         }
-        let backend = match (self.window, self.shards) {
+        let mut backend = match (self.window, self.shards) {
             (Window::Infinite, 1) => {
                 Backend::Single(Box::new(RobustL0Sampler::try_with_threshold(cfg, threshold)?))
             }
@@ -193,12 +613,46 @@ impl RdsBuilder {
                 ShardedEngine::try_sliding_window_with_threshold(cfg, window, n, threshold)?,
             ),
         };
-        Ok(Rds {
+        // The epoch-0 snapshot: empty but well-formed, so readers work
+        // (and report `seen() == 0`) before the first publication.
+        let empty = freeze(&mut backend, Stamp::at(0));
+        let writer = RdsWriter {
             backend,
             window: self.window,
             shards: self.shards,
             fed: 0,
-        })
+            last_stamp: Stamp::at(0),
+            epoch: 0,
+            since_publish: 0,
+            cadence: self.cadence,
+            cell: Arc::new(SnapshotCell::new(Snapshot {
+                epoch: 0,
+                seen: 0,
+                window: self.window,
+                summary: empty,
+            })),
+        };
+        let reader = RdsReader {
+            cell: Arc::clone(&writer.cell),
+            draws: Arc::new(AtomicU64::new(0)),
+        };
+        Ok((writer, reader))
+    }
+
+    /// Validates every parameter and assembles the single-threaded
+    /// [`Rds`] wrapper over the split pair. The cadence is forced to
+    /// [`PublishCadence::Manual`]: `Rds` publishes before every query
+    /// anyway, so automatic mid-stream publications would be pure
+    /// overhead nothing ever reads.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::build_split`].
+    pub fn build(self) -> Result<Rds, RdsError> {
+        let (writer, reader) = self
+            .publish_cadence(PublishCadence::Manual)
+            .build_split()?;
+        Ok(Rds { writer, reader })
     }
 }
 
@@ -212,70 +666,61 @@ impl Rds {
     /// == timestamp). Use [`Self::process_item`] for explicit timestamps
     /// (time-based windows).
     pub fn process(&mut self, p: Point) {
-        let stamp = Stamp::at(self.fed);
-        self.process_item(StreamItem::new(p, stamp));
+        self.writer.process(p);
     }
 
     /// Feeds one stamped stream item. Stamps must be non-decreasing.
     pub fn process_item(&mut self, item: StreamItem) {
-        self.fed += 1;
-        match &mut self.backend {
-            Backend::Single(s) => {
-                s.process(&item.point);
-            }
-            Backend::Window(s) => {
-                s.process(&item);
-            }
-            Backend::Engine(e) => e.ingest_item(item),
-            Backend::WindowEngine(e) => e.ingest_item(item),
-        }
+        self.writer.process_item(item);
     }
 
     /// Draws one uniformly random sampled entity, owned. `None` iff
     /// nothing was processed (or nothing is live in the window).
+    /// Publishes first, so the result covers every processed item.
     pub fn query(&mut self) -> Option<GroupRecord> {
-        match &mut self.backend {
-            Backend::Single(s) => DistinctSampler::query_record(s.as_mut()),
-            Backend::Window(s) => DistinctSampler::query_record(s.as_mut()),
-            Backend::Engine(e) => e.query(),
-            Backend::WindowEngine(e) => e.query(),
-        }
+        self.writer.publish();
+        self.reader.query()
     }
 
     /// Draws up to `k` distinct sampled entities, owned.
     pub fn query_k(&mut self, k: usize) -> Vec<GroupRecord> {
-        match &mut self.backend {
-            Backend::Single(s) => DistinctSampler::query_k(s.as_mut(), k),
-            Backend::Window(s) => DistinctSampler::query_k(s.as_mut(), k),
-            Backend::Engine(e) => e.query_k(k),
-            Backend::WindowEngine(e) => e.query_k(k),
-        }
+        self.writer.publish();
+        self.reader.query_k(k)
     }
 
     /// The estimate of the number of distinct entities (in the window,
     /// for window backends).
     pub fn f0_estimate(&mut self) -> f64 {
-        match &mut self.backend {
-            Backend::Single(s) => DistinctSampler::f0_estimate(s.as_ref()),
-            Backend::Window(s) => DistinctSampler::f0_estimate(s.as_ref()),
-            Backend::Engine(e) => e.f0_estimate(),
-            Backend::WindowEngine(e) => e.f0_estimate(),
-        }
+        self.writer.publish();
+        self.reader.f0_estimate()
+    }
+
+    /// Publishes and returns the frozen [`Snapshot`] covering every
+    /// processed item (e.g. for `rds snapshot save`).
+    pub fn snapshot(&mut self) -> Arc<Snapshot> {
+        self.writer.publish();
+        self.reader.snapshot()
     }
 
     /// Number of items fed through this handle.
     pub fn seen(&self) -> u64 {
-        self.fed
+        self.writer.seen()
     }
 
     /// The window model in force.
     pub fn window(&self) -> Window {
-        self.window
+        self.writer.window()
     }
 
     /// The shard count (1 = in-process sampler).
     pub fn shards(&self) -> usize {
-        self.shards
+        self.writer.shards()
+    }
+
+    /// Splits the handle into its ingestion and serving halves — the
+    /// migration path from single-threaded code to concurrent serving.
+    pub fn split(self) -> (RdsWriter, RdsReader) {
+        (self.writer, self.reader)
     }
 }
 
@@ -375,7 +820,7 @@ mod tests {
             Err(RdsError::InvalidAlpha { .. })
         ));
         assert!(matches!(
-            base().shards(0).build(),
+            base().shards(0).build_split(),
             Err(RdsError::InvalidShards)
         ));
         assert!(matches!(
@@ -394,8 +839,8 @@ mod tests {
 
     #[test]
     fn backend_swap_needs_no_signature_churn() {
-        // The satellite contract: identical calling code against single
-        // and sharded backends.
+        // The PR 3 contract still holds: identical calling code against
+        // single and sharded backends.
         let run = |shards: usize| -> (f64, Option<GroupRecord>) {
             let mut rds = base().shards(shards).build().expect("valid");
             for i in 0..100u64 {
@@ -407,5 +852,253 @@ mod tests {
         let (f0_sharded, q_sharded) = run(4);
         assert_eq!(f0_single, f0_sharded);
         assert!(q_single.is_some() && q_sharded.is_some());
+    }
+
+    #[test]
+    fn reader_handles_are_send_sync_and_clone() {
+        fn assert_bounds<T: Clone + Send + Sync + 'static>() {}
+        assert_bounds::<RdsReader>();
+        fn assert_send<T: Send>() {}
+        assert_send::<RdsWriter>();
+        assert_send::<Snapshot>();
+    }
+
+    #[test]
+    fn readers_see_only_published_state() {
+        let (mut writer, reader) = base()
+            .publish_cadence(PublishCadence::Manual)
+            .build_split()
+            .expect("valid");
+        // epoch 0: the initial empty snapshot answers (with nothing)
+        assert_eq!(reader.epoch(), 0);
+        assert_eq!(reader.seen(), 0);
+        assert!(reader.query().is_none());
+        for i in 0..100u64 {
+            writer.process(grouped_point(i, 10));
+        }
+        // manual cadence: nothing published yet
+        assert_eq!(reader.epoch(), 0);
+        assert_eq!(reader.f0_estimate(), 0.0);
+        let epoch = writer.publish();
+        assert_eq!(epoch, 1);
+        assert_eq!(reader.epoch(), 1);
+        assert_eq!(reader.seen(), 100);
+        assert_eq!(reader.f0_estimate(), 10.0);
+        assert!(reader.query().is_some());
+    }
+
+    #[test]
+    fn old_snapshots_stay_valid_after_publications() {
+        let (mut writer, reader) = base()
+            .publish_cadence(PublishCadence::Manual)
+            .build_split()
+            .expect("valid");
+        for i in 0..50u64 {
+            writer.process(grouped_point(i, 5));
+        }
+        writer.publish();
+        let frozen = reader.snapshot();
+        for i in 50..200u64 {
+            writer.process(grouped_point(i, 20));
+        }
+        writer.publish();
+        // the held Arc is immutable: still the epoch-1 view
+        assert_eq!(frozen.epoch(), 1);
+        assert_eq!(frozen.seen(), 50);
+        assert_eq!(frozen.f0_estimate(), 5.0);
+        // the live reader moved on
+        assert_eq!(reader.epoch(), 2);
+        assert_eq!(reader.f0_estimate(), 20.0);
+    }
+
+    #[test]
+    fn every_n_cadence_publishes_automatically() {
+        let (mut writer, reader) = base().publish_every(64).build_split().expect("valid");
+        for i in 0..63u64 {
+            writer.process(grouped_point(i, 7));
+        }
+        assert_eq!(reader.epoch(), 0, "63 < 64: not yet published");
+        writer.process(grouped_point(63, 7));
+        assert_eq!(reader.epoch(), 1, "64th item triggers the publication");
+        assert_eq!(reader.seen(), 64);
+        assert_eq!(reader.f0_estimate(), 7.0);
+    }
+
+    #[test]
+    fn every_batch_cadence_publishes_per_batch() {
+        let (mut writer, reader) = base()
+            .publish_cadence(PublishCadence::EveryBatch)
+            .build_split()
+            .expect("valid");
+        writer.process_batch((0..30u64).map(|i| grouped_point(i, 3)));
+        assert_eq!(reader.epoch(), 1);
+        assert_eq!(reader.seen(), 30);
+        writer.process_batch((0..10u64).map(|i| grouped_point(i, 3)));
+        assert_eq!(reader.epoch(), 2);
+        assert_eq!(reader.seen(), 40);
+    }
+
+    #[test]
+    fn split_works_for_all_four_backends() {
+        for (window, shards) in [
+            (Window::Infinite, 1),
+            (Window::Infinite, 3),
+            (Window::Sequence(1 << 12), 1),
+            (Window::Sequence(1 << 12), 3),
+        ] {
+            let (mut writer, reader) = base()
+                .window(window)
+                .shards(shards)
+                .publish_cadence(PublishCadence::Manual)
+                .build_split()
+                .expect("valid");
+            for i in 0..240u64 {
+                writer.process(grouped_point(i, 12));
+            }
+            writer.publish();
+            assert_eq!(
+                reader.f0_estimate(),
+                12.0,
+                "backend (window {window:?}, shards {shards})"
+            );
+            let picks = reader.query_k(4);
+            assert_eq!(picks.len(), 4);
+        }
+    }
+
+    #[test]
+    fn writer_advance_expires_time_windows() {
+        let (mut writer, reader) = base()
+            .window(Window::Time(10))
+            .shards(2)
+            .publish_cadence(PublishCadence::Manual)
+            .build_split()
+            .expect("valid");
+        for g in 0..6u64 {
+            writer.process_item(StreamItem::new(
+                Point::new(vec![g as f64 * 10.0]),
+                Stamp::new(g, 0),
+            ));
+        }
+        writer.publish();
+        assert_eq!(reader.f0_estimate(), 6.0);
+        // the clock moves with no new items: everything expires
+        writer.advance(Stamp::new(6, 100));
+        writer.publish();
+        assert_eq!(reader.f0_estimate(), 0.0);
+    }
+
+    #[test]
+    fn advance_is_not_rewound_by_later_low_stamped_items() {
+        // Regression: after `advance` moves the clock forward, an item
+        // whose auto-stamp lags behind must not roll the engine clock
+        // back and resurrect expired entries — sharded and unsharded
+        // backends must agree.
+        for shards in [1usize, 3] {
+            let (mut writer, reader) = base()
+                .window(Window::Time(10))
+                .shards(shards)
+                .publish_cadence(PublishCadence::Manual)
+                .build_split()
+                .expect("valid");
+            for g in 0..4u64 {
+                writer.process_item(StreamItem::new(
+                    Point::new(vec![g as f64 * 10.0]),
+                    Stamp::new(g, 0),
+                ));
+            }
+            writer.advance(Stamp::new(4, 100));
+            // auto-stamped: time == arrival index (5), far behind 100
+            writer.process(Point::new(vec![990.0]));
+            writer.publish();
+            assert_eq!(
+                reader.f0_estimate(),
+                0.0,
+                "shards {shards}: the advanced clock must win"
+            );
+        }
+    }
+
+    #[test]
+    fn cloned_readers_never_replay_each_others_draws() {
+        // Clones share the draw counter: with >1 entity in the snapshot,
+        // two clones issuing many queries must not produce identical
+        // sequences (they would under per-clone counters, since the RNG
+        // is a pure function of seed + token).
+        let (mut writer, reader) = base().build_split().expect("valid");
+        for i in 0..160u64 {
+            writer.process(grouped_point(i, 16));
+        }
+        writer.publish();
+        let a = reader.clone();
+        let b = reader.clone();
+        let seq_a: Vec<_> = (0..12).map(|_| a.query().expect("non-empty").rep).collect();
+        let seq_b: Vec<_> = (0..12).map(|_| b.query().expect("non-empty").rep).collect();
+        assert_ne!(seq_a, seq_b, "cloned readers replayed the same draws");
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        for window in [Window::Infinite, Window::Sequence(1 << 12)] {
+            let (mut writer, reader) = base()
+                .window(window)
+                .publish_cadence(PublishCadence::Manual)
+                .build_split()
+                .expect("valid");
+            for i in 0..90u64 {
+                writer.process(grouped_point(i, 9));
+            }
+            writer.publish();
+            let snap = reader.snapshot();
+            let wire = serde_json::to_string(&*snap).expect("serializes");
+            let back: Snapshot = serde_json::from_str(&wire).expect("deserializes");
+            assert_eq!(back.epoch(), snap.epoch());
+            assert_eq!(back.seen(), snap.seen());
+            assert_eq!(back.window(), window);
+            assert_eq!(back.f0_estimate(), snap.f0_estimate());
+            // same draw token, same sample — before and after the wire
+            assert_eq!(
+                back.query_at(7).map(|r| r.rep),
+                snap.query_at(7).map(|r| r.rep)
+            );
+        }
+    }
+
+    #[test]
+    fn cloned_readers_draw_independently_but_share_the_snapshot() {
+        let (mut writer, reader) = base().build_split().expect("valid");
+        for i in 0..160u64 {
+            writer.process(grouped_point(i, 16));
+        }
+        writer.publish();
+        let clone = reader.clone();
+        assert_eq!(reader.epoch(), clone.epoch());
+        assert_eq!(reader.f0_estimate(), clone.f0_estimate());
+        // both can query; distinct draw sequences are fine either way
+        assert!(reader.query().is_some());
+        assert!(clone.query().is_some());
+    }
+
+    #[test]
+    fn split_then_serve_from_threads() {
+        let (mut writer, reader) = base()
+            .publish_cadence(PublishCadence::Manual)
+            .build_split()
+            .expect("valid");
+        for i in 0..200u64 {
+            writer.process(grouped_point(i, 10));
+        }
+        writer.publish();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let r = reader.clone();
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        assert_eq!(r.f0_estimate(), 10.0);
+                        assert!(r.query().is_some());
+                    }
+                });
+            }
+        });
     }
 }

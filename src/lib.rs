@@ -45,15 +45,22 @@
 //!
 //! Add `.window(Window::Sequence(w))` for sliding-window queries or
 //! `.shards(n)` for concurrent sharded ingestion — same handle, same
-//! calls. The concrete samplers behind the facade all implement
-//! [`core::DistinctSampler`], the trait to program against when a library
-//! needs to accept any family directly.
+//! calls. Swap `.build()` for `.build_split()` to get the
+//! `(`[`RdsWriter`]`, `[`RdsReader`]`)` pair: the writer owns ingestion
+//! and publishes immutable epoch-stamped [`Snapshot`]s, and cloned
+//! readers serve `query`/`query_k`/`f0_estimate` with `&self` from any
+//! number of threads without ever blocking the ingest path. The concrete
+//! samplers behind the facade all implement [`core::DistinctSampler`],
+//! the trait to program against when a library needs to accept any
+//! family directly.
 
 #![warn(missing_docs)]
 
 mod facade;
 
-pub use facade::{Rds, RdsBuilder};
+pub use facade::{
+    PublishCadence, Rds, RdsBuilder, RdsReader, RdsWriter, Snapshot, DEFAULT_PUBLISH_EVERY,
+};
 
 pub use rds_baselines as baselines;
 pub use rds_core as core;
@@ -66,7 +73,7 @@ pub use rds_stream as stream;
 
 /// Commonly used types.
 pub mod prelude {
-    pub use crate::facade::{Rds, RdsBuilder};
+    pub use crate::facade::{PublishCadence, Rds, RdsBuilder, RdsReader, RdsWriter, Snapshot};
     pub use rds_core::{
         DistinctSampler, GroupRecord, RdsError, RobustF0Estimator, RobustHeavyHitters,
         RobustL0Sampler, SamplerConfig, SamplerSummary, SlidingWindowF0, SlidingWindowSampler,

@@ -1,0 +1,197 @@
+//! The concurrency contract of the writer/reader split (ISSUE 4
+//! acceptance): a writer ingesting at full speed while cloned readers
+//! query in a loop, with
+//!
+//! * **no lost updates** — every published snapshot covers the exact
+//!   prefix the writer had processed (`f0 == min(seen, entities)` under
+//!   exact-counting thresholds, and the final snapshot covers the whole
+//!   stream);
+//! * **monotone epochs** — no reader ever observes the epoch move
+//!   backwards;
+//! * **equivalence** — `publish(); reader.query_k(k)` returns exactly
+//!   what an equivalent single-threaded [`Rds`] returns (proptest over
+//!   seeds, stream lengths, entity counts and shard counts).
+
+use proptest::prelude::*;
+use robust_distinct_sampling::geometry::Point;
+use robust_distinct_sampling::stream::Window;
+use robust_distinct_sampling::{PublishCadence, Rds};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Well-separated entities (spacing 10, jitter < alpha/2 = 0.25) so
+/// exact-counting configurations count them exactly.
+fn entity_point(i: u64, n_entities: u64) -> Point {
+    Point::new(vec![
+        (i % n_entities) as f64 * 10.0 + 0.01 * ((i / n_entities) % 5) as f64,
+    ])
+}
+
+#[test]
+fn writer_ingests_while_four_readers_query() {
+    const N: u64 = 40_000;
+    const ENTITIES: u64 = 100;
+    const READERS: usize = 4;
+    // count_accuracy(0.3) -> threshold ceil(16/0.09) = 178 > 100 entities:
+    // nothing subsamples, so every snapshot's estimate is *exact* and any
+    // deviation is a lost or phantom update.
+    let (mut writer, reader) = Rds::builder()
+        .dim(1)
+        .alpha(0.5)
+        .seed(11)
+        .expected_len(N)
+        .count_accuracy(0.3)
+        .shards(4)
+        .publish_every(512)
+        .build_split()
+        .expect("valid");
+
+    let done = AtomicBool::new(false);
+    let total_queries = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..READERS {
+            let reader = reader.clone();
+            let done = &done;
+            let total_queries = &total_queries;
+            scope.spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut draws = 0u64;
+                let mut queries = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let snap = reader.snapshot();
+                    assert!(
+                        snap.epoch() >= last_epoch,
+                        "epoch moved backwards: {} after {last_epoch}",
+                        snap.epoch()
+                    );
+                    last_epoch = snap.epoch();
+                    // Exact counting: the snapshot must cover precisely
+                    // the prefix it claims — nothing lost, nothing
+                    // invented.
+                    let expected = snap.seen().min(ENTITIES) as f64;
+                    assert_eq!(
+                        snap.f0_estimate(),
+                        expected,
+                        "snapshot at seen {} (epoch {}) has a wrong count",
+                        snap.seen(),
+                        snap.epoch()
+                    );
+                    if snap.seen() > 0 {
+                        draws += 1;
+                        let q = snap.query_at(draws).expect("non-empty snapshot");
+                        let entity = (q.rep.get(0) / 10.0).round();
+                        assert!(
+                            (0.0..ENTITIES as f64).contains(&entity),
+                            "sample {q:?} is not an ingested entity"
+                        );
+                    }
+                    queries += 1;
+                }
+                total_queries.fetch_add(queries, Ordering::Relaxed);
+            });
+        }
+        // The writer ingests the whole stream while the readers hammer
+        // the snapshot slot from other threads.
+        for i in 0..N {
+            writer.process(entity_point(i, ENTITIES));
+        }
+        writer.publish();
+        done.store(true, Ordering::Relaxed);
+    });
+
+    // No lost updates end to end.
+    assert_eq!(reader.seen(), N);
+    assert_eq!(reader.f0_estimate(), ENTITIES as f64);
+    assert!(
+        total_queries.load(Ordering::Relaxed) > 0,
+        "readers never got to query"
+    );
+}
+
+#[test]
+fn windowed_split_serves_live_estimates_concurrently() {
+    const W: u64 = 256;
+    let (mut writer, reader) = Rds::builder()
+        .dim(1)
+        .alpha(0.5)
+        .seed(23)
+        .expected_len(1 << 14)
+        .window(Window::Sequence(W))
+        .shards(3)
+        .publish_every(128)
+        .build_split()
+        .expect("valid");
+
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let reader2 = reader.clone();
+        let done_ref = &done;
+        scope.spawn(move || {
+            let mut last_epoch = 0u64;
+            while !done_ref.load(Ordering::Relaxed) {
+                let snap = reader2.snapshot();
+                assert!(snap.epoch() >= last_epoch);
+                last_epoch = snap.epoch();
+                // 16 entities cycle through a window of 256: once warm,
+                // every snapshot sees exactly the 16 live ones.
+                if snap.seen() >= W {
+                    assert_eq!(snap.f0_estimate(), 16.0, "at seen {}", snap.seen());
+                }
+            }
+        });
+        for i in 0..8192u64 {
+            writer.process(entity_point(i, 16));
+        }
+        writer.publish();
+        done.store(true, Ordering::Relaxed);
+    });
+    assert_eq!(reader.f0_estimate(), 16.0);
+    assert_eq!(reader.seen(), 8192);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `publish(); query_k` on a reader equals `query_k` on an equivalent
+    /// single-threaded `Rds` — same records, same order, same counts —
+    /// and the estimates agree, across shard counts and window models.
+    #[test]
+    fn published_reader_matches_single_threaded_rds(
+        seed in 0u64..200,
+        n_entities in 2u64..40,
+        n in 10u64..400,
+        k in 1usize..6,
+        shards in 1usize..4,
+        windowed in 0u8..2,
+    ) {
+        let window = if windowed == 1 {
+            Window::Sequence(1 << 12)
+        } else {
+            Window::Infinite
+        };
+        let builder = || Rds::builder()
+            .dim(1)
+            .alpha(0.5)
+            .seed(seed)
+            .expected_len(512)
+            .window(window)
+            .shards(shards)
+            .publish_cadence(PublishCadence::Manual);
+        let (mut writer, reader) = builder().build_split().unwrap();
+        let mut rds = builder().build().unwrap();
+        for i in 0..n {
+            let p = entity_point(i, n_entities);
+            writer.process(p.clone());
+            rds.process(p);
+        }
+        writer.publish();
+        let from_reader = reader.query_k(k);
+        let from_rds = rds.query_k(k);
+        prop_assert_eq!(from_reader.len(), from_rds.len());
+        for (a, b) in from_reader.iter().zip(from_rds.iter()) {
+            prop_assert_eq!(&a.rep, &b.rep);
+            prop_assert_eq!(a.count, b.count);
+        }
+        prop_assert_eq!(reader.f0_estimate(), rds.f0_estimate());
+        prop_assert_eq!(reader.seen(), rds.seen());
+    }
+}

@@ -33,7 +33,7 @@ fn site_summaries(cfg: &SamplerConfig, sites: &[Vec<Point>]) -> Vec<SiteSummary>
     sites
         .iter()
         .map(|stream| {
-            let mut s = RobustL0Sampler::new(cfg.clone());
+            let mut s = RobustL0Sampler::try_new(cfg.clone()).unwrap();
             s.process_batch(stream);
             s.into_site_summary()
         })
@@ -53,10 +53,10 @@ proptest! {
         rotation in 0usize..6,
         salt in 0u64..1000,
     ) {
-        let cfg = SamplerConfig::new(1, 0.5)
-            .with_seed(seed)
-            .with_expected_len(512)
-            .with_kappa0(1.0); // small threshold: merges see real subsampling
+        let cfg = SamplerConfig::builder(1, 0.5)
+            .seed(seed)
+            .expected_len(512)
+            .kappa0(1.0).build().unwrap(); // small threshold: merges see real subsampling
         let dist = DistributedSampling::new(cfg.clone());
         let points = entity_stream(8 * n_entities, n_entities);
         let mut summaries = site_summaries(&cfg, &split_across_sites(&points, n_sites, salt));
@@ -82,14 +82,14 @@ proptest! {
         n_sites in 1usize..5,
         salt in 0u64..1000,
     ) {
-        let cfg = SamplerConfig::new(1, 0.5)
-            .with_seed(seed)
-            .with_expected_len(256)
-            .with_kappa0(4.0); // threshold 32 > 24 entities: nothing subsamples
+        let cfg = SamplerConfig::builder(1, 0.5)
+            .seed(seed)
+            .expected_len(256)
+            .kappa0(4.0).build().unwrap(); // threshold 32 > 24 entities: nothing subsamples
         let dist = DistributedSampling::new(cfg.clone());
         let points = entity_stream(6 * n_entities, n_entities);
 
-        let mut single = RobustL0Sampler::new(cfg.clone());
+        let mut single = RobustL0Sampler::try_new(cfg.clone()).unwrap();
         single.process_batch(&points);
         prop_assert_eq!(single.level(), 0, "threshold covers every entity");
 
@@ -110,14 +110,14 @@ proptest! {
         salt in 0u64..1000,
     ) {
         let n_entities = 160u64;
-        let cfg = SamplerConfig::new(1, 0.5)
-            .with_seed(seed)
-            .with_expected_len(1280)
-            .with_kappa0(2.0); // threshold ~21 << 160: several doublings
+        let cfg = SamplerConfig::builder(1, 0.5)
+            .seed(seed)
+            .expected_len(1280)
+            .kappa0(2.0).build().unwrap(); // threshold ~21 << 160: several doublings
         let dist = DistributedSampling::new(cfg.clone());
         let points = entity_stream(8 * n_entities, n_entities);
 
-        let mut single = RobustL0Sampler::new(cfg.clone());
+        let mut single = RobustL0Sampler::try_new(cfg.clone()).unwrap();
         single.process_batch(&points);
         let summaries = site_summaries(&cfg, &split_across_sites(&points, n_sites, salt));
         let merged = dist.merge_summaries(&summaries).expect("same cfg");

@@ -24,10 +24,10 @@ fn seeds_dataset_full_pipeline_is_uniformish() {
     let runs = 400u64;
     let mut hist = SampleHistogram::new(ds.n_groups);
     for run in 0..runs {
-        let cfg = SamplerConfig::new(ds.dim, ds.alpha)
-            .with_seed(run * 77 + 5)
-            .with_expected_len(ds.len() as u64);
-        let mut s = RobustL0Sampler::new(cfg);
+        let cfg = SamplerConfig::builder(ds.dim, ds.alpha)
+            .seed(run * 77 + 5)
+            .expected_len(ds.len() as u64).build().unwrap();
+        let mut s = RobustL0Sampler::try_new(cfg).unwrap();
         for lp in &ds.points {
             s.process(&lp.point);
         }
@@ -49,10 +49,10 @@ fn seeds_dataset_full_pipeline_is_uniformish() {
 fn every_paper_dataset_streams_through_the_sampler() {
     for which in PaperDataset::ALL {
         let ds = which.generate(3);
-        let cfg = SamplerConfig::new(ds.dim, ds.alpha)
-            .with_seed(11)
-            .with_expected_len(ds.len() as u64);
-        let mut s = RobustL0Sampler::new(cfg);
+        let cfg = SamplerConfig::builder(ds.dim, ds.alpha)
+            .seed(11)
+            .expected_len(ds.len() as u64).build().unwrap();
+        let mut s = RobustL0Sampler::try_new(cfg).unwrap();
         for lp in &ds.points {
             s.process(&lp.point);
         }
@@ -114,10 +114,10 @@ fn connected_partition_recovers_ground_truth_groups() {
 #[test]
 fn reservoir_representative_matches_group_of_first_point() {
     let ds = PaperDataset::Yacht.generate(13);
-    let cfg = SamplerConfig::new(ds.dim, ds.alpha)
-        .with_seed(21)
-        .with_expected_len(ds.len() as u64);
-    let mut s = RobustL0Sampler::new(cfg);
+    let cfg = SamplerConfig::builder(ds.dim, ds.alpha)
+        .seed(21)
+        .expected_len(ds.len() as u64).build().unwrap();
+    let mut s = RobustL0Sampler::try_new(cfg).unwrap();
     for lp in &ds.points {
         s.process(&lp.point);
     }

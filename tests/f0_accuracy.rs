@@ -10,9 +10,9 @@ use rds_stream::{Stamp, StreamItem, Window};
 #[test]
 fn robust_f0_close_to_truth_on_paper_dataset() {
     let ds = PaperDataset::Seeds.generate(2);
-    let cfg = SamplerConfig::new(ds.dim, ds.alpha)
-        .with_seed(3)
-        .with_expected_len(ds.len() as u64);
+    let cfg = SamplerConfig::builder(ds.dim, ds.alpha)
+        .seed(3)
+        .expected_len(ds.len() as u64).build().unwrap();
     let mut est = RobustF0Estimator::new(cfg, 0.3, 7);
     for lp in &ds.points {
         est.process(&lp.point);
@@ -54,9 +54,9 @@ fn robust_f0_is_monotone_in_group_count() {
     // estimates must grow with the number of groups
     let mut estimates = Vec::new();
     for &n_groups in &[20u64, 80, 320] {
-        let cfg = SamplerConfig::new(1, 0.5)
-            .with_seed(9)
-            .with_expected_len(3200);
+        let cfg = SamplerConfig::builder(1, 0.5)
+            .seed(9)
+            .expected_len(3200).build().unwrap();
         let mut est = RobustF0Estimator::new(cfg, 0.5, 5);
         for i in 0..3200u64 {
             est.process(&rds_geometry::Point::new(vec![
@@ -70,10 +70,10 @@ fn robust_f0_is_monotone_in_group_count() {
 
 #[test]
 fn sliding_window_f0_follows_the_window() {
-    let cfg = SamplerConfig::new(1, 0.5)
-        .with_seed(11)
-        .with_expected_len(4096)
-        .with_kappa0(1.0);
+    let cfg = SamplerConfig::builder(1, 0.5)
+        .seed(11)
+        .expected_len(4096)
+        .kappa0(1.0).build().unwrap();
     let mut est = SlidingWindowF0::new(cfg, Window::Sequence(256), 1.0);
     // phase 1: 100 groups
     for i in 0..1024u64 {
@@ -103,10 +103,10 @@ fn sliding_window_f0_follows_the_window() {
 
 #[test]
 fn fm_estimate_reports_sane_scale() {
-    let cfg = SamplerConfig::new(1, 0.5)
-        .with_seed(13)
-        .with_expected_len(2048)
-        .with_kappa0(1.0);
+    let cfg = SamplerConfig::builder(1, 0.5)
+        .seed(13)
+        .expected_len(2048)
+        .kappa0(1.0).build().unwrap();
     let mut est = SlidingWindowF0::new(cfg, Window::Sequence(512), 1.0);
     for i in 0..2048u64 {
         est.process(&StreamItem::new(

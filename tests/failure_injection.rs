@@ -12,8 +12,8 @@ fn points_exactly_on_cell_boundaries() {
     // grid side = alpha = 1 with zero offsets is impossible through the
     // public API (offsets are random), but integer-coordinate points
     // still regularly land on boundaries of some dimension; hammer that.
-    let cfg = SamplerConfig::new(2, 1.0).with_seed(4).with_expected_len(4096);
-    let mut s = RobustL0Sampler::new(cfg);
+    let cfg = SamplerConfig::builder(2, 1.0).seed(4).expected_len(4096).build().unwrap();
+    let mut s = RobustL0Sampler::try_new(cfg).unwrap();
     for i in 0..64 {
         for j in 0..64 {
             s.process(&Point::new(vec![i as f64 * 3.0, j as f64 * 3.0]));
@@ -36,8 +36,8 @@ fn points_exactly_on_cell_boundaries() {
 
 #[test]
 fn duplicate_only_stream_keeps_one_group() {
-    let cfg = SamplerConfig::new(3, 0.5).with_seed(5).with_expected_len(10_000);
-    let mut s = RobustL0Sampler::new(cfg);
+    let cfg = SamplerConfig::builder(3, 0.5).seed(5).expected_len(10_000).build().unwrap();
+    let mut s = RobustL0Sampler::try_new(cfg).unwrap();
     let base = Point::new(vec![1.0, 2.0, 3.0]);
     for i in 0..10_000u64 {
         let jitter = (i % 7) as f64 * 0.01;
@@ -50,8 +50,8 @@ fn duplicate_only_stream_keeps_one_group() {
 
 #[test]
 fn single_point_stream() {
-    let cfg = SamplerConfig::new(1, 0.5).with_seed(6);
-    let mut s = RobustL0Sampler::new(cfg);
+    let cfg = SamplerConfig::builder(1, 0.5).seed(6).build().unwrap();
+    let mut s = RobustL0Sampler::try_new(cfg).unwrap();
     assert_eq!(
         s.process(&Point::new(vec![7.5])),
         ProcessOutcome::Accepted,
@@ -62,8 +62,8 @@ fn single_point_stream() {
 
 #[test]
 fn huge_coordinates_do_not_break_the_grid() {
-    let cfg = SamplerConfig::new(2, 0.5).with_seed(7).with_expected_len(100);
-    let mut s = RobustL0Sampler::new(cfg);
+    let cfg = SamplerConfig::builder(2, 0.5).seed(7).expected_len(100).build().unwrap();
+    let mut s = RobustL0Sampler::try_new(cfg).unwrap();
     for i in 0..100 {
         s.process(&Point::new(vec![1e12 + i as f64 * 1e9, -1e12]));
     }
@@ -72,8 +72,8 @@ fn huge_coordinates_do_not_break_the_grid() {
 
 #[test]
 fn negative_and_mixed_sign_coordinates() {
-    let cfg = SamplerConfig::new(3, 0.25).with_seed(8).with_expected_len(512);
-    let mut s = RobustL0Sampler::new(cfg);
+    let cfg = SamplerConfig::builder(3, 0.25).seed(8).expected_len(512).build().unwrap();
+    let mut s = RobustL0Sampler::try_new(cfg).unwrap();
     for i in 0..512i64 {
         let v = (i - 256) as f64 * 2.0;
         s.process(&Point::new(vec![v, -v, v / 2.0]));
@@ -83,8 +83,8 @@ fn negative_and_mixed_sign_coordinates() {
 
 #[test]
 fn window_larger_than_stream_never_expires() {
-    let cfg = SamplerConfig::new(1, 0.5).with_seed(9).with_expected_len(64);
-    let mut s = SlidingWindowSampler::new(cfg, Window::Sequence(1 << 30));
+    let cfg = SamplerConfig::builder(1, 0.5).seed(9).expected_len(64).build().unwrap();
+    let mut s = SlidingWindowSampler::try_new(cfg, Window::Sequence(1 << 30)).unwrap();
     for i in 0..64u64 {
         s.process(&StreamItem::new(
             Point::new(vec![i as f64 * 10.0]),
@@ -104,8 +104,8 @@ fn window_larger_than_stream_never_expires() {
 
 #[test]
 fn time_gaps_expire_everything_at_once() {
-    let cfg = SamplerConfig::new(1, 0.5).with_seed(10).with_expected_len(64);
-    let mut s = SlidingWindowSampler::new(cfg, Window::Time(5));
+    let cfg = SamplerConfig::builder(1, 0.5).seed(10).expected_len(64).build().unwrap();
+    let mut s = SlidingWindowSampler::try_new(cfg, Window::Time(5)).unwrap();
     for i in 0..32u64 {
         s.process(&StreamItem::new(
             Point::new(vec![i as f64 * 10.0]),
@@ -126,11 +126,13 @@ fn time_gaps_expire_everything_at_once() {
 fn overflow_error_path_is_survivable() {
     // Force the Algorithm 3 "error" branch: a tiny window (few levels)
     // with an absurdly small threshold and many groups per window.
-    let cfg = SamplerConfig::new(1, 0.5)
-        .with_seed(11)
-        .with_expected_len(4) // tiny m => threshold ~ kappa0 * 2
-        .with_kappa0(0.1);
-    let mut s = SlidingWindowSampler::new(cfg, Window::Sequence(8));
+    let cfg = SamplerConfig::builder(1, 0.5)
+        .seed(11)
+        .expected_len(4) // tiny m => threshold ~ kappa0 * 2
+        .kappa0(0.1)
+        .build()
+        .unwrap();
+    let mut s = SlidingWindowSampler::try_new(cfg, Window::Sequence(8)).unwrap();
     for i in 0..2000u64 {
         s.process(&StreamItem::new(
             Point::new(vec![(i % 64) as f64 * 10.0]),
@@ -147,7 +149,7 @@ fn overflow_error_path_is_survivable() {
 
 #[test]
 fn fixed_rate_sampler_survives_empty_windows() {
-    let cfg = SamplerConfig::new(1, 0.5).with_seed(12).with_expected_len(64);
+    let cfg = SamplerConfig::builder(1, 0.5).seed(12).expected_len(64).build().unwrap();
     let mut s = FixedRateWindowSampler::new(cfg, Window::Time(1), 0);
     s.process(&StreamItem::new(Point::new(vec![0.0]), Stamp::new(0, 0)));
     // time jumps; the window (t-1, t] is empty before the next arrival
@@ -162,8 +164,8 @@ fn fixed_rate_sampler_survives_empty_windows() {
 #[test]
 fn zero_variance_dataset_with_alpha_larger_than_extent() {
     // alpha so large the whole stream is one group
-    let cfg = SamplerConfig::new(2, 1e6).with_seed(13).with_expected_len(256);
-    let mut s = RobustL0Sampler::new(cfg);
+    let cfg = SamplerConfig::builder(2, 1e6).seed(13).expected_len(256).build().unwrap();
+    let mut s = RobustL0Sampler::try_new(cfg).unwrap();
     for i in 0..256 {
         s.process(&Point::new(vec![i as f64, -(i as f64)]));
     }
@@ -174,8 +176,8 @@ fn zero_variance_dataset_with_alpha_larger_than_extent() {
 fn query_reflects_stream_growth() {
     // as new far-away groups arrive, old samples stay possible and new
     // ones become possible: check support growth via repeated queries
-    let cfg = SamplerConfig::new(1, 0.5).with_seed(14).with_expected_len(32);
-    let mut s = RobustL0Sampler::new(cfg);
+    let cfg = SamplerConfig::builder(1, 0.5).seed(14).expected_len(32).build().unwrap();
+    let mut s = RobustL0Sampler::try_new(cfg).unwrap();
     s.process(&Point::new(vec![0.0]));
     let mut seen_new = false;
     s.process(&Point::new(vec![100.0]));

@@ -29,10 +29,10 @@ fn sampler_accepts_chains_without_duplicating_regions() {
     // partition structure of the Theorem 3.1 proof.
     let pts = chain(40, 0.8);
     let alpha = 1.0;
-    let cfg = SamplerConfig::new(1, alpha)
-        .with_seed(3)
-        .with_expected_len(pts.len() as u64);
-    let mut s = RobustL0Sampler::new(cfg);
+    let cfg = SamplerConfig::builder(1, alpha)
+        .seed(3)
+        .expected_len(pts.len() as u64).build().unwrap();
+    let mut s = RobustL0Sampler::try_new(cfg).unwrap();
     for p in &pts {
         s.process(p);
     }
@@ -71,11 +71,11 @@ fn ball_coverage_probability_is_theta_one_over_n() {
     let mut hits = vec![0u64; pts.len()];
     let mut recorded = 0u64;
     for run in 0..runs {
-        let cfg = SamplerConfig::new(1, alpha)
-            .with_seed(run * 331 + 17)
-            .with_expected_len(pts.len() as u64)
-            .with_kappa0(1.0);
-        let mut s = RobustL0Sampler::new(cfg);
+        let cfg = SamplerConfig::builder(1, alpha)
+            .seed(run * 331 + 17)
+            .expected_len(pts.len() as u64)
+            .kappa0(1.0).build().unwrap();
+        let mut s = RobustL0Sampler::try_new(cfg).unwrap();
         for p in &pts {
             s.process(p);
         }
@@ -113,11 +113,11 @@ fn sliding_window_handles_general_data_too() {
     // always yields samples.
     let alpha = 1.0;
     let pts = chain(30, 0.8);
-    let cfg = SamplerConfig::new(1, alpha)
-        .with_seed(9)
-        .with_expected_len(300)
-        .with_kappa0(1.0);
-    let mut s = SlidingWindowSampler::new(cfg, Window::Sequence(20));
+    let cfg = SamplerConfig::builder(1, alpha)
+        .seed(9)
+        .expected_len(300)
+        .kappa0(1.0).build().unwrap();
+    let mut s = SlidingWindowSampler::try_new(cfg, Window::Sequence(20)).unwrap();
     for i in 0..300u64 {
         let p = &pts[(i as usize) % pts.len()];
         s.process(&StreamItem::new(p.clone(), Stamp::at(i)));

@@ -49,11 +49,13 @@ fn high_dim_config_samples_correctly() {
     let pts: Vec<Point> = stream.iter().map(|(p, _)| p.clone()).collect();
     assert!(partition::is_well_separated(&pts, alpha));
 
-    let cfg = SamplerConfig::new(dim, alpha)
+    let cfg = SamplerConfig::builder(dim, alpha)
         .high_dim() // grid side d * alpha (Section 4)
-        .with_seed(3)
-        .with_expected_len(stream.len() as u64);
-    let mut s = RobustL0Sampler::new(cfg);
+        .seed(3)
+        .expected_len(stream.len() as u64)
+        .build()
+        .unwrap();
+    let mut s = RobustL0Sampler::try_new(cfg).unwrap();
     for (p, _) in &stream {
         s.process(p);
     }
@@ -72,12 +74,12 @@ fn high_dim_sampling_is_uniformish() {
     // guarantee has a noticeable 2^-threshold tail; tolerate rare misses.
     let mut misses = 0u32;
     for run in 0..300u64 {
-        let cfg = SamplerConfig::new(dim, alpha)
+        let cfg = SamplerConfig::builder(dim, alpha)
             .high_dim()
-            .with_seed(run * 191 + 7)
-            .with_expected_len(stream.len() as u64)
-            .with_kappa0(1.0);
-        let mut s = RobustL0Sampler::new(cfg);
+            .seed(run * 191 + 7)
+            .expected_len(stream.len() as u64)
+            .kappa0(1.0).build().unwrap();
+        let mut s = RobustL0Sampler::try_new(cfg).unwrap();
         for (p, _) in &stream {
             s.process(p);
         }
@@ -143,10 +145,10 @@ fn jl_sampler_handles_extreme_dimension() {
             stream.push((Point::new(p), g));
         }
     }
-    let cfg = SamplerConfig::new(dim, alpha)
-        .with_seed(7)
-        .with_expected_len(stream.len() as u64);
-    let mut s = JlRobustSampler::new(dim, alpha, 0.5, cfg);
+    let cfg = SamplerConfig::builder(dim, alpha)
+        .seed(7)
+        .expected_len(stream.len() as u64).build().unwrap();
+    let mut s = JlRobustSampler::try_new(dim, alpha, 0.5, cfg).unwrap();
     for (p, _) in &stream {
         s.process(p);
     }

@@ -75,11 +75,11 @@ proptest! {
         group_ids in prop::collection::vec(0u8..12, 1..120),
     ) {
         let alpha = 0.5;
-        let cfg = SamplerConfig::new(2, alpha)
-            .with_seed(seed)
-            .with_expected_len(group_ids.len() as u64)
-            .with_kappa0(1.0);
-        let mut s = RobustL0Sampler::new(cfg);
+        let cfg = SamplerConfig::builder(2, alpha)
+            .seed(seed)
+            .expected_len(group_ids.len() as u64)
+            .kappa0(1.0).build().unwrap();
+        let mut s = RobustL0Sampler::try_new(cfg).unwrap();
         for (i, &g) in group_ids.iter().enumerate() {
             // groups on a coarse lattice; members jitter within alpha/2
             let jitter = (i % 5) as f64 * 0.05;
@@ -121,11 +121,11 @@ proptest! {
         w in 1u64..40,
     ) {
         let alpha = 0.5;
-        let cfg = SamplerConfig::new(1, alpha)
-            .with_seed(seed)
-            .with_expected_len(group_ids.len() as u64)
-            .with_kappa0(0.75);
-        let mut s = SlidingWindowSampler::new(cfg, Window::Sequence(w));
+        let cfg = SamplerConfig::builder(1, alpha)
+            .seed(seed)
+            .expected_len(group_ids.len() as u64)
+            .kappa0(0.75).build().unwrap();
+        let mut s = SlidingWindowSampler::try_new(cfg, Window::Sequence(w)).unwrap();
         let pts: Vec<Point> = group_ids
             .iter()
             .enumerate()

@@ -39,10 +39,10 @@ fn live_groups(labels: &[usize], now: usize, w: u64) -> Vec<usize> {
 fn hierarchical_sampler_tracks_only_live_groups() {
     let (items, labels, alpha) = noisy_stream(1, 600);
     let w = 64u64;
-    let cfg = SamplerConfig::new(3, alpha)
-        .with_seed(5)
-        .with_expected_len(items.len() as u64);
-    let mut s = SlidingWindowSampler::new(cfg, Window::Sequence(w));
+    let cfg = SamplerConfig::builder(3, alpha)
+        .seed(5)
+        .expected_len(items.len() as u64).build().unwrap();
+    let mut s = SlidingWindowSampler::try_new(cfg, Window::Sequence(w)).unwrap();
     for (i, it) in items.iter().enumerate() {
         s.process(it);
         if i % 17 == 0 {
@@ -71,9 +71,9 @@ fn fixed_rate_level0_equals_brute_force_group_set() {
     // At rate 1, Algorithm 2 tracks *exactly* the live groups.
     let (items, labels, alpha) = noisy_stream(2, 400);
     let w = 48u64;
-    let cfg = SamplerConfig::new(3, alpha)
-        .with_seed(7)
-        .with_expected_len(items.len() as u64);
+    let cfg = SamplerConfig::builder(3, alpha)
+        .seed(7)
+        .expected_len(items.len() as u64).build().unwrap();
     let mut s = FixedRateWindowSampler::new(cfg, Window::Sequence(w), 0);
     for (i, it) in items.iter().enumerate() {
         s.process(it);
@@ -98,10 +98,10 @@ fn time_window_expires_by_timestamp_not_position() {
         .enumerate()
         .map(|(i, it)| StreamItem::new(it.point.clone(), Stamp::new(i as u64, (i / 10) as u64)))
         .collect();
-    let cfg = SamplerConfig::new(3, alpha)
-        .with_seed(9)
-        .with_expected_len(timed.len() as u64);
-    let mut s = SlidingWindowSampler::new(cfg, Window::Time(3));
+    let cfg = SamplerConfig::builder(3, alpha)
+        .seed(9)
+        .expected_len(timed.len() as u64).build().unwrap();
+    let mut s = SlidingWindowSampler::try_new(cfg, Window::Time(3)).unwrap();
     for it in &timed {
         s.process(it);
     }
@@ -118,10 +118,10 @@ fn time_window_expires_by_timestamp_not_position() {
 #[test]
 fn window_of_one_returns_the_last_point() {
     let (items, _, alpha) = noisy_stream(4, 100);
-    let cfg = SamplerConfig::new(3, alpha)
-        .with_seed(11)
-        .with_expected_len(items.len() as u64);
-    let mut s = SlidingWindowSampler::new(cfg, Window::Sequence(1));
+    let cfg = SamplerConfig::builder(3, alpha)
+        .seed(11)
+        .expected_len(items.len() as u64).build().unwrap();
+    let mut s = SlidingWindowSampler::try_new(cfg, Window::Sequence(1)).unwrap();
     for it in &items {
         s.process(it);
         let q = s.query().expect("non-empty");
@@ -135,10 +135,10 @@ fn massive_window_behaves_like_infinite_window() {
     // same candidate groups as Algorithm 1 reaches (both track all groups
     // here thanks to the generous threshold)
     let (items, labels, alpha) = noisy_stream(5, 300);
-    let cfg = SamplerConfig::new(3, alpha)
-        .with_seed(13)
-        .with_expected_len(items.len() as u64);
-    let mut sw = SlidingWindowSampler::new(cfg, Window::Sequence(1 << 20));
+    let cfg = SamplerConfig::builder(3, alpha)
+        .seed(13)
+        .expected_len(items.len() as u64).build().unwrap();
+    let mut sw = SlidingWindowSampler::try_new(cfg, Window::Sequence(1 << 20)).unwrap();
     for it in &items {
         sw.process(it);
     }
@@ -150,11 +150,11 @@ fn massive_window_behaves_like_infinite_window() {
 fn stressed_sampler_never_misses_a_query() {
     // Lemma 2.10 under cascades: tight thresholds, many groups cycling
     let (items, _, alpha) = noisy_stream(6, 1500);
-    let cfg = SamplerConfig::new(3, alpha)
-        .with_seed(17)
-        .with_expected_len(items.len() as u64)
-        .with_kappa0(0.5);
-    let mut s = SlidingWindowSampler::new(cfg, Window::Sequence(128));
+    let cfg = SamplerConfig::builder(3, alpha)
+        .seed(17)
+        .expected_len(items.len() as u64)
+        .kappa0(0.5).build().unwrap();
+    let mut s = SlidingWindowSampler::try_new(cfg, Window::Sequence(128)).unwrap();
     for it in &items {
         s.process(it);
         assert!(s.query().is_some(), "query failed mid-stream");

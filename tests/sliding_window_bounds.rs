@@ -13,9 +13,9 @@ fn item(x: f64, seq: u64) -> StreamItem {
 }
 
 fn cfg(seed: u64) -> SamplerConfig {
-    SamplerConfig::new(1, 0.5)
-        .with_seed(seed)
-        .with_expected_len(1 << 10)
+    SamplerConfig::builder(1, 0.5)
+        .seed(seed)
+        .expected_len(1 << 10).build().unwrap()
 }
 
 #[test]
@@ -34,7 +34,7 @@ fn item_expires_at_exactly_width_steps() {
     // Window::Sequence(w) keeps seq > now - w: an item is live for the w
     // arrivals starting with its own, and expires on arrival w.
     let w = 8u64;
-    let mut s = SlidingWindowSampler::new(cfg(1), Window::Sequence(w));
+    let mut s = SlidingWindowSampler::try_new(cfg(1), Window::Sequence(w)).unwrap();
     s.process(&item(0.0, 0)); // group 0
     // arrivals 1..w-1 of a far-away group: group 0 must stay sampled-able
     for seq in 1..w {
@@ -58,7 +58,7 @@ fn item_expires_at_exactly_width_steps() {
 
 #[test]
 fn width_one_window_tracks_only_the_newest_item() {
-    let mut s = SlidingWindowSampler::new(cfg(2), Window::Sequence(1));
+    let mut s = SlidingWindowSampler::try_new(cfg(2), Window::Sequence(1)).unwrap();
     for seq in 0..40u64 {
         let x = (seq % 7) as f64 * 10.0;
         s.process(&item(x, seq));
@@ -85,8 +85,8 @@ fn u64_max_width_behaves_like_the_infinite_window() {
     // Regression: building the hierarchy for w = u64::MAX used to push a
     // level-64 instance into `2^level` shift overflow territory.
     let n_entities = 24u64;
-    let mut sw = SlidingWindowSampler::new(cfg(4), Window::Sequence(u64::MAX));
-    let mut inf = RobustL0Sampler::new(cfg(4));
+    let mut sw = SlidingWindowSampler::try_new(cfg(4), Window::Sequence(u64::MAX)).unwrap();
+    let mut inf = RobustL0Sampler::try_new(cfg(4)).unwrap();
     for seq in 0..480u64 {
         let x = (seq % n_entities) as f64 * 10.0 + 0.01 * ((seq / n_entities) % 3) as f64;
         sw.process(&item(x, seq));
@@ -113,7 +113,7 @@ fn u64_max_width_f0_matches_the_infinite_estimator() {
 
 #[test]
 fn u64_max_time_window_also_works() {
-    let mut s = SlidingWindowSampler::new(cfg(6), Window::Time(u64::MAX));
+    let mut s = SlidingWindowSampler::try_new(cfg(6), Window::Time(u64::MAX)).unwrap();
     for seq in 0..64u64 {
         s.process(&StreamItem::new(
             Point::new(vec![(seq % 4) as f64 * 10.0]),
@@ -127,7 +127,7 @@ fn u64_max_time_window_also_works() {
 fn time_window_expires_at_exactly_width_time_steps() {
     // Window::Time(w) keeps time > now - w.
     let w = 5u64;
-    let mut s = SlidingWindowSampler::new(cfg(7), Window::Time(w));
+    let mut s = SlidingWindowSampler::try_new(cfg(7), Window::Time(w)).unwrap();
     s.process(&StreamItem::new(Point::new(vec![0.0]), Stamp::new(0, 10)));
     // now = 14: time 10 > 14 - 5 holds, still live
     s.process(&StreamItem::new(Point::new(vec![500.0]), Stamp::new(1, 14)));

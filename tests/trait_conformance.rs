@@ -144,13 +144,13 @@ where
         f0,
         "{label}: 3-way merged f0 vs unsharded"
     );
-    let mut merged = forward;
+    let merged = forward;
     assert!(
-        merged.query_record().is_some(),
+        merged.query_record(1).is_some(),
         "{label}: merged summary must answer queries"
     );
     assert!(
-        merged.query_k(0).is_empty(),
+        merged.query_k(0, 1).is_empty(),
         "{label}: merged query_k(0)"
     );
 }
@@ -159,7 +159,7 @@ where
 fn cfg(dim: usize) -> SamplerConfig {
     // threshold kappa0 * log2(m) = 80 >> 12 groups: nothing subsamples,
     // every family counts exactly.
-    SamplerConfig::new(dim, 0.5).with_seed(9).with_expected_len(1 << 20)
+    SamplerConfig::builder(dim, 0.5).seed(9).expected_len(1 << 20).build().unwrap()
 }
 
 #[test]
@@ -167,7 +167,7 @@ fn robust_l0_sampler_conforms() {
     let stream = euclidean_stream(4, 1);
     check_family(
         "RobustL0Sampler",
-        || RobustL0Sampler::new(cfg(4)),
+        || RobustL0Sampler::try_new(cfg(4)).unwrap(),
         &stream,
         N_GROUPS as f64,
         0.0,
@@ -179,7 +179,7 @@ fn sliding_window_sampler_conforms() {
     let stream = euclidean_stream(4, 2);
     check_family(
         "SlidingWindowSampler",
-        || SlidingWindowSampler::new(cfg(4), Window::Sequence(1 << 20)),
+        || SlidingWindowSampler::try_new(cfg(4), Window::Sequence(1 << 20)).unwrap(),
         &stream,
         N_GROUPS as f64,
         0.0,
@@ -203,7 +203,7 @@ fn k_distinct_sampler_conforms() {
     let stream = euclidean_stream(4, 4);
     check_family(
         "KDistinctSampler",
-        || KDistinctSampler::new(cfg(4), 3),
+        || KDistinctSampler::try_new(cfg(4), 3).unwrap(),
         &stream,
         N_GROUPS as f64,
         0.0,
@@ -216,7 +216,7 @@ fn jl_robust_sampler_conforms() {
     let stream = euclidean_stream(dim, 5);
     check_family(
         "JlRobustSampler",
-        || JlRobustSampler::new(dim, 0.5, 0.5, cfg(dim)),
+        || JlRobustSampler::try_new(dim, 0.5, 0.5, cfg(dim)).unwrap(),
         &stream,
         N_GROUPS as f64,
         0.0,
@@ -230,11 +230,11 @@ fn metric_robust_sampler_conforms() {
     check_family(
         "MetricRobustSampler",
         || {
-            MetricRobustSampler::new(
+            MetricRobustSampler::try_new(
                 SimHashPartitioner::new(dim, 12, 0.05, 7),
                 64, // threshold >> 12 groups: exact counting
                 9,
-            )
+            ).unwrap()
         },
         &stream,
         N_GROUPS as f64,
@@ -248,13 +248,13 @@ fn jl_queries_return_ambient_space_points() {
     // original high-dimensional space even after a summary merge.
     let dim = 64;
     let stream = euclidean_stream(dim, 7);
-    let mut s = JlRobustSampler::new(dim, 0.5, 0.5, cfg(dim));
+    let mut s = JlRobustSampler::try_new(dim, 0.5, 0.5, cfg(dim)).unwrap();
     s.process_batch(&stream);
     let rec = DistinctSampler::query_record(&mut s).expect("non-empty");
     assert_eq!(rec.rep.dim(), dim, "trait query must be ambient-space");
     assert!(stream.iter().any(|it| it.point == rec.rep));
-    let mut summary = s.into_summary();
-    let merged_rec = summary.query_record().expect("non-empty");
+    let summary = s.into_summary();
+    let merged_rec = summary.query_record(1).expect("non-empty");
     assert_eq!(merged_rec.rep.dim(), dim, "summary query must be ambient-space");
 }
 
@@ -263,8 +263,8 @@ fn window_families_agree_with_infinite_on_covering_windows() {
     // With a window wider than the stream, the sliding families see the
     // same groups as the infinite-window sampler.
     let stream = euclidean_stream(4, 8);
-    let mut inf = RobustL0Sampler::new(cfg(4));
-    let mut win = SlidingWindowSampler::new(cfg(4), Window::Sequence(1 << 20));
+    let mut inf = RobustL0Sampler::try_new(cfg(4)).unwrap();
+    let mut win = SlidingWindowSampler::try_new(cfg(4), Window::Sequence(1 << 20)).unwrap();
     let mut fixed = FixedRateWindowSampler::new(cfg(4), Window::Sequence(1 << 20), 0);
     for it in &stream {
         DistinctSampler::process(&mut inf, it);

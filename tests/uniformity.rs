@@ -30,11 +30,11 @@ fn per_entity_deviation_stays_within_the_std_dev_nm_bound() {
     let runs = 600u64;
     let mut hist = SampleHistogram::new(n_entities as usize);
     for run in 0..runs {
-        let cfg = SamplerConfig::new(1, 0.5)
-            .with_seed(run * 6151 + 3)
-            .with_expected_len(points.len() as u64)
-            .with_kappa0(1.0); // tight threshold: rate doublings do occur
-        let mut s = RobustL0Sampler::new(cfg);
+        let cfg = SamplerConfig::builder(1, 0.5)
+            .seed(run * 6151 + 3)
+            .expected_len(points.len() as u64)
+            .kappa0(1.0).build().unwrap(); // tight threshold: rate doublings do occur
+        let mut s = RobustL0Sampler::try_new(cfg).unwrap();
         s.process_batch(&points);
         let sample = s.query().expect("stream non-empty").clone();
         hist.record(entity_of(&sample));
