@@ -48,6 +48,22 @@ pub enum Command {
         /// Number of distinct samples to print.
         k: usize,
     },
+    /// Ingest the stream and persist a durable full-state checkpoint
+    /// (versioned, checksummed container; resumable with
+    /// `checkpoint restore`).
+    CheckpointSave {
+        /// Where to write the checkpoint file.
+        path: String,
+    },
+    /// Restore a checkpoint, resume ingesting from stdin (possibly
+    /// empty), then print the estimate and `--k` samples. The sampler
+    /// configuration comes from the file's config echo.
+    CheckpointRestore {
+        /// The checkpoint file to load.
+        path: String,
+        /// Number of distinct samples to print.
+        k: usize,
+    },
 }
 
 /// Parsed command line.
@@ -113,26 +129,37 @@ impl CliError {
 pub fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut it = args.iter().peekable();
     let cmd = it.next().ok_or_else(usage)?;
-    // `snapshot <save|query> <path>` carries two positional operands.
-    let mut snapshot_action: Option<(String, String)> = None;
-    if cmd == "snapshot" {
+    // `snapshot <save|query> <path>` and `checkpoint <save|restore>
+    // <path>` carry two positional operands.
+    let mut file_action: Option<(String, String)> = None;
+    if cmd == "snapshot" || cmd == "checkpoint" {
+        let expects = if cmd == "snapshot" {
+            "<save|query>"
+        } else {
+            "<save|restore>"
+        };
         let action = it
             .next()
-            .ok_or("snapshot expects <save|query> <path>".to_string())?;
+            .ok_or(format!("{cmd} expects {expects} <path>"))?;
         let path = it
             .next()
-            .ok_or(format!("snapshot {action} expects a file path"))?;
-        snapshot_action = Some((action.clone(), path.clone()));
+            .ok_or(format!("{cmd} {action} expects a file path"))?;
+        file_action = Some((action.clone(), path.clone()));
     }
     let mut k = 1usize;
     let mut eps = 0.3f64;
+    let mut eps_set = false;
     let mut phi = 0.1f64;
+    let mut phi_set = false;
     let mut alpha = None;
     let mut window_len: Option<u64> = None;
     let mut time_based = false;
     let mut seed = 1u64;
+    let mut seed_set = false;
     let mut expected_len = 1 << 20;
+    let mut expected_len_set = false;
     let mut shards = 1usize;
+    let mut shards_set = false;
 
     while let Some(a) = it.next() {
         let mut val = |name: &str| -> Result<&String, String> {
@@ -141,15 +168,28 @@ pub fn parse_cli(args: &[String]) -> Result<Cli, String> {
         match a.as_str() {
             "--alpha" => alpha = Some(parse_num(val("--alpha")?, "--alpha")?),
             "--k" => k = parse_num::<usize>(val("--k")?, "--k")?,
-            "--eps" => eps = parse_num(val("--eps")?, "--eps")?,
-            "--phi" => phi = parse_num(val("--phi")?, "--phi")?,
+            "--eps" => {
+                eps = parse_num(val("--eps")?, "--eps")?;
+                eps_set = true;
+            }
+            "--phi" => {
+                phi = parse_num(val("--phi")?, "--phi")?;
+                phi_set = true;
+            }
             "--window" => window_len = Some(parse_num(val("--window")?, "--window")?),
             "--time" => time_based = true,
-            "--seed" => seed = parse_num(val("--seed")?, "--seed")?,
-            "--expected-len" => {
-                expected_len = parse_num(val("--expected-len")?, "--expected-len")?
+            "--seed" => {
+                seed = parse_num(val("--seed")?, "--seed")?;
+                seed_set = true;
             }
-            "--shards" => shards = parse_num(val("--shards")?, "--shards")?,
+            "--expected-len" => {
+                expected_len = parse_num(val("--expected-len")?, "--expected-len")?;
+                expected_len_set = true;
+            }
+            "--shards" => {
+                shards = parse_num(val("--shards")?, "--shards")?;
+                shards_set = true;
+            }
             other => return Err(format!("unknown option {other}\n{}", usage())),
         }
     }
@@ -162,17 +202,48 @@ pub fn parse_cli(args: &[String]) -> Result<Cli, String> {
             Command::Count { eps }
         }
         "heavy" => Command::Heavy { phi },
-        "snapshot" => match snapshot_action.expect("set above for snapshot") {
+        "snapshot" => match file_action.expect("set above for snapshot") {
             (action, path) if action == "save" => Command::SnapshotSave { path },
             (action, path) if action == "query" => Command::SnapshotQuery { path, k },
             (action, _) => {
                 return Err(format!("unknown snapshot action {action}\n{}", usage()))
             }
         },
+        "checkpoint" => match file_action.expect("set above for checkpoint") {
+            (action, path) if action == "save" => Command::CheckpointSave { path },
+            (action, path) if action == "restore" => Command::CheckpointRestore { path, k },
+            (action, _) => {
+                return Err(format!("unknown checkpoint action {action}\n{}", usage()))
+            }
+        },
         other => return Err(format!("unknown command {other}\n{}", usage())),
     };
-    // `snapshot query` reads a file, not a stream: alpha lives in the file.
-    let alpha = if matches!(command, Command::SnapshotQuery { .. }) {
+    // File-reading commands take their configuration from the file, not
+    // the command line. The restore check runs before alpha is resolved
+    // so an explicit `--alpha 0.0` is caught too, and inert flags
+    // (`--eps`, `--phi`) are rejected rather than silently ignored.
+    if matches!(command, Command::CheckpointRestore { .. })
+        && (alpha.is_some()
+            || window_len.is_some()
+            || time_based
+            || seed_set
+            || expected_len_set
+            || shards_set
+            || eps_set
+            || phi_set)
+    {
+        return Err(
+            "checkpoint restore reads the sampler configuration from the \
+             file's config echo; --alpha/--window/--time/--seed/\
+             --expected-len/--shards/--eps/--phi do not apply"
+                .into(),
+        );
+    }
+    let reads_config_from_file = matches!(
+        command,
+        Command::SnapshotQuery { .. } | Command::CheckpointRestore { .. }
+    );
+    let alpha = if reads_config_from_file {
         alpha.unwrap_or(0.0)
     } else {
         let alpha = alpha.ok_or("--alpha is required".to_string())?;
@@ -218,7 +289,7 @@ fn parse_num<T: std::str::FromStr>(s: &str, name: &str) -> Result<T, String> {
 
 /// The usage string.
 pub fn usage() -> String {
-    "usage: rds <sample|count|heavy|snapshot> --alpha A [options] < points.csv\n\
+    "usage: rds <sample|count|heavy|snapshot|checkpoint> --alpha A [options] < points.csv\n\
      \n\
      Points arrive on stdin, one per line, comma- or whitespace-separated\n\
      coordinates. With --time, the LAST column is the item's timestamp.\n\
@@ -232,6 +303,12 @@ pub fn usage() -> String {
      \x20 snapshot query <path> answer --k samples + f0 offline from a\n\
      \x20                       saved snapshot (no stream input; --seed\n\
      \x20                       varies or replays the draw)\n\
+     \x20 checkpoint save <path>     ingest stdin, persist the sampler's\n\
+     \x20                       full state (versioned, checksummed; any\n\
+     \x20                       window/shard combination)\n\
+     \x20 checkpoint restore <path>  restore the state, resume ingesting\n\
+     \x20                       stdin (may be empty), print f0 + --k\n\
+     \x20                       samples; config comes from the file\n\
      options:\n\
      \x20 --alpha A          near-duplicate distance threshold (required)\n\
      \x20 --k N              number of distinct samples (sample; default 1)\n\
@@ -293,8 +370,10 @@ fn build_rds(cli: &Cli, dim: usize) -> Result<Rds, RdsError> {
     match &cli.command {
         Command::Sample { k } => b = b.k((*k).max(1)),
         Command::Count { eps } => b = b.count_accuracy(*eps),
-        Command::SnapshotSave { .. } => {}
-        Command::Heavy { .. } | Command::SnapshotQuery { .. } => {
+        Command::SnapshotSave { .. } | Command::CheckpointSave { .. } => {}
+        Command::Heavy { .. }
+        | Command::SnapshotQuery { .. }
+        | Command::CheckpointRestore { .. } => {
             unreachable!("command does not build a streaming handle")
         }
     }
@@ -315,6 +394,9 @@ pub fn run<R: BufRead, W: std::io::Write>(
 ) -> Result<u64, CliError> {
     if let Command::SnapshotQuery { path, k } = &cli.command {
         return run_snapshot_query(path, *k, cli.seed, out);
+    }
+    if let Command::CheckpointRestore { path, k } = &cli.command {
+        return run_checkpoint_restore(path, *k, input, out);
     }
     let with_time = matches!(cli.window, Some(Window::Time(_)));
     let mut dim: Option<usize> = None;
@@ -408,7 +490,76 @@ pub fn run<R: BufRead, W: std::io::Write>(
                 ),
             )?;
         }
-        Command::SnapshotQuery { .. } => unreachable!("handled before the input loop"),
+        Command::CheckpointSave { path } => {
+            let Some(mut r) = rds else {
+                return Err(CliError::Runtime(
+                    "checkpoint save needs at least one input point".into(),
+                ));
+            };
+            let f0 = r.f0_estimate();
+            r.checkpoint_to(path)
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
+            w(
+                out,
+                format!("checkpoint covering {n} items f0 {f0:.1} -> {path}"),
+            )?;
+        }
+        Command::SnapshotQuery { .. } | Command::CheckpointRestore { .. } => {
+            unreachable!("handled before the input loop")
+        }
+    }
+    Ok(n)
+}
+
+/// Restores a checkpoint, resumes ingesting the reader's stream (which
+/// may be empty), then prints `f0 <estimate> seen <total>` and `k`
+/// samples. Stamps continue from the checkpointed arrival counter; for a
+/// time-based window the last input column is the item's timestamp, as
+/// with `--time`.
+fn run_checkpoint_restore<R: BufRead, W: std::io::Write>(
+    path: &str,
+    k: usize,
+    input: R,
+    out: &mut W,
+) -> Result<u64, CliError> {
+    let (mut writer, reader) = Rds::builder()
+        .restore_from(path)
+        .map_err(CliError::Config)?;
+    let with_time = matches!(writer.window(), Window::Time(_));
+    let dim = writer.dim();
+    let base = writer.seen();
+    let mut n = 0u64;
+    for line in input.lines() {
+        let line = line.map_err(|e| CliError::Runtime(e.to_string()))?;
+        let Some((point, time)) = parse_line(&line, with_time).map_err(CliError::Runtime)?
+        else {
+            continue;
+        };
+        if point.dim() != dim {
+            return Err(CliError::Runtime(format!(
+                "resumed stream has dimension {} but the checkpoint was \
+                 built for dimension {dim}",
+                point.dim()
+            )));
+        }
+        let stamp = if with_time {
+            Stamp::new(base + n, time)
+        } else {
+            Stamp::at(base + n)
+        };
+        writer.process_item(StreamItem::new(point, stamp));
+        n += 1;
+    }
+    writer.publish();
+    let w = |out: &mut W, s: String| {
+        writeln!(out, "{s}").map_err(|e| CliError::Runtime(e.to_string()))
+    };
+    w(
+        out,
+        format!("f0 {:.1} seen {}", reader.f0_estimate(), reader.seen()),
+    )?;
+    for rec in reader.query_k(k.max(1)) {
+        w(out, format!("{:?} (seen {} times)", rec.rep.coords(), rec.count))?;
     }
     Ok(n)
 }
@@ -790,6 +941,129 @@ mod tests {
             .expect("valid");
         let mut out = Vec::new();
         let err = run(&cli, Cursor::new(""), &mut out).expect_err("missing file");
+        assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn parses_checkpoint_commands() {
+        let cli = parse_cli(&args("checkpoint save /tmp/c.json --alpha 0.5 --seed 4"))
+            .expect("valid");
+        assert_eq!(
+            cli.command,
+            Command::CheckpointSave { path: "/tmp/c.json".into() }
+        );
+        let cli = parse_cli(&args("checkpoint restore /tmp/c.json --k 2")).expect("valid");
+        assert_eq!(
+            cli.command,
+            Command::CheckpointRestore { path: "/tmp/c.json".into(), k: 2 }
+        );
+    }
+
+    #[test]
+    fn checkpoint_usage_errors_at_parse_time() {
+        assert!(parse_cli(&args("checkpoint")).is_err());
+        assert!(parse_cli(&args("checkpoint save")).is_err());
+        assert!(parse_cli(&args("checkpoint frobnicate /tmp/x --alpha 1")).is_err());
+        // save ingests a stream, so alpha is required
+        assert!(parse_cli(&args("checkpoint save /tmp/x.json")).is_err());
+        // restore reads the config from the file; stream flags are rejected
+        for bad in [
+            "checkpoint restore /tmp/x.json --alpha 0.5",
+            "checkpoint restore /tmp/x.json --alpha 0.0", // 0.0 must not slip through
+            "checkpoint restore /tmp/x.json --window 5",
+            "checkpoint restore /tmp/x.json --shards 4",
+            "checkpoint restore /tmp/x.json --seed 7",
+            "checkpoint restore /tmp/x.json --expected-len 100",
+            "checkpoint restore /tmp/x.json --eps 0.1", // inert flags rejected too
+            "checkpoint restore /tmp/x.json --phi 0.2",
+        ] {
+            let err = parse_cli(&args(bad)).expect_err("invalid");
+            assert!(err.contains("config echo"), "error for `{bad}`: {err}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_save_restore_resumes_the_stream() {
+        let dir = std::env::temp_dir().join(format!("rds-cli-chk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("writer.chk");
+        let path_str = path.to_str().expect("utf8 path").to_string();
+
+        // 12 well-separated entities; first half of the stream, then crash
+        let line = |i: u64| format!("{}.0, 2.0\n", (i % 12) * 10);
+        let first: String = (0..60).map(line).collect();
+        let second: String = (60..120).map(line).collect();
+        let full: String = (0..120).map(line).collect();
+
+        let save = parse_cli(&args(&format!(
+            "checkpoint save {path_str} --alpha 0.5 --seed 11 --shards 2"
+        )))
+        .expect("valid");
+        let mut out = Vec::new();
+        let n = run(&save, Cursor::new(first), &mut out).expect("saves");
+        assert_eq!(n, 60);
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("f0 12.0"), "save output: {text}");
+
+        // restore + resume the second half: same estimate as one
+        // uninterrupted count over the full stream
+        let restore = parse_cli(&args(&format!("checkpoint restore {path_str} --k 3")))
+            .expect("valid");
+        let mut out = Vec::new();
+        let n = run(&restore, Cursor::new(second), &mut out).expect("restores");
+        assert_eq!(n, 60, "only the resumed items are counted");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("f0 12.0 seen 120"), "restore output: {text}");
+        assert_eq!(text.lines().count(), 4, "header + 3 samples: {text}");
+
+        // restore with empty stdin serves the pre-crash state
+        let mut out = Vec::new();
+        run(&restore, Cursor::new(""), &mut out).expect("restores empty");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("f0 12.0 seen 60"), "empty-restore output: {text}");
+
+        // reference: one uninterrupted save over the full stream reports
+        // the same estimate the crash-recovered pipeline reached
+        let full_path = dir.join("full.chk");
+        let save_full = parse_cli(&args(&format!(
+            "checkpoint save {} --alpha 0.5 --seed 11 --shards 2",
+            full_path.to_str().expect("utf8")
+        )))
+        .expect("valid");
+        let mut out = Vec::new();
+        run(&save_full, Cursor::new(full), &mut out).expect("saves full");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("f0 12.0"), "uninterrupted output: {text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_restore_of_corrupt_file_is_a_config_error() {
+        let dir = std::env::temp_dir().join(format!("rds-cli-chk-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("corrupt.chk");
+        std::fs::write(&path, "{\"magic\":\"nope\"}").expect("writes");
+        let cli = parse_cli(&args(&format!(
+            "checkpoint restore {}",
+            path.to_str().expect("utf8")
+        )))
+        .expect("valid");
+        let mut out = Vec::new();
+        let err = run(&cli, Cursor::new(""), &mut out).expect_err("corrupt");
+        assert!(
+            matches!(&err, CliError::Config(RdsError::Checkpoint { .. })),
+            "got {err:?}"
+        );
+        assert_eq!(err.exit_code(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_save_of_empty_stream_is_a_runtime_error() {
+        let cli = parse_cli(&args("checkpoint save /tmp/never-written.chk --alpha 0.5"))
+            .expect("valid");
+        let mut out = Vec::new();
+        let err = run(&cli, Cursor::new(""), &mut out).expect_err("no points");
         assert_eq!(err.exit_code(), 1);
     }
 

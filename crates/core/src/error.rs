@@ -60,6 +60,14 @@ pub enum RdsError {
     InvalidShards,
     /// A batch size of zero.
     InvalidBatchSize,
+    /// A checkpoint container or serialized sampler state could not be
+    /// restored: unreadable file, bad magic, unsupported format version,
+    /// checksum mismatch, malformed state, or a configuration that does
+    /// not match the checkpoint's config echo.
+    Checkpoint {
+        /// What was wrong with the container or state.
+        reason: String,
+    },
     /// Summaries built from different configurations (different grids or
     /// hash functions) cannot be merged.
     ConfigMismatch {
@@ -68,6 +76,16 @@ pub enum RdsError {
         /// Seed of the summary that did not match.
         actual_seed: u64,
     },
+}
+
+impl RdsError {
+    /// Builds a [`RdsError::Checkpoint`] — the one constructor shared by
+    /// the core restore paths, the engine and the facade container code.
+    pub fn checkpoint(reason: impl Into<String>) -> Self {
+        RdsError::Checkpoint {
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for RdsError {
@@ -97,6 +115,9 @@ impl fmt::Display for RdsError {
             RdsError::EmptyWindow => write!(f, "window length must be at least 1"),
             RdsError::InvalidShards => write!(f, "need at least one shard"),
             RdsError::InvalidBatchSize => write!(f, "batch size must be at least 1"),
+            RdsError::Checkpoint { ref reason } => {
+                write!(f, "checkpoint rejected: {reason}")
+            }
             RdsError::ConfigMismatch {
                 expected_seed,
                 actual_seed,

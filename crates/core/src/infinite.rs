@@ -10,6 +10,7 @@
 //! returned — Theorem 2.4 shows this is a uniform sample over groups with
 //! probability `1 - 1/m`.
 
+use crate::checkpoint::{check_dims, check_level, Checkpointable, RngState};
 use crate::config::{SamplerConfig, SamplerContext};
 use crate::distributed::MergedSummary;
 use crate::error::RdsError;
@@ -368,6 +369,87 @@ impl RobustL0Sampler {
     /// [`Self::into_site_summary`](crate::distributed) extraction).
     pub(crate) fn into_sets(self) -> (Vec<GroupRecord>, Vec<GroupRecord>) {
         (self.acc, self.rej)
+    }
+}
+
+/// The serializable full state of a [`RobustL0Sampler`]: both candidate
+/// sets, the rate exponent, the threshold, the arrival counter, and the
+/// exact PRNG position. The grid and hash function are deterministic
+/// functions of the embedded [`SamplerConfig`] and are rebuilt on
+/// restore, not stored.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RobustL0State {
+    cfg: SamplerConfig,
+    threshold: usize,
+    level: u32,
+    acc: Vec<GroupRecord>,
+    rej: Vec<GroupRecord>,
+    seen: u64,
+    rate_doublings: u32,
+    rng: RngState,
+    peak_words: usize,
+}
+
+impl RobustL0State {
+    /// The configuration the checkpointed sampler was built from.
+    pub fn cfg(&self) -> &SamplerConfig {
+        &self.cfg
+    }
+
+    /// The accept-set threshold in force at capture time.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Number of items the checkpointed sampler had processed.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+impl Checkpointable for RobustL0Sampler {
+    type State = RobustL0State;
+
+    fn checkpoint_state(&self) -> RobustL0State {
+        RobustL0State {
+            cfg: self.ctx.cfg().clone(),
+            threshold: self.threshold,
+            level: self.level,
+            acc: self.acc.clone(),
+            rej: self.rej.clone(),
+            seen: self.seen,
+            rate_doublings: self.rate_doublings,
+            rng: RngState::capture(&self.rng),
+            peak_words: self.space.peak_words(),
+        }
+    }
+
+    fn try_from_state(state: RobustL0State) -> Result<Self, RdsError> {
+        check_level(state.level)?;
+        check_dims(
+            &state.cfg,
+            state.acc.iter().flat_map(|r| [&r.rep, &r.reservoir]),
+            "accept set",
+        )?;
+        check_dims(
+            &state.cfg,
+            state.rej.iter().flat_map(|r| [&r.rep, &r.reservoir]),
+            "reject set",
+        )?;
+        let mut s = Self::try_with_threshold(state.cfg, state.threshold)?;
+        s.level = state.level;
+        s.acc = state.acc;
+        s.rej = state.rej;
+        s.seen = state.seen;
+        s.rate_doublings = state.rate_doublings;
+        s.rng = state.rng.restore();
+        s.space.observe(state.peak_words);
+        s.space.observe(s.words());
+        Ok(s)
+    }
+
+    fn state_config(state: &RobustL0State) -> Option<&SamplerConfig> {
+        Some(&state.cfg)
     }
 }
 

@@ -7,11 +7,13 @@
 //! the core sampler can run in the reduced space with a slightly widened
 //! threshold `alpha' = (1 + eps) * alpha`.
 
+use crate::checkpoint::{check_dims, checkpoint_err, Checkpointable};
 use crate::config::SamplerConfig;
 use crate::distributed::MergedSummary;
 use crate::error::RdsError;
-use crate::infinite::{GroupRecord, ProcessOutcome, RobustL0Sampler};
+use crate::infinite::{GroupRecord, ProcessOutcome, RobustL0State, RobustL0Sampler};
 use crate::sampler::{DistinctSampler, SamplerSummary};
+use serde::{Deserialize, Serialize};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rds_geometry::{JlProjection, Point};
@@ -31,6 +33,13 @@ pub struct JlRobustSampler {
     /// we map projected reps back via exact match on demand.
     originals: Vec<(Point, Point)>, // (projected rep, original rep)
     eps: f64,
+    /// The ambient-space group threshold and base configuration the
+    /// sampler was constructed from, kept verbatim so a checkpoint can
+    /// rebuild the projection and the inner configuration exactly
+    /// (deriving them back from the inner state would round through
+    /// `(1 + eps) * alpha` and can drift by an ulp).
+    alpha: f64,
+    base_cfg: SamplerConfig,
 }
 
 impl JlRobustSampler {
@@ -66,13 +75,15 @@ impl JlRobustSampler {
         let inner_cfg = SamplerConfig {
             dim: out_dim,
             alpha: (1.0 + eps) * alpha,
-            ..cfg
+            ..cfg.clone()
         };
         Ok(Self {
             projection,
             inner: RobustL0Sampler::try_new(inner_cfg)?,
             originals: Vec::new(),
             eps,
+            alpha,
+            base_cfg: cfg,
         })
     }
 
@@ -134,6 +145,82 @@ fn lift_record(originals: &[(Point, Point)], rec: GroupRecord) -> GroupRecord {
             count: rec.count,
         },
         None => rec,
+    }
+}
+
+/// The serializable full state of a [`JlRobustSampler`]: the construction
+/// parameters (the projection matrix is a deterministic function of them
+/// and is rebuilt, not stored), the inner projected-space sampler state,
+/// and the projected→original representative map.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JlSamplerState {
+    in_dim: usize,
+    alpha: f64,
+    eps: f64,
+    base_cfg: SamplerConfig,
+    inner: RobustL0State,
+    originals: Vec<(Point, Point)>,
+}
+
+impl JlSamplerState {
+    /// The ambient dimension of the checkpointed sampler.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// The base configuration the checkpointed sampler was built from.
+    pub fn base_cfg(&self) -> &SamplerConfig {
+        &self.base_cfg
+    }
+}
+
+impl Checkpointable for JlRobustSampler {
+    type State = JlSamplerState;
+
+    fn checkpoint_state(&self) -> JlSamplerState {
+        JlSamplerState {
+            in_dim: self.projection.in_dim(),
+            alpha: self.alpha,
+            eps: self.eps,
+            base_cfg: self.base_cfg.clone(),
+            inner: self.inner.checkpoint_state(),
+            originals: self.originals.clone(),
+        }
+    }
+
+    fn try_from_state(state: JlSamplerState) -> Result<Self, RdsError> {
+        // Rebuild the projection (and re-validate the construction
+        // parameters) exactly as `try_new` does, then swap in the
+        // captured inner state.
+        let mut s = Self::try_new(state.in_dim, state.alpha, state.eps, state.base_cfg)?;
+        if s.inner.context().cfg() != state.inner.cfg() {
+            return Err(checkpoint_err(
+                "inner sampler state does not match the projected-space \
+                 configuration derived from the JL construction parameters",
+            ));
+        }
+        let ambient = SamplerConfig {
+            dim: state.in_dim,
+            ..state.inner.cfg().clone()
+        };
+        let projected = state.inner.cfg().clone();
+        check_dims(
+            &projected,
+            state.originals.iter().map(|(proj, _)| proj),
+            "projected representatives",
+        )?;
+        check_dims(
+            &ambient,
+            state.originals.iter().map(|(_, orig)| orig),
+            "original representatives",
+        )?;
+        s.inner = RobustL0Sampler::try_from_state(state.inner)?;
+        s.originals = state.originals;
+        Ok(s)
+    }
+
+    fn state_config(state: &JlSamplerState) -> Option<&SamplerConfig> {
+        Some(&state.base_cfg)
     }
 }
 

@@ -8,11 +8,13 @@
 //! * **With replacement** — run `k` independent one-sample instances in
 //!   parallel ([`KWithReplacementSampler`]).
 
+use crate::checkpoint::{checkpoint_err, Checkpointable};
 use crate::config::SamplerConfig;
 use crate::distributed::MergedSummary;
 use crate::error::RdsError;
-use crate::infinite::{BatchStats, GroupRecord, ProcessOutcome, RobustL0Sampler};
+use crate::infinite::{BatchStats, GroupRecord, ProcessOutcome, RobustL0State, RobustL0Sampler};
 use crate::sampler::DistinctSampler;
+use serde::{Deserialize, Serialize};
 use rds_geometry::Point;
 use rds_stream::StreamItem;
 
@@ -74,6 +76,47 @@ impl KDistinctSampler {
     /// The wrapped single-sample structure.
     pub fn inner(&self) -> &RobustL0Sampler {
         &self.inner
+    }
+}
+
+/// The serializable full state of a [`KDistinctSampler`]: the configured
+/// `k` plus the wrapped single-structure state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KDistinctState {
+    k: usize,
+    inner: RobustL0State,
+}
+
+impl Checkpointable for KDistinctSampler {
+    type State = KDistinctState;
+
+    fn checkpoint_state(&self) -> KDistinctState {
+        KDistinctState {
+            k: self.k,
+            inner: self.inner.checkpoint_state(),
+        }
+    }
+
+    fn try_from_state(state: KDistinctState) -> Result<Self, RdsError> {
+        if state.k == 0 {
+            return Err(RdsError::InvalidK);
+        }
+        if state.inner.cfg().k != state.k {
+            return Err(checkpoint_err(format!(
+                "k-sampler state draws k = {} but its inner threshold was \
+                 scaled for k = {}",
+                state.k,
+                state.inner.cfg().k
+            )));
+        }
+        Ok(Self {
+            inner: RobustL0Sampler::try_from_state(state.inner)?,
+            k: state.k,
+        })
+    }
+
+    fn state_config(state: &KDistinctState) -> Option<&SamplerConfig> {
+        Some(state.inner.cfg())
     }
 }
 
@@ -170,6 +213,55 @@ impl KWithReplacementSampler {
     }
 }
 
+/// The serializable full state of a [`KWithReplacementSampler`]: one
+/// [`RobustL0State`] per independent copy.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KWithReplacementState {
+    copies: Vec<RobustL0State>,
+}
+
+impl Checkpointable for KWithReplacementSampler {
+    type State = KWithReplacementState;
+
+    fn checkpoint_state(&self) -> KWithReplacementState {
+        KWithReplacementState {
+            copies: self.copies.iter().map(|c| c.checkpoint_state()).collect(),
+        }
+    }
+
+    fn try_from_state(state: KWithReplacementState) -> Result<Self, RdsError> {
+        if state.copies.is_empty() {
+            return Err(RdsError::InvalidK);
+        }
+        // The copies are independent only in their (derived) seeds; every
+        // other parameter must agree, or `process` would feed one point
+        // to samplers of conflicting dimensions and panic downstream.
+        let reference = SamplerConfig {
+            seed: 0,
+            ..state.copies[0].cfg().clone()
+        };
+        for (i, copy) in state.copies.iter().enumerate() {
+            let seedless = SamplerConfig {
+                seed: 0,
+                ..copy.cfg().clone()
+            };
+            if seedless != reference {
+                return Err(checkpoint_err(format!(
+                    "with-replacement copy {i} embeds a configuration differing \
+                     (beyond its derived seed) from copy 0"
+                )));
+            }
+        }
+        Ok(Self {
+            copies: state
+                .copies
+                .into_iter()
+                .map(RobustL0Sampler::try_from_state)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +324,34 @@ mod tests {
             }
         }
         assert!(agreements < 15, "copies look correlated: {agreements}/20");
+    }
+
+    #[test]
+    fn with_replacement_restore_rejects_mixed_copy_configs() {
+        // Regression: copies of conflicting dimensions used to restore Ok
+        // and panic on the first processed point.
+        let dim1 = RobustL0Sampler::try_new(SamplerConfig::builder(1, 0.5).build().unwrap())
+            .unwrap()
+            .checkpoint_state();
+        let dim2 = RobustL0Sampler::try_new(SamplerConfig::builder(2, 0.5).build().unwrap())
+            .unwrap()
+            .checkpoint_state();
+        let state = KWithReplacementState {
+            copies: vec![dim1.clone(), dim2],
+        };
+        assert!(matches!(
+            KWithReplacementSampler::try_from_state(state),
+            Err(RdsError::Checkpoint { .. })
+        ));
+        // derived seeds alone are fine — that is how the copies differ
+        let mut legit = KWithReplacementSampler::try_new(
+            SamplerConfig::builder(1, 0.5).seed(3).build().unwrap(),
+            2,
+        )
+        .unwrap();
+        legit.process(&Point::new(vec![1.0]));
+        let state = legit.checkpoint_state();
+        assert!(KWithReplacementSampler::try_from_state(state).is_ok());
     }
 
     #[test]

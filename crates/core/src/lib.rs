@@ -5,6 +5,7 @@
 
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod config;
 mod distributed;
 mod error;
@@ -18,15 +19,23 @@ mod ksample;
 mod lsh;
 mod sw_hier;
 
+pub use checkpoint::{Checkpointable, RngState};
 pub use config::{SamplerConfig, SamplerConfigBuilder, SamplerContext};
 pub use distributed::{DistributedSampling, MergedSummary, SiteSummary};
 pub use error::RdsError;
 pub use heavy::{HeavyGroup, RobustHeavyHitters};
-pub use infinite::{BatchStats, GroupRecord, ProcessOutcome, RobustL0Sampler};
+pub use infinite::{BatchStats, GroupRecord, ProcessOutcome, RobustL0Sampler, RobustL0State};
 pub use sampler::{DistinctSampler, SamplerSummary, WindowSummary};
-pub use sw_fixed::{FixedRateWindowSampler, WindowGroupEntry};
+pub use sw_fixed::{
+    FixedRateLevelState, FixedRateWindowSampler, FixedRateWindowState, WindowGroupEntry,
+};
 pub use f0::{RobustF0Estimator, SlidingWindowF0, DEFAULT_KAPPA_B, FM_PHI};
-pub use jl_adapter::{JlRobustSampler, JlSummary};
-pub use ksample::{KDistinctSampler, KWithReplacementSampler};
-pub use lsh::{LshPartitioner, MetricGroup, MetricRobustSampler, MetricSummary, SimHashPartitioner};
-pub use sw_hier::{GroupSample, SlidingWindowSampler};
+pub use jl_adapter::{JlRobustSampler, JlSamplerState, JlSummary};
+pub use ksample::{
+    KDistinctSampler, KDistinctState, KWithReplacementSampler, KWithReplacementState,
+};
+pub use lsh::{
+    LshPartitioner, MetricGroup, MetricRobustSampler, MetricSamplerState, MetricSummary,
+    SimHashPartitioner,
+};
+pub use sw_hier::{GroupSample, SlidingWindowSampler, SlidingWindowState};

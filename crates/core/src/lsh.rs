@@ -20,6 +20,7 @@
 //! * [`MetricRobustSampler`] — Algorithm 1 re-done over an arbitrary
 //!   partitioner.
 
+use crate::checkpoint::{check_level, Checkpointable, RngState};
 use crate::error::RdsError;
 use crate::infinite::{BatchStats, GroupRecord};
 use crate::sampler::{derived_rng, DistinctSampler, SamplerSummary};
@@ -35,6 +36,14 @@ use rds_stream::StreamItem;
 pub trait LshPartitioner {
     /// Stable 64-bit key of the bucket containing `p`.
     fn bucket_key(&self, p: &Point) -> u64;
+
+    /// The ambient dimension the partitioner expects, when it has a
+    /// fixed one (`None` for dimension-agnostic partitioners). Checkpoint
+    /// restore uses this to reject states whose stored representatives
+    /// cannot belong to this space.
+    fn dim(&self) -> Option<usize> {
+        None
+    }
 
     /// Visits the key of every bucket that could contain a point of
     /// `p`'s group (including `p`'s own bucket); stops early when `visit`
@@ -154,6 +163,10 @@ impl LshPartitioner for SimHashPartitioner {
         self.key_of_bits(bits)
     }
 
+    fn dim(&self) -> Option<usize> {
+        Some(self.dim)
+    }
+
     /// Exact adjacency for the angular metric: a point `q` with
     /// `angle(p, q) <= theta` can disagree with `p` only on hyperplanes
     /// whose boundary lies within angle `theta` of `p`; enumerate all
@@ -189,6 +202,44 @@ impl LshPartitioner for SimHashPartitioner {
     }
 }
 
+// The partitioner is a deterministic function of (dim, n_bits, theta,
+// seed): serialize those four parameters and rebuild the hyperplanes on
+// restore. Validation happens before `new` so a corrupt file surfaces as
+// a deserialization error, never as one of the constructor's panics.
+impl serde::Serialize for SimHashPartitioner {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("dim".to_string(), self.dim.to_value()),
+            ("n_bits".to_string(), self.normals.len().to_value()),
+            ("theta".to_string(), self.theta.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for SimHashPartitioner {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let field = |name: &str| value.get(name).unwrap_or(&serde::Value::Null);
+        let err = |name: &str, e: serde::DeError| {
+            serde::DeError::custom(format!("field `{name}`: {e}"))
+        };
+        let dim = usize::from_value(field("dim")).map_err(|e| err("dim", e))?;
+        let n_bits = usize::from_value(field("n_bits")).map_err(|e| err("n_bits", e))?;
+        let theta = f64::from_value(field("theta")).map_err(|e| err("theta", e))?;
+        let seed = u64::from_value(field("seed")).map_err(|e| err("seed", e))?;
+        if dim == 0 {
+            return Err(serde::DeError::custom("dimension must be positive"));
+        }
+        if !(theta > 0.0 && theta < std::f64::consts::FRAC_PI_8) {
+            return Err(serde::DeError::custom("theta must be in (0, pi/8)"));
+        }
+        if !(1..=24).contains(&n_bits) {
+            return Err(serde::DeError::custom("n_bits must be in 1..=24"));
+        }
+        Ok(Self::new(dim, n_bits, theta, seed))
+    }
+}
+
 /// What [`MetricRobustSampler::process`] did with a point (mirrors
 /// [`crate::ProcessOutcome`]).
 pub use crate::infinite::ProcessOutcome as MetricProcessOutcome;
@@ -209,7 +260,7 @@ pub struct MetricRobustSampler<P: LshPartitioner> {
 }
 
 /// A tracked group in the metric sampler.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct MetricGroup {
     /// The group's first point.
     pub rep: Point,
@@ -366,6 +417,128 @@ impl<P: LshPartitioner> MetricRobustSampler<P> {
             .map(|g| g.rep.words() + 2)
             .sum();
         self.hash.words() + groups + 4
+    }
+}
+
+/// The serializable full state of a [`MetricRobustSampler`]: the
+/// partitioner's serialized form (its own `Serialize` impl; for
+/// [`SimHashPartitioner`] the four construction parameters), the rate
+/// exponent, both candidate sets and the PRNG position. The bucket hash
+/// function is a deterministic function of the seed and is rebuilt on
+/// restore.
+#[derive(Clone, Debug)]
+pub struct MetricSamplerState<P> {
+    partitioner: P,
+    seed: u64,
+    threshold: usize,
+    level: u32,
+    acc: Vec<MetricGroup>,
+    rej: Vec<MetricGroup>,
+    seen: u64,
+    rng: RngState,
+}
+
+impl<P> MetricSamplerState<P> {
+    /// The partitioner the checkpointed sampler was built around.
+    pub fn partitioner(&self) -> &P {
+        &self.partitioner
+    }
+
+    /// Number of items the checkpointed sampler had processed.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+// Manual impls: the vendored derive does not handle generic structs.
+impl<P: serde::Serialize> serde::Serialize for MetricSamplerState<P> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("partitioner".to_string(), self.partitioner.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("threshold".to_string(), self.threshold.to_value()),
+            ("level".to_string(), self.level.to_value()),
+            ("acc".to_string(), self.acc.to_value()),
+            ("rej".to_string(), self.rej.to_value()),
+            ("seen".to_string(), self.seen.to_value()),
+            ("rng".to_string(), self.rng.to_value()),
+        ])
+    }
+}
+
+impl<P: serde::Deserialize> serde::Deserialize for MetricSamplerState<P> {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        fn get<T: serde::Deserialize>(
+            value: &serde::Value,
+            name: &str,
+        ) -> Result<T, serde::DeError> {
+            T::from_value(value.get(name).unwrap_or(&serde::Value::Null))
+                .map_err(|e| serde::DeError::custom(format!("field `{name}`: {e}")))
+        }
+        Ok(Self {
+            partitioner: get(value, "partitioner")?,
+            seed: get(value, "seed")?,
+            threshold: get(value, "threshold")?,
+            level: get(value, "level")?,
+            acc: get(value, "acc")?,
+            rej: get(value, "rej")?,
+            seen: get(value, "seen")?,
+            rng: get(value, "rng")?,
+        })
+    }
+}
+
+impl<P> Checkpointable for MetricRobustSampler<P>
+where
+    P: LshPartitioner + Clone + serde::Serialize + serde::Deserialize + Send + 'static,
+{
+    type State = MetricSamplerState<P>;
+
+    fn checkpoint_state(&self) -> MetricSamplerState<P> {
+        MetricSamplerState {
+            partitioner: self.partitioner.clone(),
+            seed: self.seed,
+            threshold: self.threshold,
+            level: self.level,
+            acc: self.acc.clone(),
+            rej: self.rej.clone(),
+            seen: self.seen,
+            rng: RngState::capture(&self.rng),
+        }
+    }
+
+    fn try_from_state(state: MetricSamplerState<P>) -> Result<Self, RdsError> {
+        check_level(state.level)?;
+        // Every stored representative must live in the partitioner's
+        // space: against the partitioner's dimension when it declares one
+        // ([`LshPartitioner::dim`]), and at minimum consistently with
+        // each other — otherwise the restored sampler's distance/bucket
+        // computations would panic (debug) or silently truncate over the
+        // shorter vector (wrong groups, wrong estimates).
+        let mut dims = state
+            .acc
+            .iter()
+            .chain(state.rej.iter())
+            .map(|g| g.rep.dim());
+        let reference = state.partitioner.dim().or_else(|| dims.next());
+        if let Some(d0) = reference {
+            if dims.any(|d| d != d0) {
+                return Err(crate::checkpoint::checkpoint_err(format!(
+                    "metric sampler state holds representatives outside the \
+                     partitioner's dimension-{d0} space"
+                )));
+            }
+        }
+        // `try_new` rebuilds the bucket hash deterministically from the
+        // seed; the RNG position is then overwritten with the captured
+        // one.
+        let mut s = Self::try_new(state.partitioner, state.threshold, state.seed)?;
+        s.level = state.level;
+        s.acc = state.acc;
+        s.rej = state.rej;
+        s.seen = state.seen;
+        s.rng = state.rng.restore();
+        Ok(s)
     }
 }
 
@@ -731,5 +904,50 @@ mod tests {
     #[should_panic(expected = "n_bits must be in 1..=24")]
     fn too_many_bits_rejected() {
         let _ = SimHashPartitioner::new(4, 30, 0.05, 1);
+    }
+
+    #[test]
+    fn restore_rejects_mixed_dimension_representatives() {
+        // Regression: a corrupted state whose candidate sets mix
+        // dimensions used to restore Ok and silently truncate every
+        // subsequent angle/bucket computation.
+        use crate::checkpoint::Checkpointable;
+        let part = SimHashPartitioner::new(4, 8, 0.05, 1);
+        let mut s = MetricRobustSampler::try_new(part, 8, 2).unwrap();
+        s.process(&Point::new(vec![1.0, 0.0, 0.0, 0.0]));
+        s.process(&Point::new(vec![0.0, 1.0, 0.0, 0.0]));
+        let mut state = s.checkpoint_state();
+        state.acc.push(MetricGroup {
+            rep: Point::new(vec![1.0, 2.0]), // wrong dimension
+            bucket_hash: 7,
+            count: 1,
+        });
+        assert!(matches!(
+            MetricRobustSampler::<SimHashPartitioner>::try_from_state(state),
+            Err(RdsError::Checkpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_representatives_outside_the_partitioner_space() {
+        // Regression: representatives that are *mutually* consistent but
+        // disagree with the partitioner's own dimension used to restore
+        // Ok and then panic (debug) or silently truncate (release).
+        use crate::checkpoint::Checkpointable;
+        let mut donor = MetricRobustSampler::try_new(
+            SimHashPartitioner::new(2, 8, 0.05, 3),
+            8,
+            4,
+        )
+        .unwrap();
+        donor.process(&Point::new(vec![1.0, 0.0]));
+        donor.process(&Point::new(vec![0.0, 1.0]));
+        let mut state = donor.checkpoint_state();
+        // swap in a dim-4 partitioner: every dim-2 rep is now foreign
+        state.partitioner = SimHashPartitioner::new(4, 8, 0.05, 3);
+        assert!(matches!(
+            MetricRobustSampler::<SimHashPartitioner>::try_from_state(state),
+            Err(RdsError::Checkpoint { .. })
+        ));
     }
 }

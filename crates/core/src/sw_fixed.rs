@@ -14,7 +14,9 @@
 //! the crate-internal `split`/`absorb` methods implementing Algorithms 4
 //! and 5.
 
+use crate::checkpoint::{check_dims, check_level, checkpoint_err, Checkpointable, RngState};
 use crate::config::{SamplerConfig, SamplerContext};
+use crate::error::RdsError;
 use crate::infinite::{GroupRecord, ProcessOutcome};
 use crate::sampler::{window_entry_record, DistinctSampler, WindowSummary};
 use rand::rngs::StdRng;
@@ -343,6 +345,127 @@ impl FixedRateWindowSampler {
     /// Moves every entry out (the cheap `into_summary` path).
     pub(crate) fn take_entries(&mut self) -> Vec<WindowGroupEntry> {
         std::mem::take(&mut self.entries)
+    }
+}
+
+/// The serializable state of one fixed-rate instance: its rate exponent,
+/// every tracked entry, its private PRNG position, and its per-instance
+/// arrival counter. Used standalone (via [`FixedRateWindowState`]) and as
+/// the per-level payload of the hierarchical sampler's state.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct FixedRateLevelState {
+    level: u32,
+    entries: Vec<WindowGroupEntry>,
+    rng: RngState,
+    seen: u64,
+}
+
+impl FixedRateLevelState {
+    /// The rate exponent this level state belongs to.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// The tracked entries (accepted and rejected).
+    pub fn entries(&self) -> &[WindowGroupEntry] {
+        &self.entries
+    }
+}
+
+impl FixedRateWindowSampler {
+    /// Captures this instance's level state (entries cloned; the sampler
+    /// keeps running).
+    pub(crate) fn capture_level(&self) -> FixedRateLevelState {
+        FixedRateLevelState {
+            level: self.level,
+            entries: self.entries.clone(),
+            rng: RngState::capture(&self.rng),
+            seen: self.seen,
+        }
+    }
+
+    /// Restores a captured level state into this (freshly built)
+    /// instance, validating that the state belongs to this rate and that
+    /// every stored point matches the configured dimension.
+    pub(crate) fn restore_level(&mut self, state: FixedRateLevelState) -> Result<(), RdsError> {
+        if state.level != self.level {
+            return Err(checkpoint_err(format!(
+                "level state for rate exponent {} restored into level {}",
+                state.level, self.level
+            )));
+        }
+        check_dims(
+            self.ctx.cfg(),
+            state
+                .entries
+                .iter()
+                .flat_map(|e| [&e.rep, &e.last, &e.reservoir]),
+            "window entries",
+        )?;
+        self.entries = state.entries;
+        self.rng = state.rng.restore();
+        self.seen = state.seen;
+        Ok(())
+    }
+}
+
+/// The serializable full state of a standalone [`FixedRateWindowSampler`]:
+/// the configuration (grid and hash are rebuilt from it), the window
+/// model, and the level payload.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct FixedRateWindowState {
+    cfg: SamplerConfig,
+    window: Window,
+    state: FixedRateLevelState,
+}
+
+impl FixedRateWindowState {
+    /// The configuration the checkpointed sampler was built from.
+    pub fn cfg(&self) -> &SamplerConfig {
+        &self.cfg
+    }
+
+    /// The window model in force at capture time.
+    pub fn window(&self) -> Window {
+        self.window
+    }
+}
+
+impl Checkpointable for FixedRateWindowSampler {
+    type State = FixedRateWindowState;
+
+    fn checkpoint_state(&self) -> FixedRateWindowState {
+        FixedRateWindowState {
+            cfg: self.ctx.cfg().clone(),
+            window: self.window,
+            state: self.capture_level(),
+        }
+    }
+
+    fn try_from_state(state: FixedRateWindowState) -> Result<Self, RdsError> {
+        state.cfg.validate()?;
+        check_level(state.state.level)?;
+        // `Window::Infinite` is a legitimate construction (a fixed-rate
+        // tracker over the whole stream), but a zero-width bounded window
+        // expires every entry on the next arrival — no sampler ever runs
+        // with one (the hierarchy rejects it as `EmptyWindow`), so in a
+        // checkpoint it can only be corruption.
+        if state.window.len() == Some(0) {
+            return Err(checkpoint_err(
+                "fixed-rate window state has a zero-width window",
+            ));
+        }
+        let mut s = Self::new(state.cfg, state.window, state.state.level);
+        s.restore_level(state.state)?;
+        Ok(s)
+    }
+
+    fn state_config(state: &FixedRateWindowState) -> Option<&SamplerConfig> {
+        Some(&state.cfg)
+    }
+
+    fn state_window(state: &FixedRateWindowState) -> Option<Window> {
+        Some(state.window)
     }
 }
 

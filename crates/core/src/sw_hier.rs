@@ -34,11 +34,13 @@
 //!    Lemma 2.10's guarantee that a non-empty window always yields a
 //!    sample.
 
+use crate::checkpoint::{checkpoint_err, Checkpointable, RngState};
 use crate::config::{SamplerConfig, SamplerContext};
 use crate::error::RdsError;
 use crate::infinite::{GroupRecord, ProcessOutcome};
 use crate::sampler::{window_entry_record, DistinctSampler, WindowSummary};
-use crate::sw_fixed::{FixedRateWindowSampler, WindowGroupEntry};
+use crate::sw_fixed::{FixedRateLevelState, FixedRateWindowSampler, WindowGroupEntry};
+use serde::{Deserialize, Serialize};
 use rand::rngs::StdRng;
 use rand::seq::{IndexedRandom, SliceRandom};
 use rand::{RngExt, SeedableRng};
@@ -385,6 +387,89 @@ impl SlidingWindowSampler {
             }
         }
         pool
+    }
+}
+
+/// The serializable full state of a [`SlidingWindowSampler`]: one
+/// [`FixedRateLevelState`] per hierarchy level (entries + per-level PRNG
+/// position), the window model, the threshold, the clocks and the query
+/// PRNG position. The shared grid/hash context is a deterministic
+/// function of the embedded [`SamplerConfig`] and is rebuilt on restore.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SlidingWindowState {
+    cfg: SamplerConfig,
+    window: Window,
+    threshold: usize,
+    levels: Vec<FixedRateLevelState>,
+    seen: u64,
+    overflow_errors: u64,
+    split_failures: u64,
+    rng: RngState,
+    peak_words: usize,
+}
+
+impl SlidingWindowState {
+    /// The configuration the checkpointed sampler was built from.
+    pub fn cfg(&self) -> &SamplerConfig {
+        &self.cfg
+    }
+
+    /// The window model in force at capture time.
+    pub fn window(&self) -> Window {
+        self.window
+    }
+
+    /// The per-level states, level 0 first.
+    pub fn levels(&self) -> &[FixedRateLevelState] {
+        &self.levels
+    }
+}
+
+impl Checkpointable for SlidingWindowSampler {
+    type State = SlidingWindowState;
+
+    fn checkpoint_state(&self) -> SlidingWindowState {
+        SlidingWindowState {
+            cfg: self.ctx.cfg().clone(),
+            window: self.window,
+            threshold: self.threshold,
+            levels: self.levels.iter().map(|l| l.capture_level()).collect(),
+            seen: self.seen,
+            overflow_errors: self.overflow_errors,
+            split_failures: self.split_failures,
+            rng: RngState::capture(&self.rng),
+            peak_words: self.space.peak_words(),
+        }
+    }
+
+    fn try_from_state(state: SlidingWindowState) -> Result<Self, RdsError> {
+        let mut s = Self::try_with_threshold(state.cfg, state.window, state.threshold)?;
+        if s.levels.len() != state.levels.len() {
+            return Err(checkpoint_err(format!(
+                "window {:?} builds {} hierarchy levels but the state holds {}",
+                state.window,
+                s.levels.len(),
+                state.levels.len()
+            )));
+        }
+        for (lvl, st) in s.levels.iter_mut().zip(state.levels) {
+            lvl.restore_level(st)?;
+        }
+        s.seen = state.seen;
+        s.overflow_errors = state.overflow_errors;
+        s.split_failures = state.split_failures;
+        s.rng = state.rng.restore();
+        s.space.observe(state.peak_words);
+        s.space.observe(s.words());
+        Ok(s)
+    }
+
+    fn state_config(state: &SlidingWindowState) -> Option<&SamplerConfig> {
+        Some(&state.cfg)
+    }
+
+    fn state_window(state: &SlidingWindowState) -> Option<Window> {
+        Some(state.window)
     }
 }
 

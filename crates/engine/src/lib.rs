@@ -65,12 +65,13 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rds_core::{
-    DistinctSampler, GroupRecord, RdsError, RobustL0Sampler, SamplerConfig, SamplerSummary,
-    SlidingWindowSampler,
+    Checkpointable, DistinctSampler, GroupRecord, RdsError, RobustL0Sampler, SamplerConfig,
+    SamplerSummary, SlidingWindowSampler,
 };
 use rds_geometry::{Grid, Point};
 use rds_hashing::CellKeyMixer;
 use rds_stream::{Stamp, StreamItem, Window};
+use serde::{Deserialize, Serialize};
 use std::sync::mpsc::{self, Sender};
 use std::thread::JoinHandle;
 
@@ -86,13 +87,19 @@ const ROUTE_SIDE_FACTOR: f64 = 4.0;
 const ROUTE_GRID_SALT: u64 = 0x5AAD_ED01;
 const ROUTE_MIX_SALT: u64 = 0x5AAD_ED02;
 
-enum Cmd<Sum> {
+enum Cmd<S: DistinctSampler> {
     Batch(Vec<StreamItem>),
-    Snapshot(Sender<Sum>, Stamp),
+    Snapshot(Sender<S::Summary>, Stamp),
+    /// Runs an arbitrary closure against the worker's sampler — the
+    /// escape hatch behind [`ShardedEngine::checkpoint`], which needs the
+    /// full state ([`Checkpointable`]) rather than a query summary. The
+    /// closure form keeps the worker loop compilable for sampler families
+    /// that are not checkpointable.
+    Inspect(Box<dyn FnOnce(&mut S) + Send>),
 }
 
-struct Shard<Sum> {
-    tx: Sender<Cmd<Sum>>,
+struct Shard<S: DistinctSampler> {
+    tx: Sender<Cmd<S>>,
     buf: Vec<StreamItem>,
     routed: u64,
 }
@@ -140,8 +147,9 @@ impl Router {
 /// summary without cloning shard state.
 #[derive(Debug)]
 pub struct ShardedEngine<S: DistinctSampler = RobustL0Sampler> {
+    cfg: SamplerConfig,
     router: Router,
-    shards: Vec<Shard<S::Summary>>,
+    shards: Vec<Shard<S>>,
     handles: Vec<JoinHandle<S>>,
     batch_size: usize,
     seen: u64,
@@ -155,7 +163,7 @@ impl std::fmt::Debug for Router {
     }
 }
 
-impl<Sum> std::fmt::Debug for Shard<Sum> {
+impl<S: DistinctSampler> std::fmt::Debug for Shard<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Shard")
             .field("buffered", &self.buf.len())
@@ -192,7 +200,7 @@ where
         let mut shards = Vec::with_capacity(n_shards);
         let mut handles = Vec::with_capacity(n_shards);
         for i in 0..n_shards {
-            let (tx, rx) = mpsc::channel::<Cmd<S::Summary>>();
+            let (tx, rx) = mpsc::channel::<Cmd<S>>();
             let mut sampler = make(i);
             let handle = std::thread::spawn(move || {
                 while let Ok(cmd) = rx.recv() {
@@ -205,6 +213,7 @@ where
                             // receiver may have given up; ignore
                             let _ = reply.send(sampler.summary());
                         }
+                        Cmd::Inspect(f) => f(&mut sampler),
                     }
                 }
                 sampler
@@ -217,6 +226,7 @@ where
             handles.push(handle);
         }
         Ok(Self {
+            cfg: cfg.clone(),
             router,
             shards,
             handles,
@@ -413,6 +423,211 @@ where
     /// partition balance.
     pub fn shard_loads(&self) -> Vec<u64> {
         self.shards.iter().map(|s| s.routed).collect()
+    }
+
+    /// The shared configuration the shards (and the router) were built
+    /// from.
+    pub fn config(&self) -> &SamplerConfig {
+        &self.cfg
+    }
+}
+
+impl<S> ShardedEngine<S>
+where
+    S: DistinctSampler + Checkpointable + Send + 'static,
+    S::Summary: Send + 'static,
+{
+    /// Captures the engine's complete state as an [`EngineCheckpoint`]:
+    /// the shared configuration, the engine clock and batching
+    /// parameters, and every shard's full sampler state
+    /// ([`Checkpointable::checkpoint_state`]).
+    ///
+    /// The engine is quiesced first — partially filled batch buffers are
+    /// flushed, and the per-shard state capture is queued behind every
+    /// batch already in flight (the worker channels are FIFO) — so the
+    /// checkpoint covers every item ever passed to
+    /// [`Self::ingest`]/[`Self::ingest_item`]. The workers keep running;
+    /// checkpointing is non-destructive.
+    pub fn checkpoint(&mut self) -> EngineCheckpoint<S::State> {
+        self.flush();
+        let mut pending = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            shard
+                .tx
+                .send(Cmd::Inspect(Box::new(move |sampler: &mut S| {
+                    // receiver may have given up; ignore
+                    let _ = reply_tx.send(sampler.checkpoint_state());
+                })))
+                .expect("shard worker terminated");
+            pending.push(reply_rx);
+        }
+        let states = pending
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard worker terminated"))
+            .collect();
+        EngineCheckpoint {
+            cfg: self.cfg.clone(),
+            batch_size: self.batch_size,
+            seen: self.seen,
+            last_stamp: self.last_stamp,
+            draws: self.draws,
+            states,
+            routed: self.shard_loads(),
+        }
+    }
+
+    /// Rebuilds an engine from a checkpoint: restores every shard's
+    /// sampler from its captured state, re-derives the router from the
+    /// embedded configuration, and resumes the engine clock — continued
+    /// ingestion and queries are bit-identical to an engine that never
+    /// stopped.
+    ///
+    /// # Errors
+    ///
+    /// [`RdsError::Checkpoint`] when the checkpoint is internally
+    /// inconsistent (no shards, zero batch size, shard state that does
+    /// not match the shared configuration), or any restore error of the
+    /// per-shard [`Checkpointable::try_from_state`].
+    pub fn try_restore(chk: EngineCheckpoint<S::State>) -> Result<Self, RdsError> {
+        let n_shards = chk.states.len();
+        if n_shards == 0 {
+            return Err(RdsError::checkpoint(
+                "engine checkpoint holds no shard states",
+            ));
+        }
+        if chk.batch_size == 0 {
+            return Err(RdsError::checkpoint(
+                "engine checkpoint has a zero batch size",
+            ));
+        }
+        if chk.routed.len() != n_shards {
+            return Err(RdsError::checkpoint(format!(
+                "engine checkpoint routing counters cover {} shards, states {}",
+                chk.routed.len(),
+                n_shards
+            )));
+        }
+        // Shards whose state embeds a configuration must match the shared
+        // one: feeding a point of the router's dimension to a sampler
+        // built for another dimension would panic inside a worker thread,
+        // which violates the "untrusted checkpoints never panic" contract.
+        for (i, st) in chk.states.iter().enumerate() {
+            if let Some(state_cfg) = S::state_config(st) {
+                if *state_cfg != chk.cfg {
+                    return Err(RdsError::checkpoint(format!(
+                        "shard {i} state embeds a configuration differing from \
+                         the engine checkpoint's shared configuration"
+                    )));
+                }
+            }
+        }
+        // Window families: every shard must expire under the same
+        // horizon, or the merged summary would silently mix entries that
+        // are live under one window and expired under another.
+        let mut windows = chk.states.iter().filter_map(S::state_window);
+        if let Some(w0) = windows.next() {
+            if windows.any(|w| w != w0) {
+                return Err(RdsError::checkpoint(
+                    "engine checkpoint shards disagree on the window model",
+                ));
+            }
+        }
+        let mut samplers = chk
+            .states
+            .into_iter()
+            .map(S::try_from_state)
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(Some)
+            .collect::<Vec<_>>();
+        let mut engine = Self::try_with_factory(&chk.cfg, n_shards, |i| {
+            samplers[i].take().expect("one restored sampler per shard")
+        })?;
+        engine.batch_size = chk.batch_size;
+        engine.seen = chk.seen;
+        engine.last_stamp = chk.last_stamp;
+        engine.draws = chk.draws;
+        for (shard, routed) in engine.shards.iter_mut().zip(chk.routed) {
+            shard.routed = routed;
+        }
+        Ok(engine)
+    }
+}
+
+/// The serializable full state of a [`ShardedEngine`]: the shared
+/// configuration (the router is re-derived from it), the engine clock and
+/// batching parameters, and one sampler state per shard, in shard order.
+///
+/// Produced by [`ShardedEngine::checkpoint`], consumed by
+/// [`ShardedEngine::try_restore`]. The facade embeds it in its durable
+/// checkpoint container; it also serializes standalone for callers using
+/// the engine directly.
+#[derive(Clone, Debug)]
+pub struct EngineCheckpoint<St> {
+    cfg: SamplerConfig,
+    batch_size: usize,
+    seen: u64,
+    last_stamp: Stamp,
+    draws: u64,
+    states: Vec<St>,
+    routed: Vec<u64>,
+}
+
+impl<St> EngineCheckpoint<St> {
+    /// The shared configuration the checkpointed engine was built from.
+    pub fn config(&self) -> &SamplerConfig {
+        &self.cfg
+    }
+
+    /// The number of worker shards the checkpoint covers.
+    pub fn n_shards(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of items the checkpointed engine had ingested.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The per-shard sampler states, in shard order — callers embedding
+    /// the checkpoint (the facade container) cross-validate these against
+    /// their own config echo before restoring.
+    pub fn states(&self) -> &[St] {
+        &self.states
+    }
+}
+
+// Manual impls: the vendored derive does not handle generic structs.
+impl<St: Serialize> Serialize for EngineCheckpoint<St> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("cfg".to_string(), self.cfg.to_value()),
+            ("batch_size".to_string(), self.batch_size.to_value()),
+            ("seen".to_string(), self.seen.to_value()),
+            ("last_stamp".to_string(), self.last_stamp.to_value()),
+            ("draws".to_string(), self.draws.to_value()),
+            ("states".to_string(), self.states.to_value()),
+            ("routed".to_string(), self.routed.to_value()),
+        ])
+    }
+}
+
+impl<St: Deserialize> Deserialize for EngineCheckpoint<St> {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        fn get<T: Deserialize>(value: &serde::Value, name: &str) -> Result<T, serde::DeError> {
+            T::from_value(value.get(name).unwrap_or(&serde::Value::Null))
+                .map_err(|e| serde::DeError::custom(format!("field `{name}`: {e}")))
+        }
+        Ok(Self {
+            cfg: get(value, "cfg")?,
+            batch_size: get(value, "batch_size")?,
+            seen: get(value, "seen")?,
+            last_stamp: get(value, "last_stamp")?,
+            draws: get(value, "draws")?,
+            states: get(value, "states")?,
+            routed: get(value, "routed")?,
+        })
     }
 }
 
@@ -801,6 +1016,152 @@ mod tests {
     #[should_panic(expected = "batch size must be at least 1")]
     fn zero_batch_size_rejected() {
         let _ = ShardedEngine::try_new(cfg(10), 1).unwrap().with_batch_size(0);
+    }
+
+    #[test]
+    fn checkpoint_restore_continues_bit_identically() {
+        // The engine-level crash-recovery contract: checkpoint → drop →
+        // restore → continue must equal an uninterrupted run exactly.
+        let mut uninterrupted = ShardedEngine::try_new(cfg(40), 3).unwrap().with_batch_size(16);
+        let mut first_half = ShardedEngine::try_new(cfg(40), 3).unwrap().with_batch_size(16);
+        for i in 0..300u64 {
+            let p = grouped_point(i, 25);
+            uninterrupted.ingest(p.clone());
+            first_half.ingest(p);
+        }
+        let chk = first_half.checkpoint();
+        assert_eq!(chk.seen(), 300);
+        assert_eq!(chk.n_shards(), 3);
+        drop(first_half); // the "crash"
+        let mut restored =
+            ShardedEngine::<RobustL0Sampler>::try_restore(chk).expect("restores");
+        assert_eq!(restored.seen(), 300);
+        for i in 300..600u64 {
+            let p = grouped_point(i, 25);
+            uninterrupted.ingest(p.clone());
+            restored.ingest(p);
+        }
+        assert_eq!(restored.shard_loads(), uninterrupted.shard_loads());
+        let a = uninterrupted.finish();
+        let b = restored.finish();
+        assert_eq!(a.f0_estimate(), b.f0_estimate());
+        assert_eq!(a.accept_set().len(), b.accept_set().len());
+        for (x, y) in a.accept_set().iter().zip(b.accept_set()) {
+            assert_eq!(x.rep, y.rep);
+            assert_eq!(x.count, y.count);
+            assert_eq!(x.reservoir, y.reservoir, "reservoir RNG position must survive");
+        }
+    }
+
+    #[test]
+    fn windowed_checkpoint_survives_json_and_keeps_expiring() {
+        let w = 64u64;
+        let mut uninterrupted =
+            ShardedEngine::try_sliding_window(cfg(41), Window::Sequence(w), 2).unwrap()
+                .with_batch_size(8);
+        let mut first_half =
+            ShardedEngine::try_sliding_window(cfg(41), Window::Sequence(w), 2).unwrap()
+                .with_batch_size(8);
+        for i in 0..256u64 {
+            let p = grouped_point(i, 16);
+            uninterrupted.ingest_item(StreamItem::new(p.clone(), Stamp::at(i)));
+            first_half.ingest_item(StreamItem::new(p, Stamp::at(i)));
+        }
+        // full wire round trip, as the facade's container does
+        let wire = serde_json::to_string(&first_half.checkpoint()).expect("serializes");
+        drop(first_half);
+        let chk: EngineCheckpoint<rds_core::SlidingWindowState> =
+            serde_json::from_str(&wire).expect("deserializes");
+        let mut restored =
+            ShardedEngine::<SlidingWindowSampler>::try_restore(chk).expect("restores");
+        // both continue: only group 0 streams, everything else expires
+        for i in 256..256 + 2 * w {
+            let p = Point::new(vec![0.01 * (i % 3) as f64]);
+            uninterrupted.ingest_item(StreamItem::new(p.clone(), Stamp::at(i)));
+            restored.ingest_item(StreamItem::new(p, Stamp::at(i)));
+        }
+        uninterrupted.flush();
+        restored.flush();
+        assert_eq!(restored.f0_estimate(), 1.0, "window must keep sliding after restore");
+        assert_eq!(uninterrupted.f0_estimate(), restored.f0_estimate());
+        assert_eq!(restored.seen(), uninterrupted.seen());
+    }
+
+    #[test]
+    fn corrupt_engine_checkpoints_are_typed_errors() {
+        let mut engine = ShardedEngine::try_new(cfg(42), 2).unwrap();
+        for i in 0..50u64 {
+            engine.ingest(grouped_point(i, 5));
+        }
+        let chk = engine.checkpoint();
+        let mut empty = chk.clone();
+        empty.states.clear();
+        empty.routed.clear();
+        assert!(matches!(
+            ShardedEngine::<RobustL0Sampler>::try_restore(empty),
+            Err(RdsError::Checkpoint { .. })
+        ));
+        let mut zero_batch = chk.clone();
+        zero_batch.batch_size = 0;
+        assert!(matches!(
+            ShardedEngine::<RobustL0Sampler>::try_restore(zero_batch),
+            Err(RdsError::Checkpoint { .. })
+        ));
+        let mut lopsided = chk;
+        lopsided.routed.pop();
+        assert!(matches!(
+            ShardedEngine::<RobustL0Sampler>::try_restore(lopsided),
+            Err(RdsError::Checkpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_shards_with_disagreeing_windows() {
+        // Regression: Window is not part of SamplerConfig, so shards
+        // whose states expire under different horizons used to restore
+        // Ok and merge live and expired entries into one wrong estimate.
+        let mut engine =
+            ShardedEngine::try_sliding_window(cfg(44), Window::Sequence(64), 2).unwrap();
+        for i in 0..50u64 {
+            engine.ingest(grouped_point(i, 5));
+        }
+        let mut chk = engine.checkpoint();
+        let mut foreign =
+            SlidingWindowSampler::try_new(cfg(44), Window::Sequence(6400)).unwrap();
+        foreign.process(&StreamItem::new(Point::new(vec![1.0]), Stamp::at(0)));
+        chk.states[0] = rds_core::Checkpointable::checkpoint_state(&foreign);
+        match ShardedEngine::<SlidingWindowSampler>::try_restore(chk) {
+            Err(RdsError::Checkpoint { reason }) => {
+                assert!(reason.contains("window"), "reason: {reason}")
+            }
+            other => panic!("expected a typed checkpoint error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restore_rejects_shard_states_of_a_foreign_configuration() {
+        // Regression: a crafted checkpoint whose shared configuration
+        // says dim 1 but whose shard state embeds dim 2 used to restore
+        // Ok and panic inside a worker on the first ingested point.
+        let mut engine = ShardedEngine::try_new(cfg(43), 2).unwrap();
+        for i in 0..50u64 {
+            engine.ingest(grouped_point(i, 5));
+        }
+        let mut chk = engine.checkpoint();
+        let foreign_cfg = SamplerConfig::builder(2, 0.5)
+            .seed(43)
+            .expected_len(2048)
+            .build()
+            .unwrap();
+        let mut foreign = RobustL0Sampler::try_new(foreign_cfg).unwrap();
+        foreign.process(&Point::new(vec![1.0, 2.0]));
+        chk.states[0] = rds_core::Checkpointable::checkpoint_state(&foreign);
+        match ShardedEngine::<RobustL0Sampler>::try_restore(chk) {
+            Err(RdsError::Checkpoint { reason }) => {
+                assert!(reason.contains("shard 0"), "reason: {reason}")
+            }
+            other => panic!("expected a typed checkpoint error, got {other:?}"),
+        }
     }
 
     #[test]

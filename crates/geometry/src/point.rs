@@ -23,9 +23,36 @@ use std::fmt;
 /// assert_eq!(p.distance(&q), 5.0);
 /// assert_eq!(p.dim(), 2);
 /// ```
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Serialize)]
 pub struct Point {
     coords: Box<[f64]>,
+}
+
+// Deserialization is manual (same wire shape as the derive would emit) so
+// the constructor invariants hold for points read back from disk too: a
+// snapshot or checkpoint file edited to contain an empty or non-finite
+// point must surface as a deserialization error, not as a `Point` that
+// violates the grid arithmetic's assumptions downstream.
+impl Deserialize for Point {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let coords = Vec::<f64>::from_value(
+            value.get("coords").unwrap_or(&serde::Value::Null),
+        )
+        .map_err(|e| serde::DeError::custom(format!("field `coords`: {e}")))?;
+        if coords.is_empty() {
+            return Err(serde::DeError::custom(
+                "a point must have at least 1 dimension",
+            ));
+        }
+        if !coords.iter().all(|c| c.is_finite()) {
+            return Err(serde::DeError::custom(
+                "point coordinates must be finite",
+            ));
+        }
+        Ok(Self {
+            coords: coords.into_boxed_slice(),
+        })
+    }
 }
 
 impl Point {

@@ -39,10 +39,10 @@
 //! ```
 
 use rds_core::{
-    DistinctSampler, GroupRecord, MergedSummary, RdsError, RobustL0Sampler, SamplerConfig,
-    SamplerSummary, SlidingWindowSampler, WindowSummary, DEFAULT_KAPPA_B,
+    Checkpointable, DistinctSampler, GroupRecord, MergedSummary, RdsError, RobustL0Sampler,
+    SamplerConfig, SamplerSummary, SlidingWindowSampler, WindowSummary, DEFAULT_KAPPA_B,
 };
-use rds_engine::ShardedEngine;
+use rds_engine::{EngineCheckpoint, ShardedEngine};
 use rds_geometry::Point;
 use rds_stream::{Stamp, StreamItem, Window};
 use serde::{Deserialize, Serialize};
@@ -225,6 +225,220 @@ fn freeze(backend: &mut Backend, now: Stamp) -> SnapshotSummary {
     }
 }
 
+/// Local shorthand for [`RdsError::checkpoint`].
+fn checkpoint_err(reason: impl Into<String>) -> RdsError {
+    RdsError::checkpoint(reason)
+}
+
+/// FNV-1a over the canonical payload JSON — the container's integrity
+/// check. Not cryptographic; it catches truncation and bit rot, not
+/// adversaries.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Magic string identifying an rds checkpoint container file.
+pub const CHECKPOINT_MAGIC: &str = "rds-checkpoint";
+
+/// The checkpoint container format version this build writes and reads.
+pub const CHECKPOINT_FORMAT_VERSION: u64 = 1;
+
+/// The backend's full state inside a [`WriterCheckpoint`] — one variant
+/// per (window, sharding) combination, mirroring [`Backend`].
+#[derive(Clone, Debug)]
+enum BackendState {
+    Single(rds_core::RobustL0State),
+    Window(rds_core::SlidingWindowState),
+    Engine(EngineCheckpoint<rds_core::RobustL0State>),
+    WindowEngine(EngineCheckpoint<rds_core::SlidingWindowState>),
+}
+
+// The vendored serde derive handles only named-field structs; the enum
+// maps to `{ "kind": ..., "state": ... }` by hand.
+impl Serialize for BackendState {
+    fn to_value(&self) -> serde::Value {
+        let (kind, inner) = match self {
+            BackendState::Single(s) => ("single", s.to_value()),
+            BackendState::Window(s) => ("window", s.to_value()),
+            BackendState::Engine(s) => ("engine", s.to_value()),
+            BackendState::WindowEngine(s) => ("window-engine", s.to_value()),
+        };
+        serde::Value::Map(vec![
+            ("kind".to_string(), serde::Value::Str(kind.to_string())),
+            ("state".to_string(), inner),
+        ])
+    }
+}
+
+impl Deserialize for BackendState {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let kind = match value.get("kind") {
+            Some(serde::Value::Str(s)) => s.as_str(),
+            _ => return Err(serde::DeError::missing("kind")),
+        };
+        let inner = value
+            .get("state")
+            .ok_or_else(|| serde::DeError::missing("state"))?;
+        match kind {
+            "single" => Ok(BackendState::Single(Deserialize::from_value(inner)?)),
+            "window" => Ok(BackendState::Window(Deserialize::from_value(inner)?)),
+            "engine" => Ok(BackendState::Engine(Deserialize::from_value(inner)?)),
+            "window-engine" => Ok(BackendState::WindowEngine(Deserialize::from_value(inner)?)),
+            other => Err(serde::DeError::custom(format!(
+                "unknown backend state kind `{other}`"
+            ))),
+        }
+    }
+}
+
+/// The complete durable state of an [`RdsWriter`]: a config echo (the
+/// resolved [`SamplerConfig`] plus window model, shard count and
+/// `count_accuracy` target), the publication clock, and the backend's
+/// full sampler state. Produced by [`RdsWriter::checkpoint`] /
+/// [`RdsWriter::checkpoint_to`], consumed by [`RdsBuilder::restore`] /
+/// [`RdsBuilder::restore_from`].
+///
+/// On disk it lives inside a versioned container:
+///
+/// ```json
+/// { "magic": "rds-checkpoint", "version": 1,
+///   "checksum": <fnv1a64 of the canonical payload JSON>,
+///   "payload": { ...this struct... } }
+/// ```
+///
+/// A mismatched magic, an unsupported version, a failing checksum, or a
+/// config echo that contradicts explicitly-set builder parameters all
+/// surface as [`RdsError::Checkpoint`] — never as silently corrupt
+/// estimates.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WriterCheckpoint {
+    cfg: SamplerConfig,
+    window: Window,
+    shards: usize,
+    eps: Option<f64>,
+    fed: u64,
+    last_stamp: Stamp,
+    epoch: u64,
+    /// Whether the captured content differs from what the checkpointed
+    /// epoch last published (items processed since, or a window
+    /// [`RdsWriter::advance`] that may have expired entries). A dirty
+    /// checkpoint restores under the *next* epoch — epochs version
+    /// content.
+    dirty: bool,
+    backend: BackendState,
+}
+
+impl WriterCheckpoint {
+    /// The resolved sampler configuration echoed into the checkpoint.
+    pub fn cfg(&self) -> &SamplerConfig {
+        &self.cfg
+    }
+
+    /// The window model the checkpointed pair was built with.
+    pub fn window(&self) -> Window {
+        self.window
+    }
+
+    /// The shard count the checkpointed pair was built with.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of items the checkpointed writer had processed.
+    pub fn seen(&self) -> u64 {
+        self.fed
+    }
+
+    /// The epoch of the checkpointed writer's latest publication.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Serializes the checkpoint into the versioned, checksummed JSON
+    /// container format.
+    pub fn to_container_json(&self) -> String {
+        let payload_json =
+            serde_json::to_string(&self.to_value()).expect("value serialization is infallible");
+        let checksum = fnv1a64(payload_json.as_bytes());
+        // Splice the payload text instead of re-serializing the tree: the
+        // payload is by far the largest JSON this library produces, and
+        // splicing guarantees the checksummed bytes ARE the stored bytes.
+        // The spliced string is byte-identical to serializing the whole
+        // container Value (compact writer, declaration-ordered keys) —
+        // `container_json_round_trips_the_checkpoint` pins that down.
+        format!(
+            "{{\"magic\":\"{CHECKPOINT_MAGIC}\",\
+             \"version\":{CHECKPOINT_FORMAT_VERSION},\
+             \"checksum\":{checksum},\
+             \"payload\":{payload_json}}}"
+        )
+    }
+
+    /// Parses and verifies a container produced by
+    /// [`Self::to_container_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`RdsError::Checkpoint`] naming what failed: unparseable JSON, a
+    /// missing or wrong magic, an unsupported format version, a checksum
+    /// mismatch (truncated or bit-rotted payload), or a malformed
+    /// payload.
+    pub fn from_container_json(text: &str) -> Result<Self, RdsError> {
+        let container: serde::Value = serde_json::from_str(text)
+            .map_err(|e| checkpoint_err(format!("not a valid JSON container: {e}")))?;
+        match container.get("magic") {
+            Some(serde::Value::Str(m)) if m == CHECKPOINT_MAGIC => {}
+            Some(serde::Value::Str(m)) => {
+                return Err(checkpoint_err(format!(
+                    "bad magic `{m}` (expected `{CHECKPOINT_MAGIC}`)"
+                )))
+            }
+            _ => {
+                return Err(checkpoint_err(format!(
+                    "missing magic (expected `{CHECKPOINT_MAGIC}`) — not a checkpoint file?"
+                )))
+            }
+        }
+        let version = container
+            .get("version")
+            .map(u64::from_value)
+            .transpose()
+            .map_err(|e| checkpoint_err(format!("bad version field: {e}")))?
+            .ok_or_else(|| checkpoint_err("missing format version"))?;
+        if version != CHECKPOINT_FORMAT_VERSION {
+            return Err(checkpoint_err(format!(
+                "unsupported format version {version} (this build reads \
+                 version {CHECKPOINT_FORMAT_VERSION})"
+            )));
+        }
+        let expected = container
+            .get("checksum")
+            .map(u64::from_value)
+            .transpose()
+            .map_err(|e| checkpoint_err(format!("bad checksum field: {e}")))?
+            .ok_or_else(|| checkpoint_err("missing checksum"))?;
+        let payload = container
+            .get("payload")
+            .ok_or_else(|| checkpoint_err("missing payload"))?;
+        let payload_json =
+            serde_json::to_string(payload).expect("value serialization is infallible");
+        let actual = fnv1a64(payload_json.as_bytes());
+        if actual != expected {
+            return Err(checkpoint_err(format!(
+                "checksum mismatch (stored {expected:#018x}, computed {actual:#018x}) — \
+                 the payload was truncated or altered"
+            )));
+        }
+        WriterCheckpoint::from_value(payload)
+            .map_err(|e| checkpoint_err(format!("malformed payload: {e}")))
+    }
+}
+
 /// When the writer publishes a fresh [`Snapshot`] on its own, besides
 /// explicit [`RdsWriter::publish`] calls.
 ///
@@ -258,10 +472,19 @@ pub struct RdsWriter {
     backend: Backend,
     window: Window,
     shards: usize,
+    /// The `count_accuracy` target the pair was built with, echoed into
+    /// checkpoints so a restore can verify the threshold regime matches.
+    eps: Option<f64>,
     fed: u64,
     last_stamp: Stamp,
     epoch: u64,
     since_publish: u64,
+    /// Whether [`Self::advance`] moved a window backend's clock since the
+    /// last publication. `since_publish` counts *items*, but an advance
+    /// mutates window content without one — both must dirty the state,
+    /// or a checkpoint taken after publish-then-advance would restore
+    /// different content under an already-served epoch.
+    advanced_since_publish: bool,
     cadence: PublishCadence,
     cell: Arc<SnapshotCell>,
 }
@@ -310,29 +533,48 @@ impl RdsWriter {
     }
 
     /// Feeds every point of an iterator (stamped by arrival index), then
-    /// publishes if the cadence is [`PublishCadence::EveryBatch`].
+    /// publishes if the cadence is [`PublishCadence::EveryBatch`] and the
+    /// batch contained at least one item: every non-empty batch produces
+    /// exactly one epoch bump, an empty batch produces none (there is
+    /// nothing new to publish, and readers comparing epochs would
+    /// otherwise see phantom updates).
     pub fn process_batch<I>(&mut self, points: I)
     where
         I: IntoIterator<Item = Point>,
     {
+        let before = self.fed;
         for p in points {
             self.process(p);
         }
-        if self.cadence == PublishCadence::EveryBatch {
+        if self.cadence == PublishCadence::EveryBatch && self.fed > before {
             self.publish();
         }
     }
 
-    /// Advances the clock to `now` without feeding a point: the next
-    /// published snapshot expires window entries older than `now` (a
-    /// no-op for the infinite window). Stamps must be non-decreasing; an
-    /// older `now` is ignored.
+    /// Advances the clock to `now` without feeding a point: window
+    /// entries older than `now` expire — immediately for the in-process
+    /// window backend, at the next snapshot for sharded backends — so the
+    /// next published snapshot never serves them (a no-op for the
+    /// infinite window). Stamps must be non-decreasing; an older `now` is
+    /// ignored.
     pub fn advance(&mut self, now: Stamp) {
+        let moved = now > self.last_stamp;
         self.last_stamp = self.last_stamp.max(now);
-        if let Backend::Engine(e) = &mut self.backend {
-            e.advance(now);
-        } else if let Backend::WindowEngine(e) = &mut self.backend {
-            e.advance(now);
+        let now = self.last_stamp;
+        if moved && matches!(self.backend, Backend::Window(_) | Backend::WindowEngine(_)) {
+            // Window content may have changed (expiry) without an item.
+            self.advanced_since_publish = true;
+        }
+        match &mut self.backend {
+            // Infinite window: nothing expires.
+            Backend::Single(_) => {}
+            // Regression (PR 5): `now` used to be dropped here, so the
+            // unsharded window backend kept expired entries alive (and
+            // matchable by later low-stamped items) until the next
+            // publish — forward it like the engine backends do.
+            Backend::Window(s) => DistinctSampler::advance(s.as_mut(), now),
+            Backend::Engine(e) => e.advance(now),
+            Backend::WindowEngine(e) => e.advance(now),
         }
     }
 
@@ -348,6 +590,7 @@ impl RdsWriter {
         let summary = freeze(&mut self.backend, self.last_stamp);
         self.epoch += 1;
         self.since_publish = 0;
+        self.advanced_since_publish = false;
         self.cell.store(Snapshot {
             epoch: self.epoch,
             seen: self.fed,
@@ -378,6 +621,13 @@ impl RdsWriter {
         self.shards
     }
 
+    /// The ambient dimension the pair was built for (useful after a
+    /// [`RdsBuilder::restore_from`], where the dimension comes from the
+    /// checkpoint's config echo rather than the caller).
+    pub fn dim(&self) -> usize {
+        self.backend_cfg().dim
+    }
+
     /// The publication cadence in force.
     pub fn cadence(&self) -> PublishCadence {
         self.cadence
@@ -386,6 +636,70 @@ impl RdsWriter {
     /// Changes the publication cadence mid-stream.
     pub fn set_cadence(&mut self, cadence: PublishCadence) {
         self.cadence = cadence;
+    }
+
+    /// The configuration the backend was built from.
+    fn backend_cfg(&self) -> &SamplerConfig {
+        match &self.backend {
+            Backend::Single(s) => s.context().cfg(),
+            Backend::Window(s) => s.context().cfg(),
+            Backend::Engine(e) => e.config(),
+            Backend::WindowEngine(e) => e.config(),
+        }
+    }
+
+    /// Captures the writer's complete state as a [`WriterCheckpoint`]:
+    /// the config echo, the publication clock, and the backend's full
+    /// sampler state (per shard, for sharded backends). Sharded backends
+    /// are quiesced first (batch buffers flushed, state capture queued
+    /// behind every in-flight batch), so the checkpoint covers every item
+    /// ever processed. The writer keeps running — checkpointing is
+    /// non-destructive.
+    pub fn checkpoint(&mut self) -> WriterCheckpoint {
+        let backend = match &mut self.backend {
+            Backend::Single(s) => BackendState::Single(s.checkpoint_state()),
+            Backend::Window(s) => BackendState::Window(s.checkpoint_state()),
+            Backend::Engine(e) => BackendState::Engine(e.checkpoint()),
+            Backend::WindowEngine(e) => BackendState::WindowEngine(e.checkpoint()),
+        };
+        WriterCheckpoint {
+            cfg: self.backend_cfg().clone(),
+            window: self.window,
+            shards: self.shards,
+            eps: self.eps,
+            fed: self.fed,
+            last_stamp: self.last_stamp,
+            epoch: self.epoch,
+            dirty: self.since_publish > 0 || self.advanced_since_publish,
+            backend,
+        }
+    }
+
+    /// Writes a durable checkpoint to `path`: the [`WriterCheckpoint`] in
+    /// the versioned, checksummed JSON container that
+    /// [`RdsBuilder::restore_from`] reads back.
+    ///
+    /// The write is atomic-by-rename (a sibling temp file is written and
+    /// renamed over `path`), so a crash or full disk mid-write leaves any
+    /// previous checkpoint at `path` intact — the one moment a durability
+    /// subsystem must not destroy its own prior state is while persisting
+    /// the next one.
+    ///
+    /// # Errors
+    ///
+    /// [`RdsError::Checkpoint`] when the file cannot be written.
+    pub fn checkpoint_to(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), RdsError> {
+        let path = path.as_ref();
+        let json = self.checkpoint().to_container_json();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp-{}", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, json)
+            .map_err(|e| checkpoint_err(format!("write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            checkpoint_err(format!("rename {} over {}: {e}", tmp.display(), path.display()))
+        })
     }
 }
 
@@ -463,36 +777,31 @@ pub struct Rds {
 /// `alpha` are required, all other parameters have the library defaults.
 /// Validation happens in [`Self::build`] / [`Self::build_split`] and
 /// surfaces as [`RdsError`] — no panics.
-#[derive(Clone, Debug)]
+///
+/// Every parameter is tracked as explicitly-set vs defaulted so that
+/// [`Self::restore_from`] can compare what the caller asked for against a
+/// checkpoint's config echo: parameters left unset adopt the checkpoint's
+/// values, parameters set to a conflicting value fail with
+/// [`RdsError::Checkpoint`].
+#[derive(Clone, Debug, Default)]
 pub struct RdsBuilder {
     dim: Option<usize>,
     alpha: Option<f64>,
-    window: Window,
-    shards: usize,
-    seed: u64,
-    expected_len: u64,
-    k: usize,
+    window: Option<Window>,
+    shards: Option<usize>,
+    seed: Option<u64>,
+    expected_len: Option<u64>,
+    k: Option<usize>,
     kappa0: Option<f64>,
     eps: Option<f64>,
-    cadence: PublishCadence,
+    cadence: Option<PublishCadence>,
 }
 
-impl Default for RdsBuilder {
-    fn default() -> Self {
-        Self {
-            dim: None,
-            alpha: None,
-            window: Window::Infinite,
-            shards: 1,
-            seed: 0xC0FF_EE00,
-            expected_len: 1 << 20,
-            k: 1,
-            kappa0: None,
-            eps: None,
-            cadence: PublishCadence::EveryN(DEFAULT_PUBLISH_EVERY),
-        }
-    }
-}
+/// The default PRNG seed of [`Rds::builder`].
+const DEFAULT_SEED: u64 = 0xC0FF_EE00;
+
+/// The default expected stream length of [`Rds::builder`].
+const DEFAULT_EXPECTED_LEN: u64 = 1 << 20;
 
 impl RdsBuilder {
     /// Sets the ambient dimension `d` (required).
@@ -511,33 +820,33 @@ impl RdsBuilder {
     /// [`Window::Time`]); [`Window::Infinite`] (the default) covers the
     /// whole stream.
     pub fn window(mut self, window: Window) -> Self {
-        self.window = window;
+        self.window = Some(window);
         self
     }
 
     /// Shards ingestion across `n` worker threads (default 1 = a plain
     /// in-process sampler). Works for every window model.
     pub fn shards(mut self, n: usize) -> Self {
-        self.shards = n;
+        self.shards = Some(n);
         self
     }
 
     /// Sets the PRNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.seed = Some(seed);
         self
     }
 
     /// Sets the expected stream length `m` (an estimate is fine).
     pub fn expected_len(mut self, m: u64) -> Self {
-        self.expected_len = m;
+        self.expected_len = Some(m);
         self
     }
 
     /// Sets the number of distinct samples per query (scales the accept
     /// thresholds, Section 2.3).
     pub fn k(mut self, k: usize) -> Self {
-        self.k = k;
+        self.k = Some(k);
         self
     }
 
@@ -558,7 +867,7 @@ impl RdsBuilder {
     /// Sets the snapshot publication cadence of the split pair (default
     /// [`PublishCadence::EveryN`] with [`DEFAULT_PUBLISH_EVERY`]).
     pub fn publish_cadence(mut self, cadence: PublishCadence) -> Self {
-        self.cadence = cadence;
+        self.cadence = Some(cadence);
         self
     }
 
@@ -579,10 +888,12 @@ impl RdsBuilder {
     pub fn build_split(self) -> Result<(RdsWriter, RdsReader), RdsError> {
         let dim = self.dim.unwrap_or(0); // 0 is rejected by validation below
         let alpha = self.alpha.unwrap_or(f64::NAN); // NaN likewise
+        let window = self.window.unwrap_or(Window::Infinite);
+        let shards = self.shards.unwrap_or(1);
         let mut b = SamplerConfig::builder(dim, alpha)
-            .seed(self.seed)
-            .expected_len(self.expected_len)
-            .k(self.k);
+            .seed(self.seed.unwrap_or(DEFAULT_SEED))
+            .expected_len(self.expected_len.unwrap_or(DEFAULT_EXPECTED_LEN))
+            .k(self.k.unwrap_or(1));
         if let Some(kappa0) = self.kappa0 {
             b = b.kappa0(kappa0);
         }
@@ -596,10 +907,53 @@ impl RdsBuilder {
             }
             None => cfg.threshold(),
         };
-        if self.shards == 0 {
+        let mut backend = Self::build_backend(cfg, window, shards, threshold)?;
+        // The epoch-0 snapshot: empty but well-formed, so readers work
+        // (and report `seen() == 0`) before the first publication.
+        let empty = freeze(&mut backend, Stamp::at(0));
+        let writer = RdsWriter {
+            backend,
+            window,
+            shards,
+            eps: self.eps,
+            fed: 0,
+            last_stamp: Stamp::at(0),
+            epoch: 0,
+            since_publish: 0,
+            advanced_since_publish: false,
+            cadence: self.resolved_cadence(),
+            cell: Arc::new(SnapshotCell::new(Snapshot {
+                epoch: 0,
+                seen: 0,
+                window,
+                summary: empty,
+            })),
+        };
+        let reader = RdsReader {
+            cell: Arc::clone(&writer.cell),
+            draws: Arc::new(AtomicU64::new(0)),
+        };
+        Ok((writer, reader))
+    }
+
+    /// The cadence in force after defaulting.
+    fn resolved_cadence(&self) -> PublishCadence {
+        self.cadence
+            .unwrap_or(PublishCadence::EveryN(DEFAULT_PUBLISH_EVERY))
+    }
+
+    /// Assembles the (window, shards) backend — the one construction path
+    /// shared by [`Self::build_split`] and the checkpoint restore.
+    fn build_backend(
+        cfg: SamplerConfig,
+        window: Window,
+        shards: usize,
+        threshold: usize,
+    ) -> Result<Backend, RdsError> {
+        if shards == 0 {
             return Err(RdsError::InvalidShards);
         }
-        let mut backend = match (self.window, self.shards) {
+        Ok(match (window, shards) {
             (Window::Infinite, 1) => {
                 Backend::Single(Box::new(RobustL0Sampler::try_with_threshold(cfg, threshold)?))
             }
@@ -612,24 +966,144 @@ impl RdsBuilder {
             (window, n) => Backend::WindowEngine(
                 ShardedEngine::try_sliding_window_with_threshold(cfg, window, n, threshold)?,
             ),
+        })
+    }
+
+    /// Restores a writer/reader pair from a checkpoint captured with
+    /// [`RdsWriter::checkpoint`]: the backend is rebuilt from the saved
+    /// sampler state (same candidate sets, clocks and PRNG positions), so
+    /// continued ingestion and queries are bit-identical to a pair that
+    /// never stopped. The pair starts with a warm snapshot so readers
+    /// answer immediately — at the checkpointed epoch when the checkpoint
+    /// coincided with a publication, at the next epoch otherwise (the
+    /// warm content then covers items epoch `chk.epoch` never served, and
+    /// epochs version content).
+    ///
+    /// Builder parameters left unset adopt the checkpoint's config echo;
+    /// parameters set explicitly must match it. The publication cadence
+    /// is the exception — it is a runtime preference, not state, and the
+    /// restored writer uses whatever this builder configures.
+    ///
+    /// # Errors
+    ///
+    /// [`RdsError::Checkpoint`] when an explicitly-set parameter
+    /// contradicts the config echo, or when the checkpoint is internally
+    /// inconsistent (backend state of the wrong kind, embedded
+    /// configuration differing from the echo, malformed sampler state).
+    pub fn restore(self, chk: WriterCheckpoint) -> Result<(RdsWriter, RdsReader), RdsError> {
+        fn ensure<T: PartialEq + std::fmt::Debug>(
+            set: Option<T>,
+            echoed: T,
+            name: &str,
+        ) -> Result<(), RdsError> {
+            match set {
+                Some(v) if v != echoed => Err(checkpoint_err(format!(
+                    "config mismatch: {name} set to {v:?} but the checkpoint \
+                     was built with {echoed:?}"
+                ))),
+                _ => Ok(()),
+            }
+        }
+        ensure(self.dim, chk.cfg.dim, "dim")?;
+        ensure(self.alpha, chk.cfg.alpha, "alpha")?;
+        ensure(self.window, chk.window, "window")?;
+        ensure(self.shards, chk.shards, "shards")?;
+        ensure(self.seed, chk.cfg.seed, "seed")?;
+        ensure(self.expected_len, chk.cfg.expected_len, "expected_len")?;
+        ensure(self.k, chk.cfg.k, "k")?;
+        ensure(self.kappa0, chk.cfg.kappa0, "kappa0")?;
+        ensure(self.eps, chk.eps.unwrap_or(f64::NAN), "count_accuracy eps")?;
+        chk.cfg.validate()?;
+
+        fn ensure_cfg(embedded: &SamplerConfig, echo: &SamplerConfig) -> Result<(), RdsError> {
+            if embedded != echo {
+                return Err(checkpoint_err(
+                    "backend sampler state embeds a configuration differing \
+                     from the checkpoint's config echo",
+                ));
+            }
+            Ok(())
+        }
+        let mut backend = match (chk.window, chk.shards, chk.backend) {
+            (Window::Infinite, 1, BackendState::Single(st)) => {
+                ensure_cfg(st.cfg(), &chk.cfg)?;
+                Backend::Single(Box::new(RobustL0Sampler::try_from_state(st)?))
+            }
+            (window, 1, BackendState::Window(st)) if !window.is_infinite() => {
+                ensure_cfg(st.cfg(), &chk.cfg)?;
+                if st.window() != window {
+                    return Err(checkpoint_err(format!(
+                        "window state covers {:?} but the checkpoint echoes {window:?}",
+                        st.window()
+                    )));
+                }
+                Backend::Window(Box::new(SlidingWindowSampler::try_from_state(st)?))
+            }
+            // Per-shard validation (each state's embedded config, shard
+            // window agreement) happens inside `ShardedEngine::try_restore`;
+            // here only the echo-level facts the engine cannot know are
+            // checked.
+            (Window::Infinite, n, BackendState::Engine(ec)) if n > 1 => {
+                ensure_cfg(ec.config(), &chk.cfg)?;
+                if ec.n_shards() != n {
+                    return Err(checkpoint_err(format!(
+                        "engine state holds {} shards but the checkpoint echoes {n}",
+                        ec.n_shards()
+                    )));
+                }
+                Backend::Engine(ShardedEngine::try_restore(ec)?)
+            }
+            (window, n, BackendState::WindowEngine(ec)) if !window.is_infinite() && n > 1 => {
+                ensure_cfg(ec.config(), &chk.cfg)?;
+                if ec.n_shards() != n {
+                    return Err(checkpoint_err(format!(
+                        "engine state holds {} shards but the checkpoint echoes {n}",
+                        ec.n_shards()
+                    )));
+                }
+                if let Some(st) = ec.states().first() {
+                    if st.window() != window {
+                        return Err(checkpoint_err(format!(
+                            "shard window state covers {:?} but the checkpoint \
+                             echoes {window:?}",
+                            st.window()
+                        )));
+                    }
+                }
+                Backend::WindowEngine(ShardedEngine::try_restore(ec)?)
+            }
+            _ => {
+                return Err(checkpoint_err(
+                    "backend state kind does not match the checkpoint's \
+                     window/shard echo",
+                ))
+            }
         };
-        // The epoch-0 snapshot: empty but well-formed, so readers work
-        // (and report `seen() == 0`) before the first publication.
-        let empty = freeze(&mut backend, Stamp::at(0));
+        // A warm snapshot, so readers answer immediately. Epochs version
+        // *content*: when the checkpointed state differs from what epoch
+        // `chk.epoch` last published (items processed since, or a window
+        // advance that expired entries), the warm snapshot is published
+        // as `chk.epoch + 1`, never as a reused epoch with different
+        // content. A clean checkpoint keeps its epoch — the full state IS
+        // the last published content.
+        let summary = freeze(&mut backend, chk.last_stamp);
+        let epoch = if chk.dirty { chk.epoch + 1 } else { chk.epoch };
         let writer = RdsWriter {
             backend,
-            window: self.window,
-            shards: self.shards,
-            fed: 0,
-            last_stamp: Stamp::at(0),
-            epoch: 0,
+            window: chk.window,
+            shards: chk.shards,
+            eps: chk.eps,
+            fed: chk.fed,
+            last_stamp: chk.last_stamp,
+            epoch,
             since_publish: 0,
-            cadence: self.cadence,
+            advanced_since_publish: false,
+            cadence: self.resolved_cadence(),
             cell: Arc::new(SnapshotCell::new(Snapshot {
-                epoch: 0,
-                seen: 0,
-                window: self.window,
-                summary: empty,
+                epoch,
+                seen: chk.fed,
+                window: chk.window,
+                summary,
             })),
         };
         let reader = RdsReader {
@@ -637,6 +1111,24 @@ impl RdsBuilder {
             draws: Arc::new(AtomicU64::new(0)),
         };
         Ok((writer, reader))
+    }
+
+    /// Reads, verifies and restores a checkpoint container written by
+    /// [`RdsWriter::checkpoint_to`] — see [`Self::restore`].
+    ///
+    /// # Errors
+    ///
+    /// [`RdsError::Checkpoint`] for an unreadable file or any
+    /// [`WriterCheckpoint::from_container_json`] / [`Self::restore`]
+    /// failure.
+    pub fn restore_from(
+        self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(RdsWriter, RdsReader), RdsError> {
+        let text = std::fs::read_to_string(path.as_ref()).map_err(|e| {
+            checkpoint_err(format!("read {}: {e}", path.as_ref().display()))
+        })?;
+        self.restore(WriterCheckpoint::from_container_json(&text)?)
     }
 
     /// Validates every parameter and assembles the single-threaded
@@ -721,6 +1213,22 @@ impl Rds {
     /// migration path from single-threaded code to concurrent serving.
     pub fn split(self) -> (RdsWriter, RdsReader) {
         (self.writer, self.reader)
+    }
+
+    /// Captures the handle's complete state as a [`WriterCheckpoint`]
+    /// ([`RdsWriter::checkpoint`] on the wrapped writer).
+    pub fn checkpoint(&mut self) -> WriterCheckpoint {
+        self.writer.checkpoint()
+    }
+
+    /// Writes a durable checkpoint to `path`
+    /// ([`RdsWriter::checkpoint_to`] on the wrapped writer).
+    ///
+    /// # Errors
+    ///
+    /// [`RdsError::Checkpoint`] when the file cannot be written.
+    pub fn checkpoint_to(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), RdsError> {
+        self.writer.checkpoint_to(path)
     }
 }
 
@@ -1077,6 +1585,180 @@ mod tests {
         // both can query; distinct draw sequences are fine either way
         assert!(reader.query().is_some());
         assert!(clone.query().is_some());
+    }
+
+    #[test]
+    fn every_batch_cadence_skips_empty_batches() {
+        // Regression (PR 5): an empty batch used to bump the epoch and
+        // republish unchanged state — readers comparing epochs saw
+        // phantom updates.
+        let (mut writer, reader) = base()
+            .publish_cadence(PublishCadence::EveryBatch)
+            .build_split()
+            .expect("valid");
+        writer.process_batch(std::iter::empty::<Point>());
+        assert_eq!(reader.epoch(), 0, "empty batch must not publish");
+        writer.process_batch((0..30u64).map(|i| grouped_point(i, 3)));
+        assert_eq!(reader.epoch(), 1);
+        writer.process_batch(std::iter::empty::<Point>());
+        assert_eq!(reader.epoch(), 1, "empty batch after a real one");
+    }
+
+    #[test]
+    fn every_batch_cadence_bumps_exactly_once_per_batch() {
+        // One batch = exactly one epoch bump, independent of batch size,
+        // and `since_publish` resets on every publish path so a later
+        // cadence switch starts counting from zero.
+        let (mut writer, reader) = base()
+            .publish_cadence(PublishCadence::EveryBatch)
+            .build_split()
+            .expect("valid");
+        for (i, batch) in [1u64, 7, 100, 4096, 5000].into_iter().enumerate() {
+            writer.process_batch((0..batch).map(|j| grouped_point(j, 7)));
+            assert_eq!(reader.epoch(), i as u64 + 1, "batch of {batch} items");
+        }
+        // the counter was reset by the batch publish: switching to
+        // EveryN(10) needs 10 fresh items, not 10 minus stale backlog
+        writer.set_cadence(PublishCadence::EveryN(10));
+        let epoch = reader.epoch();
+        for i in 0..9u64 {
+            writer.process(grouped_point(i, 7));
+        }
+        assert_eq!(reader.epoch(), epoch, "9 < 10 since the last publish");
+        writer.process(grouped_point(9, 7));
+        assert_eq!(reader.epoch(), epoch + 1);
+    }
+
+    #[test]
+    fn unsharded_window_advance_expires_immediately_like_the_engine() {
+        // Regression (PR 5): `RdsWriter::advance` silently dropped `now`
+        // for the unsharded window backend. The expired entries stayed
+        // live inside the sampler (matchable, and persisted by a
+        // checkpoint) until the next publish. All four backends must
+        // expire on advance + publish, and the unsharded backend's
+        // checkpoint taken right after `advance` must already be clean.
+        for shards in [1usize, 3] {
+            let (mut writer, reader) = base()
+                .window(Window::Time(10))
+                .shards(shards)
+                .publish_cadence(PublishCadence::Manual)
+                .build_split()
+                .expect("valid");
+            for g in 0..6u64 {
+                writer.process_item(StreamItem::new(
+                    Point::new(vec![g as f64 * 10.0]),
+                    Stamp::new(g, 0),
+                ));
+            }
+            writer.advance(Stamp::new(6, 100));
+            writer.publish();
+            assert_eq!(reader.f0_estimate(), 0.0, "shards {shards}");
+        }
+        // white-box, unsharded: the state captured *right after* advance
+        // (no publish in between) holds no entries
+        let (mut writer, _reader) = base()
+            .window(Window::Time(10))
+            .publish_cadence(PublishCadence::Manual)
+            .build_split()
+            .expect("valid");
+        for g in 0..6u64 {
+            writer.process_item(StreamItem::new(
+                Point::new(vec![g as f64 * 10.0]),
+                Stamp::new(g, 0),
+            ));
+        }
+        writer.advance(Stamp::new(6, 100));
+        let chk = writer.checkpoint();
+        let BackendState::Window(state) = &chk.backend else {
+            panic!("unsharded window backend expected");
+        };
+        let live: usize = state.levels().iter().map(|l| l.entries().len()).sum();
+        assert_eq!(live, 0, "advance must expire entries eagerly, not at publish");
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_for_all_backends() {
+        for (window, shards) in [
+            (Window::Infinite, 1),
+            (Window::Infinite, 3),
+            (Window::Sequence(1 << 12), 1),
+            (Window::Sequence(1 << 12), 3),
+        ] {
+            let (mut writer, _) = base()
+                .window(window)
+                .shards(shards)
+                .publish_cadence(PublishCadence::Manual)
+                .build_split()
+                .expect("valid");
+            for i in 0..120u64 {
+                writer.process(grouped_point(i, 12));
+            }
+            writer.publish();
+            let chk = writer.checkpoint();
+            assert_eq!(chk.seen(), 120);
+            assert_eq!(chk.epoch(), 1);
+            drop(writer);
+            let wire = chk.to_container_json();
+            let back = WriterCheckpoint::from_container_json(&wire).expect("verifies");
+            let (mut writer, reader) = Rds::builder().restore(back).expect("restores");
+            // warm snapshot: readers answer at the restored epoch
+            assert_eq!(reader.epoch(), 1);
+            assert_eq!(reader.seen(), 120);
+            assert_eq!(reader.f0_estimate(), 12.0, "({window:?}, {shards})");
+            writer.process(grouped_point(120, 12));
+            assert_eq!(writer.publish(), 2, "epochs continue after the restore");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_conflicting_builder_parameters() {
+        let (mut writer, _) = base().build_split().expect("valid");
+        for i in 0..50u64 {
+            writer.process(grouped_point(i, 5));
+        }
+        let chk = writer.checkpoint();
+        // unset parameters adopt the echo; conflicting ones are typed errors
+        assert!(Rds::builder().restore(chk.clone()).is_ok());
+        assert!(Rds::builder().dim(1).alpha(0.5).restore(chk.clone()).is_ok());
+        for (what, result) in [
+            ("dim", Rds::builder().dim(2).restore(chk.clone())),
+            ("alpha", Rds::builder().alpha(0.75).restore(chk.clone())),
+            ("window", Rds::builder().window(Window::Sequence(8)).restore(chk.clone())),
+            ("shards", Rds::builder().shards(4).restore(chk.clone())),
+            ("seed", Rds::builder().seed(999).restore(chk.clone())),
+            ("k", Rds::builder().k(3).restore(chk.clone())),
+            ("eps", Rds::builder().count_accuracy(0.5).restore(chk.clone())),
+        ] {
+            assert!(
+                matches!(result, Err(RdsError::Checkpoint { .. })),
+                "{what} mismatch must be a typed checkpoint error"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_containers_are_typed_errors_never_panics() {
+        let (mut writer, _) = base().build_split().expect("valid");
+        for i in 0..50u64 {
+            writer.process(grouped_point(i, 5));
+        }
+        let good = writer.checkpoint().to_container_json();
+        // truncation, garbage, wrong magic, future version, flipped payload
+        let cases: Vec<String> = vec![
+            good[..good.len() / 2].to_string(),
+            "not json at all".to_string(),
+            good.replacen("rds-checkpoint", "rds-checkpoant", 1),
+            good.replacen("\"version\":1", "\"version\":999", 1),
+            good.replacen("\"fed\":50", "\"fed\":51", 1),
+            "{}".to_string(),
+        ];
+        for (i, text) in cases.iter().enumerate() {
+            let result = WriterCheckpoint::from_container_json(text);
+            assert!(
+                matches!(result, Err(RdsError::Checkpoint { .. })),
+                "case {i} must fail with a typed error, got {result:?}"
+            );
+        }
     }
 
     #[test]

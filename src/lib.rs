@@ -53,13 +53,22 @@
 //! samplers behind the facade all implement [`core::DistinctSampler`],
 //! the trait to program against when a library needs to accept any
 //! family directly.
+//!
+//! State is durable: [`RdsWriter::checkpoint_to`] persists the complete
+//! sampler state (every family implements [`core::Checkpointable`]) in a
+//! versioned, checksummed container, and
+//! `Rds::builder().restore_from(path)` resumes it — continued ingestion
+//! and queries are bit-identical to a process that never restarted;
+//! damaged or config-mismatched files fail with
+//! [`core::RdsError::Checkpoint`].
 
 #![warn(missing_docs)]
 
 mod facade;
 
 pub use facade::{
-    PublishCadence, Rds, RdsBuilder, RdsReader, RdsWriter, Snapshot, DEFAULT_PUBLISH_EVERY,
+    PublishCadence, Rds, RdsBuilder, RdsReader, RdsWriter, Snapshot, WriterCheckpoint,
+    CHECKPOINT_FORMAT_VERSION, CHECKPOINT_MAGIC, DEFAULT_PUBLISH_EVERY,
 };
 
 pub use rds_baselines as baselines;

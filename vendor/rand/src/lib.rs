@@ -198,6 +198,23 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw 256-bit xoshiro state, for checkpoint/restore: feeding
+        /// the four words back through [`StdRng::from_state`] rebuilds a
+        /// generator that continues the exact same sequence.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by
+        /// [`StdRng::state`]. An all-zero state is degenerate for
+        /// xoshiro256++ (the sequence is constant zero); callers
+        /// restoring untrusted state should reject it.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            Self { s }
+        }
+    }
+
     impl Rng for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;

@@ -81,6 +81,18 @@ pub trait Deserialize: Sized {
     fn from_value(value: &Value) -> Result<Self, DeError>;
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
 // ---------------------------------------------------------------- primitives
 
 impl Serialize for bool {
