@@ -13,6 +13,12 @@ cargo test -q --workspace
 echo "==> cargo clippy -- -D warnings (all targets)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> rds-lint (repo invariants: panic-free serving path, atomic writes, determinism)"
+cargo run -q -p rds-lint
+test -s LINT_report.json || { echo "LINT_report.json missing"; exit 1; }
+grep -q '"finding_count": 0' LINT_report.json || {
+    echo "LINT_report.json records findings"; exit 1; }
+
 echo "==> cargo doc --no-deps (warnings denied; public surface stays documented)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p robust-distinct-sampling -p rds-core -p rds-engine -p rds-cli \

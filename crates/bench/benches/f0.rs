@@ -32,7 +32,7 @@ fn bench_robust_f0(c: &mut Criterion) {
                     let cfg = SamplerConfig::builder(ds.dim, ds.alpha)
                         .seed(3)
                         .expected_len(ds.len() as u64).build().unwrap();
-                    let mut est = RobustF0Estimator::new(cfg, eps, 3);
+                    let mut est = RobustF0Estimator::try_new(cfg, eps, 3).unwrap();
                     for lp in &ds.points {
                         est.process(black_box(&lp.point));
                     }

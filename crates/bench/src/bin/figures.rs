@@ -320,7 +320,7 @@ fn run_f0(opts: &Options) -> Vec<F0Result> {
         let cfg = SamplerConfig::builder(ds.dim, ds.alpha)
             .seed(opts.seed)
             .expected_len(ds.len() as u64).build().unwrap();
-        let mut robust = RobustF0Estimator::new(cfg, 0.3, 7);
+        let mut robust = RobustF0Estimator::try_new(cfg, 0.3, 7).unwrap();
         let mut kmv = KmvDistinctEstimator::new(512, opts.seed);
         let mut hll = HyperLogLog::new(12, opts.seed);
         for lp in &ds.points {

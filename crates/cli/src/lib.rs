@@ -421,7 +421,9 @@ pub fn run<R: BufRead, W: std::io::Write>(
         }
         if rds.is_none() && heavy.is_none() {
             if let Command::Heavy { phi } = &cli.command {
-                heavy = Some(RobustHeavyHitters::new(*phi, cli.alpha));
+                heavy = Some(
+                    RobustHeavyHitters::try_new(*phi, cli.alpha).map_err(CliError::Config)?,
+                );
             } else {
                 rds = Some(build_rds(cli, d).map_err(CliError::Config)?);
             }
@@ -479,7 +481,7 @@ pub fn run<R: BufRead, W: std::io::Write>(
             let snap = r.snapshot();
             let json = serde_json::to_string(&*snap)
                 .map_err(|e| CliError::Runtime(format!("serialize snapshot: {e}")))?;
-            std::fs::write(path, json)
+            rds_core::persist::write_atomic(path, json)
                 .map_err(|e| CliError::Runtime(format!("write {path}: {e}")))?;
             w(
                 out,

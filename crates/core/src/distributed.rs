@@ -176,6 +176,8 @@ impl SamplerSummary for MergedSummary {
     /// every record with the shared hash (Fact 1b) and deduplicates
     /// cross-summary groups.
     fn merge(self, other: Self) -> Result<Self, RdsError> {
+        // lint:allow(L1) merge_many of a two-element vec always returns
+        // Some; config-mismatch errors propagate through the `?`
         Ok(Self::merge_many(vec![self, other])?.expect("two summaries merged"))
     }
 
@@ -197,7 +199,7 @@ impl SamplerSummary for MergedSummary {
         if summaries.len() == 1 {
             return Ok(summaries.into_iter().next());
         }
-        let cfg = summaries[0].cfg.clone();
+        let cfg = first_cfg;
         let ctx = SamplerContext::new(cfg.clone());
         let level = summaries.iter().map(|s| s.level).max().unwrap_or(0);
         let alpha = cfg.alpha;
@@ -301,6 +303,8 @@ impl DistributedSampling {
 
     /// Creates a site-local sampler (identical grid/hash across sites).
     pub fn new_site(&self) -> RobustL0Sampler {
+        // lint:allow(L1) the stored config came from the validating
+        // builder and its fields are not mutable from outside the crate
         RobustL0Sampler::try_new(self.cfg.clone()).unwrap()
     }
 

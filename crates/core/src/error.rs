@@ -46,6 +46,30 @@ pub enum RdsError {
         /// The offending accuracy target.
         eps: f64,
     },
+    /// A median-boosted estimator with zero copies.
+    InvalidCopies,
+    /// `kappa_B` of the `kappa_B / eps^2` accept-set threshold is not
+    /// strictly positive and finite.
+    InvalidKappaB {
+        /// The offending threshold constant.
+        kappa_b: f64,
+    },
+    /// Heavy-hitter frequency threshold outside `(0, 1]`.
+    InvalidPhi {
+        /// The offending frequency threshold.
+        phi: f64,
+    },
+    /// SimHash group threshold outside `(0, pi/8)`.
+    InvalidTheta {
+        /// The offending angular threshold (radians).
+        theta: f64,
+    },
+    /// SimHash hyperplane count outside `1..=24` (more bits would make
+    /// the adjacency enumeration explode in the worst case).
+    InvalidBits {
+        /// The offending hyperplane count.
+        n_bits: usize,
+    },
     /// Johnson–Lindenstrauss distortion outside the open interval
     /// `(0, 1)`.
     InvalidDistortion {
@@ -106,6 +130,19 @@ impl fmt::Display for RdsError {
             }
             RdsError::InvalidThreshold => write!(f, "threshold must be at least 1"),
             RdsError::InvalidEps { eps } => write!(f, "eps must be in (0, 1] (got {eps})"),
+            RdsError::InvalidCopies => write!(f, "need at least one copy"),
+            RdsError::InvalidKappaB { kappa_b } => {
+                write!(f, "kappa_B must be positive (got {kappa_b})")
+            }
+            RdsError::InvalidPhi { phi } => {
+                write!(f, "phi must be in (0, 1] (got {phi})")
+            }
+            RdsError::InvalidTheta { theta } => {
+                write!(f, "theta must be in (0, pi/8) (got {theta})")
+            }
+            RdsError::InvalidBits { n_bits } => {
+                write!(f, "n_bits must be in 1..=24 (got {n_bits})")
+            }
             RdsError::InvalidDistortion { eps } => {
                 write!(f, "JL distortion eps must be in (0, 1) (got {eps})")
             }
@@ -160,6 +197,21 @@ mod tests {
         assert!(RdsError::InvalidEps { eps: 0.0 }
             .to_string()
             .contains("eps must be in (0, 1]"));
+        assert!(RdsError::InvalidCopies
+            .to_string()
+            .contains("at least one copy"));
+        assert!(RdsError::InvalidKappaB { kappa_b: 0.0 }
+            .to_string()
+            .contains("kappa_B must be positive"));
+        assert!(RdsError::InvalidPhi { phi: 0.0 }
+            .to_string()
+            .contains("phi must be in (0, 1]"));
+        assert!(RdsError::InvalidTheta { theta: 1.0 }
+            .to_string()
+            .contains("theta must be in (0, pi/8)"));
+        assert!(RdsError::InvalidBits { n_bits: 30 }
+            .to_string()
+            .contains("n_bits must be in 1..=24"));
     }
 
     #[test]

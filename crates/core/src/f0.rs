@@ -15,6 +15,7 @@
 //!   sliding-window analogue of `|Sacc| * R`.
 
 use crate::config::SamplerConfig;
+use crate::error::RdsError;
 use crate::infinite::RobustL0Sampler;
 use crate::sw_hier::SlidingWindowSampler;
 use rds_geometry::Point;
@@ -27,8 +28,8 @@ pub const FM_PHI: f64 = 0.77351;
 pub const DEFAULT_KAPPA_B: f64 = 16.0;
 
 fn median(mut xs: Vec<f64>) -> f64 {
-    assert!(!xs.is_empty());
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN estimates"));
+    debug_assert!(!xs.is_empty(), "estimators are built with >= 1 copy");
+    xs.sort_by(f64::total_cmp);
     let n = xs.len();
     if n % 2 == 1 {
         xs[n / 2]
@@ -47,7 +48,7 @@ fn median(mut xs: Vec<f64>) -> f64 {
 /// use rds_geometry::Point;
 ///
 /// let cfg = SamplerConfig::builder(1, 0.5).seed(2).build().unwrap();
-/// let mut est = RobustF0Estimator::new(cfg, 0.5, 5);
+/// let mut est = RobustF0Estimator::try_new(cfg, 0.5, 5).unwrap();
 /// for i in 0..300 {
 ///     // 30 groups, 10 near-duplicates each
 ///     est.process(&Point::new(vec![(i % 30) as f64 * 10.0 + 0.01 * (i / 30) as f64]));
@@ -65,18 +66,35 @@ impl RobustF0Estimator {
     /// Creates the estimator with accuracy target `eps` and `n_copies`
     /// independent copies (median-boosted; use an odd count).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `eps` is not in `(0, 1]` or `n_copies == 0`.
-    pub fn new(cfg: SamplerConfig, eps: f64, n_copies: usize) -> Self {
-        Self::with_kappa_b(cfg, eps, n_copies, DEFAULT_KAPPA_B)
+    /// [`RdsError::InvalidEps`] unless `eps` is in `(0, 1]`;
+    /// [`RdsError::InvalidCopies`] when `n_copies == 0`.
+    pub fn try_new(cfg: SamplerConfig, eps: f64, n_copies: usize) -> Result<Self, RdsError> {
+        Self::try_with_kappa_b(cfg, eps, n_copies, DEFAULT_KAPPA_B)
     }
 
-    /// Like [`Self::new`] with an explicit `kappa_B`.
-    pub fn with_kappa_b(cfg: SamplerConfig, eps: f64, n_copies: usize, kappa_b: f64) -> Self {
-        assert!(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
-        assert!(n_copies >= 1, "need at least one copy");
-        assert!(kappa_b > 0.0, "kappa_B must be positive");
+    /// Like [`Self::try_new`] with an explicit `kappa_B`.
+    ///
+    /// # Errors
+    ///
+    /// The [`Self::try_new`] errors, plus [`RdsError::InvalidKappaB`]
+    /// unless `kappa_b` is strictly positive and finite.
+    pub fn try_with_kappa_b(
+        cfg: SamplerConfig,
+        eps: f64,
+        n_copies: usize,
+        kappa_b: f64,
+    ) -> Result<Self, RdsError> {
+        if !(eps > 0.0 && eps <= 1.0) {
+            return Err(RdsError::InvalidEps { eps });
+        }
+        if n_copies == 0 {
+            return Err(RdsError::InvalidCopies);
+        }
+        if !(kappa_b > 0.0 && kappa_b.is_finite()) {
+            return Err(RdsError::InvalidKappaB { kappa_b });
+        }
         let threshold = (kappa_b / (eps * eps)).ceil() as usize;
         let copies = (0..n_copies)
             .map(|i| {
@@ -84,10 +102,10 @@ impl RobustF0Estimator {
                     seed: cfg.seed.wrapping_add(0x9E37_79B9 * (i as u64 + 1)),
                     ..cfg.clone()
                 };
-                RobustL0Sampler::try_with_threshold(cfg_i, threshold).unwrap()
+                RobustL0Sampler::try_with_threshold(cfg_i, threshold)
             })
-            .collect();
-        Self { copies, eps }
+            .collect::<Result<Vec<_>, RdsError>>()?;
+        Ok(Self { copies, eps })
     }
 
     /// Feeds one point to every copy.
@@ -140,11 +158,14 @@ impl SlidingWindowF0 {
     /// Creates the estimator with `n_copies = ceil(kappa / eps^2)` copies
     /// (`kappa = 2`), each an independent Algorithm 3 instance.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `eps` is not in `(0, 1]` or the window is unbounded.
-    pub fn new(cfg: SamplerConfig, window: Window, eps: f64) -> Self {
-        assert!(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
+    /// [`RdsError::InvalidEps`] unless `eps` is in `(0, 1]`;
+    /// [`RdsError::UnboundedWindow`] when the window is unbounded.
+    pub fn try_new(cfg: SamplerConfig, window: Window, eps: f64) -> Result<Self, RdsError> {
+        if !(eps > 0.0 && eps <= 1.0) {
+            return Err(RdsError::InvalidEps { eps });
+        }
         let n_copies = ((2.0 / (eps * eps)).ceil() as usize).max(1);
         let threshold = cfg.threshold();
         let copies = (0..n_copies)
@@ -153,14 +174,14 @@ impl SlidingWindowF0 {
                     seed: cfg.seed.wrapping_add(0xDEAD_BEEF * (i as u64 + 1)),
                     ..cfg.clone()
                 };
-                SlidingWindowSampler::try_new(cfg_i, window).unwrap()
+                SlidingWindowSampler::try_new(cfg_i, window)
             })
-            .collect();
-        Self {
+            .collect::<Result<Vec<_>, RdsError>>()?;
+        Ok(Self {
             copies,
             threshold,
             eps,
-        }
+        })
     }
 
     /// Feeds one stream item to every copy.
@@ -228,7 +249,7 @@ mod tests {
         let cfg = SamplerConfig::builder(1, 0.5)
             .seed(3)
             .expected_len(4000).build().unwrap();
-        let mut est = RobustF0Estimator::new(cfg, 0.5, 7);
+        let mut est = RobustF0Estimator::try_new(cfg, 0.5, 7).unwrap();
         for i in 0..4000u64 {
             est.process(&grouped_point(i, n_groups));
         }
@@ -243,11 +264,11 @@ mod tests {
     fn batch_processing_matches_per_point_processing() {
         let cfg = SamplerConfig::builder(1, 0.5).seed(9).expected_len(512).build().unwrap();
         let points: Vec<Point> = (0..512u64).map(|i| grouped_point(i, 64)).collect();
-        let mut one = RobustF0Estimator::new(cfg.clone(), 0.5, 3);
+        let mut one = RobustF0Estimator::try_new(cfg.clone(), 0.5, 3).unwrap();
         for p in &points {
             one.process(p);
         }
-        let mut batched = RobustF0Estimator::new(cfg, 0.5, 3);
+        let mut batched = RobustF0Estimator::try_new(cfg, 0.5, 3).unwrap();
         for chunk in points.chunks(100) {
             batched.process_batch(chunk);
         }
@@ -258,7 +279,7 @@ mod tests {
     fn estimate_is_exact_before_any_subsampling() {
         // few groups, large threshold: R stays 1 and |Sacc| counts groups
         let cfg = SamplerConfig::builder(1, 0.5).seed(4).build().unwrap();
-        let mut est = RobustF0Estimator::new(cfg, 1.0, 3);
+        let mut est = RobustF0Estimator::try_new(cfg, 1.0, 3).unwrap();
         for i in 0..60u64 {
             est.process(&grouped_point(i, 12));
         }
@@ -268,8 +289,8 @@ mod tests {
     #[test]
     fn eps_controls_threshold_monotonically() {
         let cfg = SamplerConfig::builder(1, 0.5).build().unwrap();
-        let coarse = RobustF0Estimator::new(cfg.clone(), 1.0, 1);
-        let fine = RobustF0Estimator::new(cfg, 0.25, 1);
+        let coarse = RobustF0Estimator::try_new(cfg.clone(), 1.0, 1).unwrap();
+        let fine = RobustF0Estimator::try_new(cfg, 0.25, 1).unwrap();
         assert!(fine.words() >= coarse.words());
         assert_eq!(coarse.n_copies(), 1);
     }
@@ -281,7 +302,7 @@ mod tests {
             .seed(5)
             .expected_len(2048)
             .kappa0(1.0).build().unwrap();
-        let mut est = SlidingWindowF0::new(cfg, Window::Sequence(512), 0.8);
+        let mut est = SlidingWindowF0::try_new(cfg, Window::Sequence(512), 0.8).unwrap();
         for i in 0..2048u64 {
             est.process(&StreamItem::new(grouped_point(i, n_groups), Stamp::at(i)));
         }
@@ -300,7 +321,7 @@ mod tests {
             .seed(6)
             .expected_len(4096)
             .kappa0(1.0).build().unwrap();
-        let mut est = SlidingWindowF0::new(cfg, Window::Sequence(256), 0.8);
+        let mut est = SlidingWindowF0::try_new(cfg, Window::Sequence(256), 0.8).unwrap();
         for i in 0..1024u64 {
             est.process(&StreamItem::new(grouped_point(i, 64), Stamp::at(i)));
         }
@@ -322,8 +343,8 @@ mod tests {
             .seed(7)
             .expected_len(2048)
             .kappa0(1.0).build().unwrap();
-        let mut small = SlidingWindowF0::new(cfg.clone(), Window::Sequence(256), 1.0);
-        let mut large = SlidingWindowF0::new(cfg, Window::Sequence(256), 1.0);
+        let mut small = SlidingWindowF0::try_new(cfg.clone(), Window::Sequence(256), 1.0).unwrap();
+        let mut large = SlidingWindowF0::try_new(cfg, Window::Sequence(256), 1.0).unwrap();
         for i in 0..1024u64 {
             small.process(&StreamItem::new(grouped_point(i, 8), Stamp::at(i)));
             large.process(&StreamItem::new(grouped_point(i, 200), Stamp::at(i)));
@@ -333,8 +354,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "eps must be in (0, 1]")]
-    fn invalid_eps_rejected() {
-        let _ = RobustF0Estimator::new(SamplerConfig::builder(1, 0.5).build().unwrap(), 0.0, 1);
+    fn invalid_parameters_are_typed_errors() {
+        use crate::error::RdsError;
+        let cfg = SamplerConfig::builder(1, 0.5).build().unwrap();
+        assert!(matches!(
+            RobustF0Estimator::try_new(cfg.clone(), 0.0, 1),
+            Err(RdsError::InvalidEps { .. })
+        ));
+        assert!(matches!(
+            RobustF0Estimator::try_new(cfg.clone(), 0.5, 0),
+            Err(RdsError::InvalidCopies)
+        ));
+        assert!(matches!(
+            RobustF0Estimator::try_with_kappa_b(cfg.clone(), 0.5, 1, 0.0),
+            Err(RdsError::InvalidKappaB { .. })
+        ));
+        assert!(matches!(
+            SlidingWindowF0::try_new(cfg.clone(), rds_stream::Window::Sequence(16), 2.0),
+            Err(RdsError::InvalidEps { .. })
+        ));
+        assert!(matches!(
+            SlidingWindowF0::try_new(cfg, rds_stream::Window::Infinite, 1.0),
+            Err(RdsError::UnboundedWindow)
+        ));
     }
 }

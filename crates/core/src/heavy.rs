@@ -14,6 +14,7 @@
 //! `> phi * m` is reported, and every reported count overestimates the
 //! true group count by at most `m / capacity`.
 
+use crate::error::RdsError;
 use rds_geometry::Point;
 
 /// One tracked group in the heavy-hitter summary.
@@ -38,7 +39,7 @@ pub struct HeavyGroup {
 /// use rds_core::RobustHeavyHitters;
 /// use rds_geometry::Point;
 ///
-/// let mut hh = RobustHeavyHitters::new(0.25, 0.5);
+/// let mut hh = RobustHeavyHitters::try_new(0.25, 0.5).unwrap();
 /// for i in 0..100 {
 ///     // group 0 gets 60% of the stream; two others get 20% each
 ///     let g = if i % 5 < 3 { 0.0 } else { (1 + i % 5) as f64 * 10.0 };
@@ -62,19 +63,24 @@ impl RobustHeavyHitters {
     /// with `ceil(2/phi)` counters (the extra factor keeps the
     /// overestimation below `phi/2 * m`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `0 < phi <= 1` and `alpha > 0`.
-    pub fn new(phi: f64, alpha: f64) -> Self {
-        assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
-        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
-        Self {
+    /// [`RdsError::InvalidPhi`] unless `0 < phi <= 1`;
+    /// [`RdsError::InvalidAlpha`] unless `alpha` is positive and finite.
+    pub fn try_new(phi: f64, alpha: f64) -> Result<Self, RdsError> {
+        if !(phi > 0.0 && phi <= 1.0) {
+            return Err(RdsError::InvalidPhi { phi });
+        }
+        if !(alpha > 0.0 && alpha.is_finite()) {
+            return Err(RdsError::InvalidAlpha { alpha });
+        }
+        Ok(Self {
             phi,
             alpha,
             capacity: (2.0 / phi).ceil() as usize,
             groups: Vec::new(),
             seen: 0,
-        }
+        })
     }
 
     /// Feeds one stream point.
@@ -98,14 +104,12 @@ impl RobustHeavyHitters {
             return;
         }
         // SpaceSaving takeover: the minimum counter adopts the new group
-        let min = self
-            .groups
-            .iter_mut()
-            .min_by_key(|g| g.count)
-            .expect("capacity >= 1");
-        min.error = min.count;
-        min.count += 1;
-        min.rep = p.clone();
+        // (capacity >= 1, so a full summary always has a minimum)
+        if let Some(min) = self.groups.iter_mut().min_by_key(|g| g.count) {
+            min.error = min.count;
+            min.count += 1;
+            min.rep = p.clone();
+        }
     }
 
     /// Groups whose estimated frequency exceeds `phi` (every true heavy
@@ -169,7 +173,7 @@ mod tests {
     #[test]
     fn single_dominant_group_is_found() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut hh = RobustHeavyHitters::new(0.2, 0.5);
+        let mut hh = RobustHeavyHitters::try_new(0.2, 0.5).unwrap();
         for i in 0..1000 {
             let base = if i % 2 == 0 { 0.0 } else { (i % 50) as f64 * 10.0 };
             hh.process(&noisy(base, &mut rng));
@@ -184,7 +188,7 @@ mod tests {
     #[test]
     fn counts_never_underestimate() {
         let mut rng = StdRng::seed_from_u64(2);
-        let mut hh = RobustHeavyHitters::new(0.1, 0.5);
+        let mut hh = RobustHeavyHitters::try_new(0.1, 0.5).unwrap();
         // group 0: exactly 300 points among 1000
         let mut truth = 0u64;
         for i in 0..1000 {
@@ -207,7 +211,7 @@ mod tests {
     #[test]
     fn no_heavy_hitters_in_uniform_stream() {
         let mut rng = StdRng::seed_from_u64(3);
-        let mut hh = RobustHeavyHitters::new(0.25, 0.5);
+        let mut hh = RobustHeavyHitters::try_new(0.25, 0.5).unwrap();
         for i in 0..1000 {
             hh.process(&noisy((i % 100) as f64 * 10.0, &mut rng));
         }
@@ -218,7 +222,7 @@ mod tests {
     #[test]
     fn near_duplicates_aggregate_into_one_counter() {
         let mut rng = StdRng::seed_from_u64(4);
-        let mut hh = RobustHeavyHitters::new(0.5, 0.5);
+        let mut hh = RobustHeavyHitters::try_new(0.5, 0.5).unwrap();
         for _ in 0..500 {
             hh.process(&noisy(42.0, &mut rng));
         }
@@ -229,7 +233,7 @@ mod tests {
     #[test]
     fn capacity_is_bounded() {
         let mut rng = StdRng::seed_from_u64(5);
-        let mut hh = RobustHeavyHitters::new(0.1, 0.5);
+        let mut hh = RobustHeavyHitters::try_new(0.1, 0.5).unwrap();
         for i in 0..10_000u64 {
             hh.process(&noisy((i % 500) as f64 * 10.0, &mut rng));
         }
@@ -240,7 +244,7 @@ mod tests {
     #[test]
     fn error_field_bounds_takeovers() {
         let mut rng = StdRng::seed_from_u64(6);
-        let mut hh = RobustHeavyHitters::new(0.25, 0.5);
+        let mut hh = RobustHeavyHitters::try_new(0.25, 0.5).unwrap();
         for i in 0..400u64 {
             hh.process(&noisy((i % 40) as f64 * 10.0, &mut rng));
         }
@@ -250,8 +254,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "phi must be in (0, 1]")]
-    fn invalid_phi_rejected() {
-        let _ = RobustHeavyHitters::new(0.0, 0.5);
+    fn invalid_parameters_are_typed_errors() {
+        assert!(matches!(
+            RobustHeavyHitters::try_new(0.0, 0.5),
+            Err(RdsError::InvalidPhi { .. })
+        ));
+        assert!(matches!(
+            RobustHeavyHitters::try_new(1.5, 0.5),
+            Err(RdsError::InvalidPhi { .. })
+        ));
+        assert!(matches!(
+            RobustHeavyHitters::try_new(0.25, 0.0),
+            Err(RdsError::InvalidAlpha { .. })
+        ));
     }
 }

@@ -351,6 +351,13 @@ impl RobustL0Sampler {
             .chain(self.rej.iter())
             .map(GroupRecord::words)
             .sum();
+        // Every live record carries two points of at least one coordinate
+        // plus two bookkeeping words; a total below that floor means the
+        // accounting under-reports space.
+        debug_assert!(
+            records >= 4 * (self.acc.len() + self.rej.len()),
+            "words() accounting fell below the per-record floor"
+        );
         self.ctx.words() + records + 4
     }
 

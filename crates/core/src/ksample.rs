@@ -230,15 +230,15 @@ impl Checkpointable for KWithReplacementSampler {
     }
 
     fn try_from_state(state: KWithReplacementState) -> Result<Self, RdsError> {
-        if state.copies.is_empty() {
+        let Some(first_copy) = state.copies.first() else {
             return Err(RdsError::InvalidK);
-        }
+        };
         // The copies are independent only in their (derived) seeds; every
         // other parameter must agree, or `process` would feed one point
         // to samplers of conflicting dimensions and panic downstream.
         let reference = SamplerConfig {
             seed: 0,
-            ..state.copies[0].cfg().clone()
+            ..first_copy.cfg().clone()
         };
         for (i, copy) in state.copies.iter().enumerate() {
             let seedless = SamplerConfig {

@@ -17,6 +17,7 @@ mod f0;
 mod jl_adapter;
 mod ksample;
 mod lsh;
+pub mod persist;
 mod sw_hier;
 
 pub use checkpoint::{Checkpointable, RngState};

@@ -64,7 +64,7 @@ pub trait LshPartitioner {
 /// use rds_core::{LshPartitioner, SimHashPartitioner};
 /// use rds_geometry::Point;
 ///
-/// let part = SimHashPartitioner::new(16, 8, 0.05, 3);
+/// let part = SimHashPartitioner::try_new(16, 8, 0.05, 3).unwrap();
 /// let p = Point::new(vec![1.0; 16]);
 /// assert!(part.same_group(&p, &p));
 /// let key = part.bucket_key(&p);
@@ -86,18 +86,22 @@ impl SimHashPartitioner {
     /// Creates a partitioner over `R^dim` with `n_bits` hyperplanes and
     /// group threshold `theta` (radians).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `0 < theta < pi/8` and `1 <= n_bits <= 24` (more
-    /// bits would make the adjacency enumeration explode in the worst
-    /// case).
-    pub fn new(dim: usize, n_bits: usize, theta: f64, seed: u64) -> Self {
-        assert!(dim > 0, "dimension must be positive");
-        assert!(
-            theta > 0.0 && theta < std::f64::consts::FRAC_PI_8,
-            "theta must be in (0, pi/8)"
-        );
-        assert!((1..=24).contains(&n_bits), "n_bits must be in 1..=24");
+    /// [`RdsError::InvalidDimension`] when `dim == 0`;
+    /// [`RdsError::InvalidTheta`] unless `0 < theta < pi/8`;
+    /// [`RdsError::InvalidBits`] unless `1 <= n_bits <= 24` (more bits
+    /// would make the adjacency enumeration explode in the worst case).
+    pub fn try_new(dim: usize, n_bits: usize, theta: f64, seed: u64) -> Result<Self, RdsError> {
+        if dim == 0 {
+            return Err(RdsError::InvalidDimension { dim });
+        }
+        if !(theta > 0.0 && theta < std::f64::consts::FRAC_PI_8) {
+            return Err(RdsError::InvalidTheta { theta });
+        }
+        if !(1..=24).contains(&n_bits) {
+            return Err(RdsError::InvalidBits { n_bits });
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         let normals = (0..n_bits)
             .map(|_| {
@@ -105,12 +109,12 @@ impl SimHashPartitioner {
                 v.scale(1.0 / v.norm().max(f64::MIN_POSITIVE))
             })
             .collect();
-        Self {
+        Ok(Self {
             dim,
             theta,
             normals,
             seed,
-        }
+        })
     }
 
     /// The group threshold in radians.
@@ -236,7 +240,7 @@ impl serde::Deserialize for SimHashPartitioner {
         if !(1..=24).contains(&n_bits) {
             return Err(serde::DeError::custom("n_bits must be in 1..=24"));
         }
-        Ok(Self::new(dim, n_bits, theta, seed))
+        Self::try_new(dim, n_bits, theta, seed).map_err(|e| serde::DeError::custom(e.to_string()))
     }
 }
 
@@ -362,8 +366,12 @@ impl<P: LshPartitioner> MetricRobustSampler<P> {
             .iter()
             .map(|g| self.any_adjacent_sampled_at(&g.rep, level))
             .collect();
-        let mut it = keep.iter();
-        self.rej.retain(|_| *it.next().expect("parallel iteration"));
+        let mut idx = 0usize;
+        self.rej.retain(|_| {
+            let k = keep.get(idx).copied().unwrap_or(false);
+            idx += 1;
+            k
+        });
     }
 
     fn any_adjacent_sampled_at(&self, p: &Point, level: u32) -> bool {
@@ -626,6 +634,8 @@ fn metric_record(g: &MetricGroup) -> GroupRecord {
 
 impl<P: LshPartitioner + Clone> SamplerSummary for MetricSummary<P> {
     fn merge(self, other: Self) -> Result<Self, RdsError> {
+        // lint:allow(L1) merge_many of a two-element vec always returns
+        // Some; config-mismatch errors propagate through the `?`
         Ok(Self::merge_many(vec![self, other])?.expect("two summaries merged"))
     }
 
@@ -646,7 +656,10 @@ impl<P: LshPartitioner + Clone> SamplerSummary for MetricSummary<P> {
             return Ok(summaries.into_iter().next());
         }
         let level = summaries.iter().map(|s| s.level).max().unwrap_or(0);
-        let first = &summaries[0];
+        let Some(first) = summaries.first() else {
+            // unreachable: the empty case returned None above
+            return Ok(None);
+        };
         let mut acc = Vec::new();
         let mut rej = Vec::new();
         for summary in &summaries {
@@ -789,7 +802,7 @@ mod tests {
 
     #[test]
     fn identical_vectors_share_bucket() {
-        let part = SimHashPartitioner::new(8, 12, 0.05, 1);
+        let part = SimHashPartitioner::try_new(8, 12, 0.05, 1).unwrap();
         let p = Point::new(vec![0.5; 8]);
         assert_eq!(part.bucket_key(&p), part.bucket_key(&p));
         assert!(part.same_group(&p, &p.scale(3.0)), "angle 0 regardless of norm");
@@ -797,7 +810,7 @@ mod tests {
 
     #[test]
     fn opposite_vectors_are_different_groups() {
-        let part = SimHashPartitioner::new(4, 8, 0.1, 2);
+        let part = SimHashPartitioner::try_new(4, 8, 0.1, 2).unwrap();
         let p = Point::new(vec![1.0, 0.0, 0.0, 0.0]);
         assert!(!part.same_group(&p, &p.scale(-1.0)));
     }
@@ -809,7 +822,7 @@ mod tests {
         // version has via SearchAdj
         let dim = 16;
         let theta = 0.05;
-        let part = SimHashPartitioner::new(dim, 12, theta, 3);
+        let part = SimHashPartitioner::try_new(dim, 12, theta, 3).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..200 {
             let p = Point::new((0..dim).map(|_| standard_normal(&mut rng)).collect());
@@ -838,7 +851,7 @@ mod tests {
     #[test]
     fn metric_sampler_tracks_groups_once() {
         let stream = angular_stream(15, 8, 24, 0.003, 5);
-        let part = SimHashPartitioner::new(24, 12, 0.05, 6);
+        let part = SimHashPartitioner::try_new(24, 12, 0.05, 6).unwrap();
         let mut s = MetricRobustSampler::try_new(part, 64, 7).unwrap();
         for (p, _) in &stream {
             s.process(p);
@@ -858,7 +871,7 @@ mod tests {
     #[test]
     fn metric_sampler_subsamples_under_tight_threshold() {
         let stream = angular_stream(60, 3, 24, 0.002, 8);
-        let part = SimHashPartitioner::new(24, 14, 0.04, 9);
+        let part = SimHashPartitioner::try_new(24, 14, 0.04, 9).unwrap();
         let mut s = MetricRobustSampler::try_new(part, 8, 10).unwrap();
         for (p, _) in &stream {
             s.process(p);
@@ -876,7 +889,7 @@ mod tests {
         // doubling; tolerate the occasional empty accept set.
         let mut misses = 0u32;
         for run in 0..400u64 {
-            let part = SimHashPartitioner::new(16, 12, 0.05, run * 13 + 1);
+            let part = SimHashPartitioner::try_new(16, 12, 0.05, run * 13 + 1).unwrap();
             let mut s = MetricRobustSampler::try_new(part, 6, run * 17 + 3).unwrap();
             for (p, _) in &stream {
                 s.process(p);
@@ -901,9 +914,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "n_bits must be in 1..=24")]
-    fn too_many_bits_rejected() {
-        let _ = SimHashPartitioner::new(4, 30, 0.05, 1);
+    fn invalid_parameters_are_typed_errors() {
+        assert!(matches!(
+            SimHashPartitioner::try_new(4, 30, 0.05, 1),
+            Err(RdsError::InvalidBits { n_bits: 30 })
+        ));
+        assert!(matches!(
+            SimHashPartitioner::try_new(0, 8, 0.05, 1),
+            Err(RdsError::InvalidDimension { dim: 0 })
+        ));
+        assert!(matches!(
+            SimHashPartitioner::try_new(4, 8, 1.0, 1),
+            Err(RdsError::InvalidTheta { .. })
+        ));
     }
 
     #[test]
@@ -912,7 +935,7 @@ mod tests {
         // dimensions used to restore Ok and silently truncate every
         // subsequent angle/bucket computation.
         use crate::checkpoint::Checkpointable;
-        let part = SimHashPartitioner::new(4, 8, 0.05, 1);
+        let part = SimHashPartitioner::try_new(4, 8, 0.05, 1).unwrap();
         let mut s = MetricRobustSampler::try_new(part, 8, 2).unwrap();
         s.process(&Point::new(vec![1.0, 0.0, 0.0, 0.0]));
         s.process(&Point::new(vec![0.0, 1.0, 0.0, 0.0]));
@@ -935,7 +958,7 @@ mod tests {
         // Ok and then panic (debug) or silently truncate (release).
         use crate::checkpoint::Checkpointable;
         let mut donor = MetricRobustSampler::try_new(
-            SimHashPartitioner::new(2, 8, 0.05, 3),
+            SimHashPartitioner::try_new(2, 8, 0.05, 3).unwrap(),
             8,
             4,
         )
@@ -944,7 +967,7 @@ mod tests {
         donor.process(&Point::new(vec![0.0, 1.0]));
         let mut state = donor.checkpoint_state();
         // swap in a dim-4 partitioner: every dim-2 rep is now foreign
-        state.partitioner = SimHashPartitioner::new(4, 8, 0.05, 3);
+        state.partitioner = SimHashPartitioner::try_new(4, 8, 0.05, 3).unwrap();
         assert!(matches!(
             MetricRobustSampler::<SimHashPartitioner>::try_from_state(state),
             Err(RdsError::Checkpoint { .. })

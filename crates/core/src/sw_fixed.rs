@@ -114,6 +114,9 @@ pub struct FixedRateWindowSampler {
 
 impl FixedRateWindowSampler {
     /// Creates a sampler with rate `2^-level` over `window`.
+    // lint:allow(L4) infallible by design: a pure delegation to
+    // with_context over an already-builder-validated config — there is
+    // no validation a try_new could fail
     pub fn new(cfg: SamplerConfig, window: Window, level: u32) -> Self {
         let seed = cfg.seed;
         Self::with_context(Arc::new(SamplerContext::new(cfg)), window, level, seed)

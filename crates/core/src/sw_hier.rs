@@ -229,6 +229,8 @@ impl SlidingWindowSampler {
         let h = self.ctx.cell_hash(&item.point, &mut self.scratch);
         // Rate 1: every cell is sampled, the entry is accepted.
         let entry = WindowGroupEntry::new_accepted(&item.point, h, item.stamp);
+        // lint:allow(L1) levels is sized at construction and never
+        // shrinks, so level 0 always exists
         self.levels[0].push_entry(entry);
     }
 
@@ -348,7 +350,15 @@ impl SlidingWindowSampler {
 
     /// Current footprint in machine words.
     pub fn words(&self) -> usize {
-        self.ctx.words() + self.levels.iter().map(|l| l.words()).sum::<usize>() + 6
+        let level_words: usize = self.levels.iter().map(|l| l.words()).sum();
+        // Each live entry costs at least ten words (three points of at
+        // least one coordinate, hash, two stamps, count, flag); a total
+        // below that floor means the accounting under-reports space.
+        debug_assert!(
+            level_words >= 10 * self.all_entries().count(),
+            "words() accounting fell below the per-entry floor"
+        );
+        self.ctx.words() + level_words + 6
     }
 
     /// Peak footprint (the paper's `pSpace`).

@@ -277,6 +277,9 @@ where
             shard
                 .tx
                 .send(Cmd::Batch(batch))
+                // lint:allow(L1) a send fails only when the worker hung
+                // up, which means it already panicked; propagating that
+                // panic here is the only sound response
                 .expect("shard worker terminated");
         }
     }
@@ -305,6 +308,8 @@ where
                 shard
                     .tx
                     .send(Cmd::Batch(batch))
+                    // lint:allow(L1) a send fails only when the worker
+                    // hung up, which means it already panicked
                     .expect("shard worker terminated");
             }
         }
@@ -328,11 +333,15 @@ where
             shard
                 .tx
                 .send(Cmd::Snapshot(reply_tx, now))
+                // lint:allow(L1) a send fails only when the worker hung
+                // up, which means it already panicked
                 .expect("shard worker terminated");
             pending.push(reply_rx);
         }
         pending
             .into_iter()
+            // lint:allow(L1) recv fails only when the worker dropped the
+            // reply sender mid-request, i.e. it panicked
             .map(|rx| rx.recv().expect("shard worker terminated"))
             .collect()
     }
@@ -390,6 +399,9 @@ where
         let summaries: Vec<S::Summary> = handles
             .into_iter()
             .map(|h| {
+                // lint:allow(L1) join returns Err only when the worker
+                // panicked; re-raising that panic on the caller is the
+                // documented contract of finish
                 let mut sampler = h.join().expect("shard worker panicked");
                 sampler.advance(now);
                 sampler.into_summary()
@@ -400,7 +412,11 @@ where
 
     fn reduce(summaries: Vec<S::Summary>) -> S::Summary {
         S::Summary::merge_many(summaries)
+            // lint:allow(L1) every shard sampler is built from the one
+            // validated engine config, so the merge cannot mismatch
             .expect("shards share one configuration by construction")
+            // lint:allow(L1) try_new rejects zero shards, so the summary
+            // vec is never empty
             .expect("engine has at least one shard")
     }
 
@@ -459,11 +475,15 @@ where
                     // receiver may have given up; ignore
                     let _ = reply_tx.send(sampler.checkpoint_state());
                 })))
+                // lint:allow(L1) a send fails only when the worker hung
+                // up, which means it already panicked
                 .expect("shard worker terminated");
             pending.push(reply_rx);
         }
         let states = pending
             .into_iter()
+            // lint:allow(L1) recv fails only when the worker dropped the
+            // reply sender mid-request, i.e. it panicked
             .map(|rx| rx.recv().expect("shard worker terminated"))
             .collect();
         EngineCheckpoint {
@@ -542,6 +562,8 @@ where
             .map(Some)
             .collect::<Vec<_>>();
         let mut engine = Self::try_with_factory(&chk.cfg, n_shards, |i| {
+            // lint:allow(L1) the vec holds exactly n_shards restored
+            // samplers and the factory visits each index once
             samplers[i].take().expect("one restored sampler per shard")
         })?;
         engine.batch_size = chk.batch_size;
@@ -662,6 +684,8 @@ impl ShardedEngine<RobustL0Sampler> {
         }
         Self::try_with_factory(&cfg, n_shards, |_| {
             RobustL0Sampler::try_with_threshold(cfg.clone(), threshold)
+                // lint:allow(L1) threshold was just checked nonzero and
+                // the config came from the validating builder
                 .expect("configuration validated above")
         })
     }
@@ -714,6 +738,8 @@ impl ShardedEngine<SlidingWindowSampler> {
         })?;
         Self::try_with_factory(&cfg, n_shards, |_| {
             SlidingWindowSampler::try_with_threshold(cfg.clone(), window, threshold)
+                // lint:allow(L1) window and threshold were validated by
+                // the probe construction just above
                 .expect("window, threshold and configuration validated above")
         })
     }

@@ -1,0 +1,43 @@
+//! `rds-lint`: a workspace-aware static-analysis pass that mechanically
+//! enforces the repo's concurrency, durability and error-handling
+//! invariants (the ones PRs 3–5 established by convention).
+//!
+//! The crate is deliberately dependency-free: a hand-rolled Rust lexer
+//! ([`lexer`]) feeds a token-stream rule engine ([`rules`]) that knows
+//! which crates each rule scopes to and which `#[cfg(test)]`/`#[test]`
+//! regions are exempt. The binary (`cargo run -p rds-lint`) scans every
+//! first-party `.rs` file, prints `file:line:col: rule-id message`
+//! diagnostics, writes a machine-readable `LINT_report.json`, and exits
+//! nonzero on any finding — `ci.sh` gates on it between clippy and the
+//! doc build.
+//!
+//! Escape hatch: `// lint:allow(<rule>) <justification>` on the
+//! offending line or the line above suppresses one rule there; an empty
+//! justification invalidates the allow and is itself reported (L0).
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+pub use rules::{check_file, Finding, RULES};
+
+use std::path::Path;
+
+/// Scans the workspace rooted at `root`; returns the sorted findings and
+/// the number of files scanned.
+pub fn scan_workspace(root: &Path) -> (Vec<Finding>, usize) {
+    let files = workspace::source_files(root);
+    let n = files.len();
+    let mut findings = Vec::new();
+    for (rel, abs) in files {
+        let Ok(src) = std::fs::read_to_string(&abs) else {
+            continue;
+        };
+        findings.extend(check_file(&rel, &src));
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    (findings, n)
+}

@@ -1,0 +1,102 @@
+//! Diagnostic rendering: `path:line:col: rule message` text lines plus a
+//! hand-emitted machine-readable JSON report (the crate is
+//! dependency-free, so serialization is spelled out by hand).
+
+use crate::rules::Finding;
+
+/// One `file:line:col: rule-id message` line per finding.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}:{}: {} {}\n",
+            f.path, f.line, f.col, f.rule, f.message
+        ));
+    }
+    out
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The machine-readable report: version, scan root, file count, findings.
+pub fn render_json(root: &str, files_scanned: usize, findings: &[Finding]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"root\": \"{}\",\n", json_escape(root)));
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"finding_count\": {},\n", findings.len()));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \
+             \"message\": \"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.path),
+            f.line,
+            f.col,
+            json_escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            rule: "L1",
+            path: "crates/core/src/f0.rs".to_string(),
+            line: 7,
+            col: 13,
+            message: "a \"quoted\" message".to_string(),
+        }
+    }
+
+    #[test]
+    fn text_format_is_clickable() {
+        let text = render_text(&[finding()]);
+        assert_eq!(
+            text,
+            "crates/core/src/f0.rs:7:13: L1 a \"quoted\" message\n"
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let json = render_json("/repo", 3, &[finding()]);
+        assert!(json.contains("\"files_scanned\": 3"));
+        assert!(json.contains("\"finding_count\": 1"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"line\": 7"));
+    }
+
+    #[test]
+    fn empty_report_is_well_formed() {
+        let json = render_json("/repo", 0, &[]);
+        assert!(json.contains("\"findings\": []"));
+    }
+}

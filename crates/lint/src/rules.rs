@@ -1,0 +1,800 @@
+//! The rule engine: seven repo-specific lints over the lexed token
+//! stream, with `#[cfg(test)]`/`#[test]` region tracking and the
+//! `// lint:allow(<rule>) <justification>` escape hatch.
+//!
+//! Every rule encodes an invariant a previous PR established by
+//! convention; the rule id, the invariant and the establishing PR are
+//! listed in [`RULES`] (and in the README's "Static analysis &
+//! invariants" section).
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+
+/// One diagnostic: `path:line:col: rule message`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule id (`L1`..`L7`, or `L0` for a malformed allow comment).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// The rule catalog: id, one-line description. Rendered by `--list` and
+/// kept in sync with the README.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "L0",
+        "lint:allow comments must name a known rule and carry a non-empty justification",
+    ),
+    (
+        "L1",
+        "no .unwrap()/.expect()/panic!/unreachable!/indexing-by-literal in non-test \
+         rds-core/rds-engine/facade code (PR 3/4: typed errors on the serving path)",
+    ),
+    (
+        "L2",
+        "no std::fs::write/File::create/OpenOptions/fs::rename outside the blessed \
+         atomic-write helper (PR 5: checkpoint containers stay crash-atomic)",
+    ),
+    (
+        "L3",
+        "no Instant::now/SystemTime::now/ambient entropy in deterministic sampler or \
+         checkpoint code (PR 5: exact-PRNG-position restore)",
+    ),
+    (
+        "L4",
+        "every pub fn new in rds-core needs a try_new/builder sibling and a panic-free \
+         body (PR 3: fallible construction contract)",
+    ),
+    (
+        "L5",
+        "RdsError::Checkpoint may only be constructed through RdsError::checkpoint() \
+         (PR 5: one checkpoint-error constructor)",
+    ),
+    (
+        "L6",
+        "no Mutex/RwLock acquisition inside Snapshot/summary read impls (PR 4: \
+         lock-free frozen reader contract)",
+    ),
+    (
+        "L7",
+        "no lossy `as` casts of stamp/epoch/seen/word-accounting values to narrower \
+         integers (use try_into or a checked helper)",
+    ),
+];
+
+/// The file blessed to contain raw filesystem writes: the atomic
+/// temp-file + rename helper every durable write must go through.
+pub const BLESSED_WRITE_MODULE: &str = "crates/core/src/persist.rs";
+
+/// The file blessed to construct `RdsError::Checkpoint` literally: the
+/// module defining `RdsError::checkpoint()`.
+pub const BLESSED_CHECKPOINT_MODULE: &str = "crates/core/src/error.rs";
+
+/// Types whose impl blocks are frozen read paths: readers query them
+/// concurrently with `&self`, so they must never acquire a lock.
+const LOCK_FREE_READ_TYPES: &[&str] = &[
+    "Snapshot",
+    "MergedSummary",
+    "WindowSummary",
+    "MetricSummary",
+    "JlSummary",
+    "SiteSummary",
+];
+
+/// Identifier substrings marking clock/accounting values whose silent
+/// truncation corrupts windows, epochs or space metering.
+const PROTECTED_CAST_NAMES: &[&str] = &["stamp", "epoch", "seen", "word", "draw", "routed"];
+
+/// Integer targets an `as` cast can truncate into (u64 sources; `u64`,
+/// `u128`, `i128` and float targets are exempt).
+const NARROWING_INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "i8", "i16", "i32", "i64", "usize", "isize",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const ASSERT_MACROS: &[&str] = &["assert", "assert_eq", "assert_ne"];
+
+/// Which crate (and therefore which rule set) a workspace-relative path
+/// belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CrateKind {
+    Core,
+    Engine,
+    Umbrella,
+    Cli,
+    Other,
+}
+
+fn crate_kind(path: &str) -> CrateKind {
+    if path.starts_with("crates/core/") {
+        CrateKind::Core
+    } else if path.starts_with("crates/engine/") {
+        CrateKind::Engine
+    } else if path.starts_with("crates/cli/") {
+        CrateKind::Cli
+    } else if path.starts_with("crates/") {
+        CrateKind::Other
+    } else {
+        CrateKind::Umbrella
+    }
+}
+
+/// Whole-file test scope: integration tests, benches, examples and lint
+/// fixtures are not library code.
+fn is_test_path(path: &str) -> bool {
+    path.split('/')
+        .any(|c| matches!(c, "tests" | "benches" | "examples" | "fixtures"))
+}
+
+fn keyword_cannot_index(t: &Token) -> bool {
+    matches!(
+        t.text.as_str(),
+        "let" | "in" | "return" | "match" | "if" | "else" | "move" | "mut" | "ref" | "break"
+            | "continue" | "where" | "use" | "for" | "while" | "loop" | "unsafe" | "as"
+            | "const" | "static" | "dyn" | "impl" | "fn" | "pub" | "crate" | "mod" | "enum"
+            | "struct" | "trait" | "type" | "extern" | "box" | "yield" | "await"
+    )
+}
+
+/// One parsed `lint:allow(<rule>) <justification>` escape hatch.
+struct Allow {
+    rule: String,
+    /// The line of code the allow suppresses (its own line for trailing
+    /// comments, the next code line after it for standalone ones —
+    /// further comment lines in between don't break the binding).
+    target_line: u32,
+    comment_line: u32,
+    justified: bool,
+    known: bool,
+}
+
+fn parse_allows(comments: &[Comment], tokens: &[Token]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for c in comments {
+        let mut rest = c.text.as_str();
+        while let Some(at) = rest.find("lint:allow(") {
+            rest = &rest[at + "lint:allow(".len()..];
+            let Some(close) = rest.find(')') else { break };
+            let rule = rest[..close].trim().to_string();
+            // only `L<digits>` is an allow attempt; this keeps prose like
+            // `lint:allow(<rule>)` in docs from parsing as an allow
+            let looks_like_rule = rule
+                .strip_prefix('L')
+                .is_some_and(|d| !d.is_empty() && d.bytes().all(|b| b.is_ascii_digit()));
+            if !looks_like_rule {
+                rest = &rest[close + 1..];
+                continue;
+            }
+            let after = rest[close + 1..]
+                .trim_start_matches([':', '-', ' '])
+                .trim_end_matches("*/")
+                .trim();
+            let known = RULES.iter().any(|(id, _)| *id == rule && *id != "L0");
+            let target_line = if c.trailing {
+                c.line
+            } else {
+                // first code line after the comment (token lines are
+                // non-decreasing)
+                tokens
+                    .iter()
+                    .map(|t| t.line)
+                    .find(|&l| l > c.end_line)
+                    .unwrap_or(u32::MAX)
+            };
+            out.push(Allow {
+                rule,
+                target_line,
+                comment_line: c.line,
+                justified: !after.is_empty(),
+                known,
+            });
+            rest = &rest[close + 1..];
+        }
+    }
+    out
+}
+
+/// Marks every token inside a `#[cfg(test)]` item or `#[test]` function
+/// body. Attribute chains are handled (`#[cfg(test)] #[allow(…)] mod t`),
+/// `cfg(not(test))` is *not* a test region.
+fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_punct("#") {
+            i += 1;
+            continue;
+        }
+        // inner attribute `#![…]`: skip it, it scopes the whole file and
+        // the file-level scope already came from the path
+        let mut j = i + 1;
+        if j < tokens.len() && tokens[j].is_punct("!") {
+            j += 1;
+        }
+        if j >= tokens.len() || !tokens[j].is_punct("[") {
+            i += 1;
+            continue;
+        }
+        // find the matching `]` of the attribute
+        let attr_start = j;
+        let mut depth = 0i32;
+        let mut attr_end = None;
+        for (k, t) in tokens.iter().enumerate().skip(attr_start) {
+            if t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    attr_end = Some(k);
+                    break;
+                }
+            }
+        }
+        let Some(attr_end) = attr_end else { break };
+        let attr = &tokens[attr_start..=attr_end];
+        let is_test_attr = attr.iter().any(|t| t.is_ident("test"))
+            && !attr.iter().any(|t| t.is_ident("not"));
+        if !is_test_attr {
+            i = attr_end + 1;
+            continue;
+        }
+        // consume any further attributes on the same item
+        let mut k = attr_end + 1;
+        while k + 1 < tokens.len() && tokens[k].is_punct("#") && tokens[k + 1].is_punct("[") {
+            let mut d = 0i32;
+            let mut m = k + 1;
+            while m < tokens.len() {
+                if tokens[m].is_punct("[") {
+                    d += 1;
+                } else if tokens[m].is_punct("]") {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                m += 1;
+            }
+            k = m + 1;
+        }
+        // the item: ends at the first top-level `;` (no body) or at the
+        // matching `}` of its first top-level `{`
+        let mut brace = 0i32;
+        let mut end = tokens.len().saturating_sub(1);
+        let mut saw_brace = false;
+        for (m, t) in tokens.iter().enumerate().skip(k) {
+            if t.is_punct("{") {
+                brace += 1;
+                saw_brace = true;
+            } else if t.is_punct("}") {
+                brace -= 1;
+                if saw_brace && brace == 0 {
+                    end = m;
+                    break;
+                }
+            } else if t.is_punct(";") && !saw_brace {
+                end = m;
+                break;
+            }
+            if m + 1 == tokens.len() {
+                end = m;
+            }
+        }
+        for flag in in_test.iter_mut().take(end + 1).skip(i) {
+            *flag = true;
+        }
+        i = end + 1;
+    }
+    in_test
+}
+
+/// Finds the matching close for the open delimiter at `open` (which must
+/// hold an opening token of `kind`); returns the index of the close, or
+/// the last token on unbalanced input.
+fn matching(tokens: &[Token], open: usize, open_s: &str, close_s: &str) -> usize {
+    let mut depth = 0i32;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct(open_s) {
+            depth += 1;
+        } else if t.is_punct(close_s) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+struct Ctx<'a> {
+    path: &'a str,
+    tokens: &'a [Token],
+    in_test: &'a [bool],
+    findings: Vec<Finding>,
+}
+
+impl Ctx<'_> {
+    fn emit(&mut self, rule: &'static str, at: &Token, message: String) {
+        self.findings.push(Finding {
+            rule,
+            path: self.path.to_string(),
+            line: at.line,
+            col: at.col,
+            message,
+        });
+    }
+}
+
+/// Runs every rule on one file and applies the allow comments. `path`
+/// must be workspace-relative with `/` separators — rule scoping is
+/// path-based.
+pub fn check_file(path: &str, source: &str) -> Vec<Finding> {
+    let lexed = lex(source);
+    let in_test = mark_test_regions(&lexed.tokens);
+    let allows = parse_allows(&lexed.comments, &lexed.tokens);
+    let kind = crate_kind(path);
+    let test_file = is_test_path(path);
+
+    let mut ctx = Ctx {
+        path,
+        tokens: &lexed.tokens,
+        in_test: &in_test,
+        findings: Vec::new(),
+    };
+
+    let lib_scope = !test_file;
+    let panic_scope =
+        lib_scope && matches!(kind, CrateKind::Core | CrateKind::Engine | CrateKind::Umbrella);
+    if panic_scope {
+        rule_l1(&mut ctx);
+        rule_l3(&mut ctx);
+        rule_l7(&mut ctx);
+    }
+    if lib_scope
+        && matches!(
+            kind,
+            CrateKind::Core | CrateKind::Engine | CrateKind::Umbrella | CrateKind::Cli
+        )
+        && path != BLESSED_WRITE_MODULE
+    {
+        rule_l2(&mut ctx);
+    }
+    if lib_scope && kind == CrateKind::Core {
+        rule_l4(&mut ctx);
+    }
+    if lib_scope && path != BLESSED_CHECKPOINT_MODULE {
+        rule_l5(&mut ctx);
+    }
+    if lib_scope {
+        rule_l6(&mut ctx);
+    }
+
+    // apply the allow comments, then report the malformed ones
+    let mut findings: Vec<Finding> = ctx
+        .findings
+        .into_iter()
+        .filter(|f| {
+            !allows.iter().any(|a| {
+                a.known && a.justified && a.rule == f.rule && a.target_line == f.line
+            })
+        })
+        .collect();
+    for a in &allows {
+        if !a.known {
+            findings.push(Finding {
+                rule: "L0",
+                path: path.to_string(),
+                line: a.comment_line,
+                col: 1,
+                message: format!("lint:allow names unknown rule `{}`", a.rule),
+            });
+        } else if !a.justified {
+            findings.push(Finding {
+                rule: "L0",
+                path: path.to_string(),
+                line: a.comment_line,
+                col: 1,
+                message: format!(
+                    "lint:allow({}) needs a non-empty justification; the allow is ignored",
+                    a.rule
+                ),
+            });
+        }
+    }
+    findings.sort_by_key(|f| (f.line, f.col));
+    findings
+}
+
+/// L1: panic-free serving path.
+fn rule_l1(ctx: &mut Ctx<'_>) {
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind == TokenKind::Ident {
+            let prev_dot = i > 0 && toks[i - 1].is_punct(".");
+            let next_paren = i + 1 < toks.len() && toks[i + 1].is_punct("(");
+            if prev_dot && next_paren && (t.text == "unwrap" || t.text == "expect") {
+                ctx.emit(
+                    "L1",
+                    &toks[i].clone(),
+                    format!(
+                        ".{}() can panic on the serving path; return a typed RdsError \
+                         (or document the invariant with lint:allow(L1))",
+                        t.text
+                    ),
+                );
+                continue;
+            }
+            let next_bang = i + 1 < toks.len() && toks[i + 1].is_punct("!");
+            if next_bang && PANIC_MACROS.contains(&t.text.as_str()) {
+                ctx.emit(
+                    "L1",
+                    &toks[i].clone(),
+                    format!(
+                        "{}! aborts the serving path; return a typed RdsError \
+                         (or document the invariant with lint:allow(L1))",
+                        t.text
+                    ),
+                );
+                continue;
+            }
+        }
+        // indexing by integer literal: `xs[0]`
+        if t.is_punct("[")
+            && i + 2 < toks.len()
+            && toks[i + 1].kind == TokenKind::Int
+            && toks[i + 2].is_punct("]")
+            && i > 0
+        {
+            let prev = &toks[i - 1];
+            let indexable = (prev.kind == TokenKind::Ident && !keyword_cannot_index(prev))
+                || prev.is_punct(")")
+                || prev.is_punct("]");
+            if indexable {
+                ctx.emit(
+                    "L1",
+                    &toks[i + 1].clone(),
+                    format!(
+                        "indexing by literal `[{}]` panics when the container is shorter; \
+                         use .get({}) or .first()",
+                        toks[i + 1].text, toks[i + 1].text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// L2: all durable writes go through the blessed atomic helper.
+fn rule_l2(ctx: &mut Ctx<'_>) {
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let Some(window) = toks.get(i..i + 3) else { break };
+        if !window[1].is_punct("::") {
+            continue;
+        }
+        let pair = (window[0].text.as_str(), window[2].text.as_str());
+        let hit = matches!(
+            pair,
+            ("fs", "write") | ("fs", "rename") | ("File", "create") | ("OpenOptions", "new")
+        ) && window[0].kind == TokenKind::Ident
+            && window[2].kind == TokenKind::Ident;
+        if hit {
+            ctx.emit(
+                "L2",
+                &window[0].clone(),
+                format!(
+                    "raw `{}::{}` can destroy a good checkpoint on crash; write through \
+                     rds_core::persist (temp file + rename)",
+                    pair.0, pair.1
+                ),
+            );
+        }
+    }
+}
+
+/// L3: deterministic code paths take no ambient time or entropy.
+fn rule_l3(ctx: &mut Ctx<'_>) {
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let now_call = i + 2 < toks.len()
+            && toks[i + 1].is_punct("::")
+            && toks[i + 2].is_ident("now")
+            && (t.text == "Instant" || t.text == "SystemTime");
+        if now_call {
+            ctx.emit(
+                "L3",
+                &toks[i].clone(),
+                format!(
+                    "{}::now() makes restored runs diverge from the original; thread an \
+                     explicit Stamp through instead",
+                    t.text
+                ),
+            );
+            continue;
+        }
+        if matches!(t.text.as_str(), "thread_rng" | "from_entropy" | "OsRng" | "from_os_rng") {
+            ctx.emit(
+                "L3",
+                &toks[i].clone(),
+                format!(
+                    "`{}` is ambient entropy; every RNG must be seeded from the \
+                     SamplerConfig so exact-PRNG-position restore holds",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// L4: fallible construction — `pub fn new` needs a `try_new`/builder
+/// sibling and a panic-free body.
+fn rule_l4(ctx: &mut Ctx<'_>) {
+    let toks = ctx.tokens;
+    let has_sibling = toks.iter().any(|t| t.is_ident("try_new"))
+        || toks
+            .windows(2)
+            .any(|w| w[0].is_ident("fn") && w[1].is_ident("builder"));
+    for i in 0..toks.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let hit = toks[i].is_ident("pub")
+            && i + 3 < toks.len()
+            && toks[i + 1].is_ident("fn")
+            && toks[i + 2].is_ident("new")
+            && toks[i + 3].is_punct("(");
+        if !hit {
+            continue;
+        }
+        let new_tok = toks[i + 2].clone();
+        if !has_sibling {
+            ctx.emit(
+                "L4",
+                &new_tok,
+                "pub fn new without a try_new/builder sibling; construction must have a \
+                 fallible path (PR 3 contract)"
+                    .to_string(),
+            );
+        }
+        // body: skip the parameter list, then the first `{ … }` (a `;`
+        // first means a bodyless trait method)
+        let params_end = matching(toks, i + 3, "(", ")");
+        let mut body_open = None;
+        for (m, t) in toks.iter().enumerate().skip(params_end + 1) {
+            if t.is_punct("{") {
+                body_open = Some(m);
+                break;
+            }
+            if t.is_punct(";") {
+                break;
+            }
+        }
+        let Some(open) = body_open else { continue };
+        let close = matching(toks, open, "{", "}");
+        for m in open..=close {
+            let t = &toks[m];
+            let next_bang = m + 1 < toks.len() && toks[m + 1].is_punct("!");
+            if next_bang
+                && (PANIC_MACROS.contains(&t.text.as_str())
+                    || ASSERT_MACROS.contains(&t.text.as_str()))
+            {
+                ctx.emit(
+                    "L4",
+                    &t.clone(),
+                    format!(
+                        "{}! inside pub fn new; validation belongs in try_new, which \
+                         returns a typed RdsError",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// L5: `RdsError::Checkpoint` is constructed only via
+/// `RdsError::checkpoint()`. Patterns (`matches!`, match arms, `if let`)
+/// are allowed; struct-literal construction is not.
+fn rule_l5(ctx: &mut Ctx<'_>) {
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let hit = toks[i].is_ident("RdsError")
+            && i + 3 < toks.len()
+            && toks[i + 1].is_punct("::")
+            && toks[i + 2].is_ident("Checkpoint")
+            && toks[i + 3].is_punct("{");
+        if !hit {
+            continue;
+        }
+        let open = i + 3;
+        let close = matching(toks, open, "{", "}");
+        let body = &toks[open + 1..close];
+        let has_field_init = body.iter().any(|t| t.is_punct(":"));
+        let has_rest = body.iter().any(|t| t.is_punct(".."));
+        let after = toks.get(close + 1);
+        let pattern_position = after
+            .map(|t| t.is_punct(")") || t.is_punct("=>") || t.is_punct("|"))
+            .unwrap_or(false);
+        if has_field_init || (!has_rest && !pattern_position) {
+            ctx.emit(
+                "L5",
+                &toks[i].clone(),
+                "RdsError::Checkpoint constructed literally; RdsError::checkpoint() is \
+                 the sole constructor (PR 5 contract)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// L6: lock-free reader contract — no lock types or `.lock()` calls
+/// inside impl blocks of the frozen snapshot/summary types.
+fn rule_l6(ctx: &mut Ctx<'_>) {
+    let toks = ctx.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        // header runs to the block's `{`
+        let mut open = None;
+        for (m, t) in toks.iter().enumerate().skip(i + 1) {
+            if t.is_punct("{") {
+                open = Some(m);
+                break;
+            }
+            if t.is_punct(";") {
+                break;
+            }
+        }
+        let Some(open) = open else {
+            i += 1;
+            continue;
+        };
+        let header = &toks[i + 1..open];
+        // the implemented type: the path after `for` if present, else the
+        // first path after the (optional) generic parameter list
+        let after_for = header.iter().position(|t| t.is_ident("for"));
+        let type_region: &[Token] = match after_for {
+            Some(p) => &header[p + 1..],
+            None => {
+                let mut start = 0usize;
+                if header.first().map(|t| t.is_punct("<")).unwrap_or(false) {
+                    let mut depth = 0i32;
+                    for (m, t) in header.iter().enumerate() {
+                        if t.is_punct("<") {
+                            depth += 1;
+                        } else if t.is_punct(">") {
+                            depth -= 1;
+                            if depth == 0 {
+                                start = m + 1;
+                                break;
+                            }
+                        }
+                    }
+                }
+                &header[start..]
+            }
+        };
+        // last ident of the leading path, stopping at `<` (generic args)
+        let mut target: Option<&str> = None;
+        for t in type_region {
+            if t.is_punct("<") || t.is_punct("{") {
+                break;
+            }
+            if t.kind == TokenKind::Ident {
+                target = Some(t.text.as_str());
+            }
+        }
+        let close = matching(toks, open, "{", "}");
+        if target.is_some_and(|n| LOCK_FREE_READ_TYPES.contains(&n)) {
+            for m in open..=close {
+                if ctx.in_test[m] {
+                    continue;
+                }
+                let t = &toks[m];
+                let lock_type =
+                    t.kind == TokenKind::Ident && (t.text == "Mutex" || t.text == "RwLock");
+                let lock_call = t.is_ident("lock")
+                    && m > 0
+                    && toks[m - 1].is_punct(".")
+                    && m + 1 < toks.len()
+                    && toks[m + 1].is_punct("(");
+                if lock_type || lock_call {
+                    let target_name = target.unwrap_or("?").to_string();
+                    ctx.emit(
+                        "L6",
+                        &t.clone(),
+                        format!(
+                            "`{}` inside impl {target_name}: snapshots are frozen plain \
+                             data, readers must never block (PR 4 contract)",
+                            t.text
+                        ),
+                    );
+                }
+            }
+        }
+        i = close + 1;
+    }
+}
+
+/// L7: clock/accounting values never truncate through `as`.
+fn rule_l7(ctx: &mut Ctx<'_>) {
+    let toks = ctx.tokens;
+    for i in 1..toks.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let cast = toks[i].is_ident("as")
+            && i + 1 < toks.len()
+            && toks[i + 1].kind == TokenKind::Ident
+            && NARROWING_INT_TYPES.contains(&toks[i + 1].text.as_str());
+        if !cast {
+            continue;
+        }
+        // the source expression's trailing identifier: `x.last_stamp as
+        // u32` or `self.words() as u32`
+        let mut j = i - 1;
+        if toks[j].is_punct(")") {
+            // step back over the call's argument list to the callee name
+            let mut depth = 0i32;
+            loop {
+                if toks[j].is_punct(")") {
+                    depth += 1;
+                } else if toks[j].is_punct("(") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    break;
+                }
+                j -= 1;
+            }
+            if j == 0 {
+                continue;
+            }
+            j -= 1;
+        }
+        let src = &toks[j];
+        if src.kind != TokenKind::Ident {
+            continue;
+        }
+        let lower = src.text.to_lowercase();
+        if PROTECTED_CAST_NAMES.iter().any(|p| lower.contains(p)) {
+            ctx.emit(
+                "L7",
+                &toks[i].clone(),
+                format!(
+                    "`{} as {}` silently truncates a clock/accounting value; use \
+                     u64::try_from or a checked helper",
+                    src.text, toks[i + 1].text
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,32 @@
+// Allow-comment fixture: trailing and standalone allows, empty
+// justifications, unknown rules.
+
+pub fn trailing_allow(v: Option<u32>) -> u32 {
+    v.unwrap() // lint:allow(L1) the caller checked is_some on the line above
+}
+
+pub fn standalone_allow(v: Option<u32>) -> u32 {
+    // lint:allow(L1) construction validated this invariant; see try_new
+    v.unwrap()
+}
+
+pub fn multiline_standalone_allow(v: Option<u32>) -> u32 {
+    // lint:allow(L1) the comment explaining the invariant keeps going on
+    // a second line, and the allow must still bind to the code below
+    v.unwrap()
+}
+
+pub fn empty_justification(v: Option<u32>) -> u32 {
+    // lint:allow(L1)
+    v.unwrap()
+}
+
+pub fn unknown_rule(v: Option<u32>) -> u32 {
+    // lint:allow(L99) no such rule
+    v.unwrap()
+}
+
+pub fn wrong_rule(v: Option<u32>) -> u32 {
+    // lint:allow(L2) justified but aimed at the wrong rule
+    v.unwrap()
+}

@@ -1,0 +1,53 @@
+// L1 fixture: panicking constructs in library code, plus the guards that
+// must NOT fire.
+
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn bad_panic() {
+    panic!("boom");
+}
+
+pub fn bad_unreachable(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+pub fn bad_index(xs: &[u32]) -> u32 {
+    xs[0]
+}
+
+// guard: .get() is the sanctioned spelling
+pub fn good_get(xs: &[u32]) -> Option<&u32> {
+    xs.get(0)
+}
+
+// guard: a tuple-struct pattern `Some(0)` is not indexing
+pub fn good_pattern(v: Option<u32>) -> bool {
+    matches!(v, Some(0))
+}
+
+// guard: array type and array literal are not indexing
+pub struct Buf {
+    pub words: [u64; 4],
+}
+
+#[cfg(test)]
+mod tests {
+    // guard: test regions may panic freely
+    #[test]
+    fn in_tests_unwrap_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let xs = [1u32];
+        assert_eq!(xs[0], 1);
+        panic!("even this");
+    }
+}

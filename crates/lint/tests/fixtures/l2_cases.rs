@@ -1,0 +1,41 @@
+// L2 fixture: raw filesystem writes outside the blessed atomic helper.
+
+use std::fs::File;
+use std::path::Path;
+
+pub fn bad_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes)
+}
+
+pub fn bad_create(path: &Path) -> std::io::Result<File> {
+    File::create(path)
+}
+
+pub fn bad_rename(from: &Path, to: &Path) -> std::io::Result<()> {
+    std::fs::rename(from, to)
+}
+
+pub fn bad_open_options(path: &Path) -> std::io::Result<File> {
+    std::fs::OpenOptions::new().write(true).open(path)
+}
+
+// guard: reading is unrestricted
+pub fn good_read(path: &Path) -> std::io::Result<Vec<u8>> {
+    std::fs::read(path)
+}
+
+// guard: a local identifier merely named `write` is not a filesystem call
+pub fn good_local_write(out: &mut String, s: &str) {
+    out.push_str(s);
+    let write = s.len();
+    let _ = write;
+}
+
+#[cfg(test)]
+mod tests {
+    // guard: tests may scribble on disk directly
+    #[test]
+    fn tests_write_freely() {
+        std::fs::write("/tmp/x", b"ok").unwrap();
+    }
+}

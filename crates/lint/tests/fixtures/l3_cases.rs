@@ -1,0 +1,42 @@
+// L3 fixture: ambient time and entropy in deterministic code.
+
+use std::time::{Instant, SystemTime};
+
+pub fn bad_instant() -> Instant {
+    Instant::now()
+}
+
+pub fn bad_system_time() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn bad_thread_rng() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+pub fn bad_entropy() -> u64 {
+    let rng = SmallRng::from_entropy();
+    rng.next_u64()
+}
+
+// guard: a seeded RNG is the sanctioned construction
+pub fn good_seeded(seed: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.next_u64()
+}
+
+// guard: a method named `now` on our own clock type is fine
+pub fn good_own_clock(clock: &StreamClock) -> u64 {
+    clock.now()
+}
+
+#[cfg(test)]
+mod tests {
+    // guard: wall-clock timing in tests is fine
+    #[test]
+    fn timing_in_tests() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_secs() < 1);
+    }
+}

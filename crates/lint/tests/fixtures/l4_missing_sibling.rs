@@ -1,0 +1,15 @@
+// L4 fixture: a pub fn new with no try_new/builder sibling in the file.
+
+pub struct Widget {
+    size: usize,
+}
+
+impl Widget {
+    pub fn new(size: usize) -> Self {
+        Self { size }
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}

@@ -1,0 +1,35 @@
+// L4 fixture: a try_new sibling exists, but the infallible new still
+// asserts in its body — the body check must fire on its own.
+
+pub struct Gauge {
+    limit: usize,
+}
+
+impl Gauge {
+    pub fn new(limit: usize) -> Self {
+        assert!(limit > 0, "limit must be positive");
+        Self { limit }
+    }
+
+    pub fn try_new(limit: usize) -> Result<Self, String> {
+        if limit == 0 {
+            return Err("limit must be positive".into());
+        }
+        Ok(Self { limit })
+    }
+}
+
+// guard: a second type whose new is a pure panic-free delegation passes
+pub struct Meter {
+    inner: Gauge,
+}
+
+impl Meter {
+    pub fn new(limit: usize) -> Self {
+        Self {
+            inner: Gauge {
+                limit,
+            },
+        }
+    }
+}

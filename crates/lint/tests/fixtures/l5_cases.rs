@@ -1,0 +1,33 @@
+// L5 fixture: literal construction of RdsError::Checkpoint vs the
+// pattern positions that must stay legal.
+
+pub fn bad_literal(msg: String) -> RdsError {
+    RdsError::Checkpoint { msg }
+}
+
+pub fn bad_field_init(s: &str) -> RdsError {
+    RdsError::Checkpoint {
+        msg: s.to_string(),
+    }
+}
+
+// guard: matches! with a rest pattern
+pub fn good_matches(e: &RdsError) -> bool {
+    matches!(e, RdsError::Checkpoint { .. })
+}
+
+// guard: a match arm binding the field
+pub fn good_match_arm(e: RdsError) -> String {
+    match e {
+        RdsError::Checkpoint { msg } => msg,
+        _ => String::new(),
+    }
+}
+
+// guard: if-let with a rest pattern
+pub fn good_if_let(e: &RdsError) -> bool {
+    if let RdsError::Checkpoint { .. } = e {
+        return true;
+    }
+    false
+}

@@ -1,0 +1,44 @@
+// L6 fixture: lock acquisition inside frozen reader impls.
+
+use std::sync::{Mutex, RwLock};
+
+pub struct Snapshot {
+    cell: Mutex<u64>,
+}
+
+impl Snapshot {
+    pub fn bad_read(&self) -> u64 {
+        let guard = self.cell.lock();
+        match guard {
+            Ok(g) => *g,
+            Err(_) => 0,
+        }
+    }
+}
+
+pub struct MergedSummary {
+    inner: RwLock<Vec<u64>>,
+}
+
+impl MergedSummary {
+    pub fn bad_len(&self) -> usize {
+        let lock: &RwLock<Vec<u64>> = &self.inner;
+        match lock.read() {
+            Ok(v) => v.len(),
+            Err(_) => 0,
+        }
+    }
+}
+
+// guard: the writer side may lock all it wants
+pub struct WriterCell {
+    cell: Mutex<u64>,
+}
+
+impl WriterCell {
+    pub fn publish(&self, v: u64) {
+        if let Ok(mut g) = self.cell.lock() {
+            *g = v;
+        }
+    }
+}

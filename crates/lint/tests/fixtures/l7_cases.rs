@@ -1,0 +1,32 @@
+// L7 fixture: lossy casts of clock/accounting values.
+
+pub fn bad_stamp_narrow(item_stamp: u64) -> u32 {
+    item_stamp as u32
+}
+
+pub fn bad_epoch_to_usize(epoch: u64) -> usize {
+    epoch as usize
+}
+
+pub fn bad_method_result(s: &Sampler) -> u32 {
+    s.peak_words() as u32
+}
+
+pub fn bad_field(rec: &Entry) -> i32 {
+    rec.rep_stamp as i32
+}
+
+// guard: widening to u64/u128 never truncates
+pub fn good_widen(seen_lo: u32) -> u64 {
+    seen_lo as u64
+}
+
+// guard: floats are for estimates, not accounting
+pub fn good_float(words: usize) -> f64 {
+    words as f64
+}
+
+// guard: unprotected names may narrow (the cast is the caller's business)
+pub fn good_unprotected(count: u64) -> u32 {
+    count as u32
+}

@@ -1,0 +1,55 @@
+// Lexer edge cases: every panic-looking construct below hides inside a
+// string or comment and must produce NO findings; the single real
+// violation at the end proves the scan is still live after them.
+
+pub fn raw_string_mentions_unwrap() -> &'static str {
+    r#"calling .unwrap() here would panic!("but this is just text")"#
+}
+
+pub fn nested_raw_string() -> &'static str {
+    r##"outer r#"inner .expect("nope")"# still one string"##
+}
+
+pub fn byte_and_c_strings() -> (&'static [u8], &'static str) {
+    (b"panic!(\"bytes\")", "xs[0] inside a plain string")
+}
+
+/* a block comment with .unwrap() and panic!("x")
+   /* nested block comments stay comments: unreachable!() */
+   still commented out: SystemTime::now() */
+pub fn after_block_comment() -> u32 {
+    1
+}
+
+pub fn lifetimes_are_not_chars<'a>(x: &'a u32) -> &'a u32 {
+    // 'a above must not open a char literal that swallows the file
+    x
+}
+
+pub fn char_literals(c: char) -> bool {
+    c == '\'' || c == '"' || c == '{'
+}
+
+pub fn raw_identifier() -> u32 {
+    let r#match = 2u32;
+    r#match
+}
+
+#[cfg(test)]
+mod boundary {
+    #[test]
+    fn unwraps_inside_the_test_mod() {
+        Some(1u32).unwrap();
+    }
+}
+
+#[rustfmt::skip]
+#[allow(
+    clippy::needless_return,
+)]
+pub fn multi_line_attribute(v: Option<u32>) -> u32 {
+    // a multi-line attribute above must not confuse region tracking:
+    // this fn is NOT a test region, so the unwrap below is the one
+    // real finding in this file
+    v.unwrap()
+}

@@ -1,0 +1,157 @@
+//! Fixture-driven integration tests: every rule gets at least one true
+//! positive and one false-positive guard, the allow comment gets its
+//! full matrix, and the lexer edge cases prove strings/comments/test
+//! regions never leak findings.
+
+use rds_lint::{check_file, Finding};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Scans a fixture as if it lived at `path` in the workspace.
+fn scan_as(name: &str, path: &str) -> Vec<Finding> {
+    check_file(path, &fixture(name))
+}
+
+fn lines_of(findings: &[Finding], rule: &str) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+const CORE_PATH: &str = "crates/core/src/fixture_under_test.rs";
+
+#[test]
+fn l1_flags_panicking_constructs_and_spares_the_guards() {
+    let f = scan_as("l1_cases.rs", CORE_PATH);
+    assert_eq!(
+        lines_of(&f, "L1"),
+        vec![5, 9, 13, 19, 24],
+        "unwrap/expect/panic!/unreachable!/xs[0]: {f:?}"
+    );
+    // nothing else fires: the .get(0), the pattern, the array type and
+    // the whole #[cfg(test)] mod are guards
+    assert_eq!(f.len(), 5, "{f:?}");
+}
+
+#[test]
+fn l1_is_scoped_to_core_engine_and_facade() {
+    // same content in a non-serving crate or a test tree: silent
+    assert!(scan_as("l1_cases.rs", "crates/hashing/src/lib.rs").is_empty());
+    assert!(scan_as("l1_cases.rs", "tests/integration.rs").is_empty());
+    assert!(scan_as("l1_cases.rs", "crates/core/benches/speed.rs").is_empty());
+    // ... but the engine and the umbrella facade are serving paths
+    assert_eq!(lines_of(&scan_as("l1_cases.rs", "crates/engine/src/lib.rs"), "L1").len(), 5);
+    assert_eq!(lines_of(&scan_as("l1_cases.rs", "src/facade.rs"), "L1").len(), 5);
+}
+
+#[test]
+fn allow_comments_suppress_bind_and_misfire_exactly_as_specified() {
+    let f = scan_as("l1_allow_cases.rs", CORE_PATH);
+    // trailing, standalone and multi-line-standalone allows suppress
+    // their target; the empty-justification and unknown-rule allows are
+    // themselves L0 findings AND leave the violation standing; an allow
+    // for the wrong rule suppresses nothing
+    assert_eq!(lines_of(&f, "L0"), vec![20, 25], "{f:?}");
+    assert_eq!(lines_of(&f, "L1"), vec![21, 26, 31], "{f:?}");
+    assert_eq!(f.len(), 5, "{f:?}");
+}
+
+#[test]
+fn l2_flags_raw_writes_everywhere_but_the_blessed_module() {
+    let f = scan_as("l2_cases.rs", CORE_PATH);
+    assert_eq!(lines_of(&f, "L2"), vec![7, 11, 15, 19], "{f:?}");
+    // the CLI is in scope for L2 even though it is exempt from L1
+    assert_eq!(lines_of(&scan_as("l2_cases.rs", "crates/cli/src/lib.rs"), "L2").len(), 4);
+    // the blessed atomic-write helper is the one file allowed to do this
+    assert!(scan_as("l2_cases.rs", "crates/core/src/persist.rs").is_empty());
+}
+
+#[test]
+fn l3_flags_ambient_time_and_entropy() {
+    let f = scan_as("l3_cases.rs", CORE_PATH);
+    assert_eq!(lines_of(&f, "L3"), vec![6, 10, 14, 19], "{f:?}");
+    // seeded RNGs, our own clock type and test timing are guards
+    assert_eq!(f.len(), 4, "{f:?}");
+}
+
+#[test]
+fn l4_requires_a_fallible_sibling_and_a_panic_free_body() {
+    let missing = scan_as("l4_missing_sibling.rs", CORE_PATH);
+    assert_eq!(lines_of(&missing, "L4"), vec![8], "{missing:?}");
+
+    let with = scan_as("l4_with_sibling.rs", CORE_PATH);
+    // the sibling exists, so only the assert! in the body fires; the
+    // panic-free delegating new is a guard
+    assert_eq!(lines_of(&with, "L4"), vec![10], "{with:?}");
+
+    // L4 is a core-only contract
+    assert!(scan_as("l4_missing_sibling.rs", "crates/engine/src/lib.rs").is_empty());
+}
+
+#[test]
+fn l5_flags_literal_construction_but_not_patterns() {
+    let f = scan_as("l5_cases.rs", CORE_PATH);
+    assert_eq!(lines_of(&f, "L5"), vec![5, 9], "{f:?}");
+    assert_eq!(f.len(), 2, "matches!/match-arm/if-let are guards: {f:?}");
+    // the error module itself defines RdsError::checkpoint() and is blessed
+    assert!(scan_as("l5_cases.rs", "crates/core/src/error.rs").is_empty());
+}
+
+#[test]
+fn l6_flags_locks_only_inside_frozen_reader_impls() {
+    let f = scan_as("l6_cases.rs", CORE_PATH);
+    assert_eq!(lines_of(&f, "L6"), vec![11, 25], "{f:?}");
+    // the writer-side impl locks freely: findings stay at exactly two
+    assert_eq!(f.len(), 2, "{f:?}");
+}
+
+#[test]
+fn l7_flags_narrowing_casts_of_protected_names_only() {
+    let f = scan_as("l7_cases.rs", CORE_PATH);
+    assert_eq!(lines_of(&f, "L7"), vec![4, 8, 12, 16], "{f:?}");
+    // widening, float conversion and unprotected names are guards
+    assert_eq!(f.len(), 4, "{f:?}");
+}
+
+#[test]
+fn lexer_edges_hide_everything_except_the_live_violation() {
+    let f = scan_as("lexer_edges.rs", CORE_PATH);
+    // raw/nested-raw/byte strings, block comments, lifetimes, char
+    // literals, raw identifiers and the test mod all stay silent; the
+    // unwrap under the multi-line attribute is the one real finding
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "L1");
+    assert_eq!(f[0].line, 54);
+}
+
+#[test]
+fn fixture_paths_are_exempt_wholesale() {
+    // the fixtures directory itself is never scanned as library code
+    for name in [
+        "l1_cases.rs",
+        "l2_cases.rs",
+        "l3_cases.rs",
+        "l5_cases.rs",
+        "l7_cases.rs",
+    ] {
+        let path = format!("crates/lint/tests/fixtures/{name}");
+        assert!(scan_as(name, &path).is_empty(), "{name} leaked findings");
+    }
+}
+
+#[test]
+fn findings_render_as_file_line_col_diagnostics() {
+    let f = scan_as("l1_cases.rs", CORE_PATH);
+    let text = rds_lint::report::render_text(&f);
+    assert!(
+        text.lines().next().unwrap_or_default().starts_with("crates/core/src/fixture_under_test.rs:5:"),
+        "{text}"
+    );
+    let json = rds_lint::report::render_json("/root/repo", 1, &f);
+    assert!(json.contains("\"finding_count\": 5"), "{json}");
+}

@@ -87,7 +87,7 @@ fn main() {
         .expected_len(stream.len() as u64).build().unwrap();
 
     // --- Robust F0 estimation (Section 5) -------------------------------
-    let mut f0 = RobustF0Estimator::new(cfg, 0.3, 5);
+    let mut f0 = RobustF0Estimator::try_new(cfg, 0.3, 5).unwrap();
     for (p, _) in &stream {
         f0.process(p);
     }

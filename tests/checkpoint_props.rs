@@ -172,7 +172,7 @@ proptest! {
             })
             .collect();
         let split = items.len() * split_pct / 100;
-        let part = SimHashPartitioner::new(dim, 10, 0.05, seed ^ 0xA5);
+        let part = SimHashPartitioner::try_new(dim, 10, 0.05, seed ^ 0xA5).unwrap();
         assert_family_round_trips(
             MetricRobustSampler::try_new(part, 16, seed).unwrap(),
             &items,

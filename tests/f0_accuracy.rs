@@ -13,7 +13,7 @@ fn robust_f0_close_to_truth_on_paper_dataset() {
     let cfg = SamplerConfig::builder(ds.dim, ds.alpha)
         .seed(3)
         .expected_len(ds.len() as u64).build().unwrap();
-    let mut est = RobustF0Estimator::new(cfg, 0.3, 7);
+    let mut est = RobustF0Estimator::try_new(cfg, 0.3, 7).unwrap();
     for lp in &ds.points {
         est.process(&lp.point);
     }
@@ -57,7 +57,7 @@ fn robust_f0_is_monotone_in_group_count() {
         let cfg = SamplerConfig::builder(1, 0.5)
             .seed(9)
             .expected_len(3200).build().unwrap();
-        let mut est = RobustF0Estimator::new(cfg, 0.5, 5);
+        let mut est = RobustF0Estimator::try_new(cfg, 0.5, 5).unwrap();
         for i in 0..3200u64 {
             est.process(&rds_geometry::Point::new(vec![
                 (i % n_groups) as f64 * 10.0,
@@ -74,7 +74,7 @@ fn sliding_window_f0_follows_the_window() {
         .seed(11)
         .expected_len(4096)
         .kappa0(1.0).build().unwrap();
-    let mut est = SlidingWindowF0::new(cfg, Window::Sequence(256), 1.0);
+    let mut est = SlidingWindowF0::try_new(cfg, Window::Sequence(256), 1.0).unwrap();
     // phase 1: 100 groups
     for i in 0..1024u64 {
         est.process(&StreamItem::new(
@@ -107,7 +107,7 @@ fn fm_estimate_reports_sane_scale() {
         .seed(13)
         .expected_len(2048)
         .kappa0(1.0).build().unwrap();
-    let mut est = SlidingWindowF0::new(cfg, Window::Sequence(512), 1.0);
+    let mut est = SlidingWindowF0::try_new(cfg, Window::Sequence(512), 1.0).unwrap();
     for i in 0..2048u64 {
         est.process(&StreamItem::new(
             rds_geometry::Point::new(vec![(i % 128) as f64 * 10.0]),

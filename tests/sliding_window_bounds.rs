@@ -73,7 +73,7 @@ fn width_one_window_tracks_only_the_newest_item() {
 
 #[test]
 fn width_one_f0_estimates_one_entity() {
-    let mut est = SlidingWindowF0::new(cfg(3), Window::Sequence(1), 1.0);
+    let mut est = SlidingWindowF0::try_new(cfg(3), Window::Sequence(1), 1.0).unwrap();
     for seq in 0..32u64 {
         est.process(&item((seq % 5) as f64 * 10.0, seq));
     }
@@ -103,7 +103,7 @@ fn u64_max_width_behaves_like_the_infinite_window() {
 #[test]
 fn u64_max_width_f0_matches_the_infinite_estimator() {
     let n_entities = 16u64;
-    let mut sw = SlidingWindowF0::new(cfg(5), Window::Sequence(u64::MAX), 1.0);
+    let mut sw = SlidingWindowF0::try_new(cfg(5), Window::Sequence(u64::MAX), 1.0).unwrap();
     for seq in 0..256u64 {
         sw.process(&item((seq % n_entities) as f64 * 10.0, seq));
     }

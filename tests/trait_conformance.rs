@@ -231,7 +231,7 @@ fn metric_robust_sampler_conforms() {
         "MetricRobustSampler",
         || {
             MetricRobustSampler::try_new(
-                SimHashPartitioner::new(dim, 12, 0.05, 7),
+                SimHashPartitioner::try_new(dim, 12, 0.05, 7).unwrap(),
                 64, // threshold >> 12 groups: exact counting
                 9,
             ).unwrap()
