@@ -33,6 +33,28 @@ RDS_BENCH_FAST=1 RDS_BENCH_OUT="$PWD/BENCH_engine.json" \
     cargo bench -p rds-bench --bench engine
 test -s BENCH_engine.json || { echo "BENCH_engine.json missing"; exit 1; }
 
+echo "==> writer-under-load regression gate (CoW publication, PR 7)"
+# The writer serving 4 concurrent readers must keep at least this
+# fraction of the standalone unsharded ingest rate. Before O(changes)
+# copy-on-write publication the ratio was ~0.05; with it the smoke run
+# sits around 0.6 — the floor catches any regression back toward
+# full-copy publishes or lock contention on the snapshot cell.
+WRITER_LOAD_FLOOR=0.5
+python3 - "$WRITER_LOAD_FLOOR" <<'EOF'
+import json, sys
+floor = float(sys.argv[1])
+with open("BENCH_engine.json") as fh:
+    report = json.load(fh)
+writer = report["concurrent"]["writer_points_per_sec"]
+base = report["unsharded_points_per_sec"]
+ratio = writer / base
+print(f"    writer under load: {writer:,.0f} pts/s "
+      f"/ standalone {base:,.0f} pts/s = {ratio:.2f} (floor {floor})")
+if ratio < floor:
+    sys.exit(f"writer-under-load ratio {ratio:.3f} fell below the "
+             f"committed floor {floor}")
+EOF
+
 echo "==> concurrent writer/reader stress suite (--release)"
 cargo test -q --release --test concurrent_split
 

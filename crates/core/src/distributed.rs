@@ -35,6 +35,7 @@ use rand::rngs::StdRng;
 use rand::seq::{IndexedRandom, SliceRandom};
 use rds_geometry::Point;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A serializable snapshot of one site's sampler state — what a site
 /// ships to the coordinator over the wire.
@@ -57,12 +58,16 @@ pub struct SiteSummary {
 /// The coordinator-side result of merging site summaries: queryable,
 /// serializable, and mergeable with other summaries of the same
 /// configuration ([`SamplerSummary::merge`]).
+/// The candidate sets live behind [`Arc`] handles so that snapshot
+/// publication can share ("copy-on-write") the sets of an unchanged
+/// sampler across epochs instead of deep-copying them; `Arc` serializes
+/// transparently, so the JSON shape is the same as a plain `Vec`.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct MergedSummary {
     cfg: SamplerConfig,
     level: u32,
-    acc: Vec<GroupRecord>,
-    rej: Vec<GroupRecord>,
+    acc: Arc<Vec<GroupRecord>>,
+    rej: Arc<Vec<GroupRecord>>,
 }
 
 impl RobustL0Sampler {
@@ -101,6 +106,17 @@ impl MergedSummary {
         level: u32,
         acc: Vec<GroupRecord>,
         rej: Vec<GroupRecord>,
+    ) -> Self {
+        Self::from_shared(cfg, level, Arc::new(acc), Arc::new(rej))
+    }
+
+    /// Builds a summary around already-shared candidate sets without
+    /// copying them — the copy-on-write publication path.
+    pub(crate) fn from_shared(
+        cfg: SamplerConfig,
+        level: u32,
+        acc: Arc<Vec<GroupRecord>>,
+        rej: Arc<Vec<GroupRecord>>,
     ) -> Self {
         Self {
             cfg,
@@ -206,11 +222,11 @@ impl SamplerSummary for MergedSummary {
         let mut acc: Vec<GroupRecord> = Vec::new();
         let mut rej: Vec<GroupRecord> = Vec::new();
         for summary in &summaries {
-            for rec in &summary.acc {
+            for rec in summary.acc.iter() {
                 let sampled = rds_hashing::level_sampled(rec.cell_hash, level);
                 absorb_record(rec, sampled, level, alpha, &mut acc, &mut rej, &ctx);
             }
-            for rec in &summary.rej {
+            for rec in summary.rej.iter() {
                 absorb_record(rec, false, level, alpha, &mut acc, &mut rej, &ctx);
             }
         }

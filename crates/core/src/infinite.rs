@@ -146,6 +146,11 @@ pub struct RobustL0Sampler {
     scratch: Vec<i64>,
     rng: StdRng,
     space: SpaceMeter,
+    /// Cached copy-on-write summary, cleared whenever a candidate set
+    /// changes: an untouched sampler re-publishes its snapshot in `O(1)`
+    /// (the cached summary's sets are `Arc`-shared, so cloning it copies
+    /// no records).
+    summary_cache: Option<MergedSummary>,
 }
 
 impl RobustL0Sampler {
@@ -188,6 +193,7 @@ impl RobustL0Sampler {
             scratch: Vec::new(),
             rng,
             space: SpaceMeter::new(),
+            summary_cache: None,
         })
     }
 
@@ -231,6 +237,7 @@ impl RobustL0Sampler {
             if self.rng.random_range(0..rec.count) == 0 {
                 rec.reservoir = p.clone();
             }
+            self.summary_cache = None;
             return ProcessOutcome::Duplicate;
         }
 
@@ -239,12 +246,14 @@ impl RobustL0Sampler {
         let outcome = if self.ctx.hash_sampled(h, self.level) {
             // Line 6: the group's first point fell into a sampled cell.
             self.acc.push(GroupRecord::new(p.clone(), h));
+            self.summary_cache = None;
             ProcessOutcome::Accepted
         } else if self.ctx.any_adjacent_sampled(p, self.level) {
             // Line 8: some adjacent cell is sampled; remember the group as
             // rejected so later points of it are never mistaken for first
             // points.
             self.rej.push(GroupRecord::new(p.clone(), h));
+            self.summary_cache = None;
             ProcessOutcome::Rejected
         } else {
             ProcessOutcome::Ignored
@@ -263,6 +272,7 @@ impl RobustL0Sampler {
     fn double_rate(&mut self) {
         self.level += 1;
         self.rate_doublings += 1;
+        self.summary_cache = None;
         let level = self.level;
         // Groups whose own cell survives stay accepted (Fact 1b:
         // survivors are a subset, never new cells).
@@ -509,6 +519,18 @@ impl DistinctSampler for RobustL0Sampler {
             self.acc.clone(),
             self.rej.clone(),
         )
+    }
+
+    /// Returns the cached summary when the candidate sets are unchanged
+    /// since the last call (an `Arc`-sharing clone, no record is copied);
+    /// rebuilds and re-caches otherwise.
+    fn summary_cow(&mut self) -> MergedSummary {
+        if let Some(cached) = &self.summary_cache {
+            return cached.clone();
+        }
+        let built = self.summary();
+        self.summary_cache = Some(built.clone());
+        built
     }
 
     fn into_summary(self) -> MergedSummary {

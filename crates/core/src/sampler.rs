@@ -25,6 +25,7 @@ use rand::seq::{IndexedRandom, SliceRandom};
 use rand::{RngExt, SeedableRng};
 use rds_stream::{Stamp, StreamItem};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A mergeable, queryable snapshot of a sampler's state.
 ///
@@ -115,6 +116,12 @@ pub trait DistinctSampler {
     /// The mergeable snapshot type.
     type Summary: SamplerSummary;
 
+    /// Whether [`Self::advance`] alone can change this sampler's summary
+    /// (window families expire entries as the clock moves, without any new
+    /// items). Engines use this to decide whether a moved clock
+    /// invalidates cached per-shard summaries.
+    const TIME_SENSITIVE: bool = false;
+
     /// Feeds one stream item.
     fn process(&mut self, item: &StreamItem) -> ProcessOutcome;
 
@@ -157,6 +164,16 @@ pub trait DistinctSampler {
     /// Snapshots the sampler's state (the sampler keeps running).
     fn summary(&self) -> Self::Summary;
 
+    /// Copy-on-write snapshot: like [`Self::summary`] (and always equal to
+    /// it), but implementations may cache the result and return an
+    /// `Arc`-sharing summary whose candidate sets are rebuilt only when
+    /// dirtied since the previous call — the publication fast path, `O(1)`
+    /// for a sampler untouched between snapshots. Default: delegates to
+    /// [`Self::summary`].
+    fn summary_cow(&mut self) -> Self::Summary {
+        self.summary()
+    }
+
     /// Consumes the sampler and extracts its summary, moving state instead
     /// of cloning where the implementation supports it.
     fn into_summary(self) -> Self::Summary
@@ -184,27 +201,57 @@ pub trait DistinctSampler {
 ///
 /// The summary is plain immutable data: it serializes (the offline
 /// `rds snapshot` path), and queries take `&self` plus a `draw` token.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// Internally the entries are held as a sequence of immutable
+/// [`Arc`]-shared chunks (one per dirty-tracked source level), so
+/// snapshot publication can reuse the chunks of levels untouched since
+/// the previous epoch instead of deep-copying every entry. Queries,
+/// merging and serialization observe the flattened concatenation of the
+/// chunks; the serialized JSON shape (`entries: [[level, entry], ...]`)
+/// is identical to the flat representation.
+#[derive(Clone, Debug)]
 pub struct WindowSummary {
     cfg: SamplerConfig,
-    /// `(level, entry)` for every accepted entry.
-    entries: Vec<(u32, WindowGroupEntry)>,
+    /// Immutable `(level, entry)` chunks, flattened in order for queries.
+    chunks: Vec<EntryChunk>,
 }
+
+/// An immutable, `Arc`-shared chunk of `(level, entry)` pairs — the unit
+/// of copy-on-write sharing between consecutive window summaries.
+pub(crate) type EntryChunk = Arc<Vec<(u32, WindowGroupEntry)>>;
 
 impl WindowSummary {
     /// Builds a summary from a sampler's accepted entries.
     pub fn from_parts(cfg: SamplerConfig, entries: Vec<(u32, WindowGroupEntry)>) -> Self {
-        Self { cfg, entries }
+        Self {
+            cfg,
+            chunks: if entries.is_empty() {
+                Vec::new()
+            } else {
+                vec![Arc::new(entries)]
+            },
+        }
     }
 
-    /// The accepted entries with their levels.
-    pub fn entries(&self) -> &[(u32, WindowGroupEntry)] {
-        &self.entries
+    /// Builds a summary around already-shared entry chunks without
+    /// copying them — the copy-on-write publication path.
+    pub(crate) fn from_chunks(cfg: SamplerConfig, chunks: Vec<EntryChunk>) -> Self {
+        Self { cfg, chunks }
+    }
+
+    /// The accepted entries with their levels, in deterministic order.
+    pub fn entries(&self) -> impl Iterator<Item = &(u32, WindowGroupEntry)> {
+        self.chunks.iter().flat_map(|c| c.iter())
+    }
+
+    /// Number of accepted entries across all levels.
+    pub fn entry_count(&self) -> usize {
+        self.chunks.iter().map(|c| c.len()).sum()
     }
 
     /// Whether the summary covers no live group.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.chunks.iter().all(|c| c.is_empty())
     }
 
     /// The configuration the sampler was built from.
@@ -219,17 +266,53 @@ impl WindowSummary {
     /// Pools the entries at the common (coarsest) rate: every entry at
     /// level `ℓ` survives with probability `2^-(c-ℓ)`.
     fn pool(&self, rng: &mut StdRng) -> Vec<GroupRecord> {
-        let Some(c) = self.entries.iter().map(|(l, _)| *l).max() else {
+        let Some(c) = self.entries().map(|(l, _)| *l).max() else {
             return Vec::new();
         };
-        self.entries
-            .iter()
+        self.entries()
             .filter(|(l, _)| {
                 let keep = 0.5f64.powi((c - l) as i32);
                 keep >= 1.0 || rng.random_range(0.0..1.0) < keep
             })
             .map(|(_, e)| window_entry_record(e))
             .collect()
+    }
+}
+
+impl Serialize for WindowSummary {
+    /// Serializes the flattened entries — byte-identical to the previous
+    /// flat `entries: Vec<(u32, WindowGroupEntry)>` representation, so
+    /// snapshots written before the chunked layout still round-trip.
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("cfg".to_string(), self.cfg.to_value()),
+            (
+                "entries".to_string(),
+                serde::Value::Seq(
+                    self.entries()
+                        .map(Serialize::to_value)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for WindowSummary {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let cfg = SamplerConfig::from_value(
+            value
+                .get("cfg")
+                .ok_or_else(|| serde::DeError::custom("missing field `cfg`"))?,
+        )
+        .map_err(|e| serde::DeError::custom(format!("field `cfg`: {e}")))?;
+        let entries = Vec::<(u32, WindowGroupEntry)>::from_value(
+            value
+                .get("entries")
+                .ok_or_else(|| serde::DeError::custom("missing field `entries`"))?,
+        )
+        .map_err(|e| serde::DeError::custom(format!("field `entries`: {e}")))?;
+        Ok(Self::from_parts(cfg, entries))
     }
 }
 
@@ -258,7 +341,7 @@ impl SamplerSummary for WindowSummary {
     /// [`SamplerSummary::merge_many`] fold is already a single-pass N-way
     /// merge for this type (unlike the grid summary, nothing is
     /// re-deduplicated per fold step).
-    fn merge(mut self, other: Self) -> Result<Self, RdsError> {
+    fn merge(self, other: Self) -> Result<Self, RdsError> {
         // Full-config equality, not just the seed: two summaries built
         // under the same (default) seed but different alpha/dim would
         // otherwise dedup under the wrong threshold.
@@ -269,9 +352,13 @@ impl SamplerSummary for WindowSummary {
             });
         }
         let alpha = self.cfg.alpha;
-        for (level, entry) in other.entries {
-            match self
-                .entries
+        // Materialize both sides' chunks into one flat working set; the
+        // merge result is a fresh single-chunk summary (merging is the
+        // coordinator/offline path, not the per-epoch publication path).
+        let mut entries: Vec<(u32, WindowGroupEntry)> =
+            self.entries().cloned().collect();
+        for (level, entry) in other.entries().cloned() {
+            match entries
                 .iter_mut()
                 .find(|(_, e)| e.rep.within(&entry.rep, alpha) || e.last.within(&entry.last, alpha))
             {
@@ -291,18 +378,15 @@ impl SamplerSummary for WindowSummary {
                         existing.rep_stamp = entry.rep_stamp;
                     }
                 }
-                None => self.entries.push((level, entry)),
+                None => entries.push((level, entry)),
             }
         }
-        Ok(self)
+        Ok(Self::from_parts(self.cfg, entries))
     }
 
     /// Horvitz–Thompson estimate `Σ_entries 2^level`.
     fn f0_estimate(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|(l, _)| 2f64.powi(*l as i32))
-            .sum()
+        self.entries().map(|(l, _)| 2f64.powi(*l as i32)).sum()
     }
 
     fn query_record(&self, draw: u64) -> Option<GroupRecord> {

@@ -110,6 +110,10 @@ pub struct FixedRateWindowSampler {
     scratch: Vec<i64>,
     rng: StdRng,
     seen: u64,
+    /// Monotone count of operations that changed `entries` — the level's
+    /// dirty bit for copy-on-write snapshots: a level whose counter is
+    /// unchanged since the last snapshot can reuse its published chunk.
+    mutations: u64,
 }
 
 impl FixedRateWindowSampler {
@@ -138,6 +142,7 @@ impl FixedRateWindowSampler {
             scratch: Vec::new(),
             rng: StdRng::seed_from_u64(seed ^ 0xA1 ^ ((level as u64) << 32)),
             seen: 0,
+            mutations: 0,
         }
     }
 
@@ -169,7 +174,11 @@ impl FixedRateWindowSampler {
     /// expired.
     pub fn expire(&mut self, now: Stamp) {
         let window = self.window;
+        let before = self.entries.len();
         self.entries.retain(|e| window.live(e.last_stamp, now));
+        if self.entries.len() != before {
+            self.mutations += 1;
+        }
     }
 
     /// Lines 4-6: if the item belongs to a tracked candidate group, record
@@ -178,6 +187,7 @@ impl FixedRateWindowSampler {
     pub(crate) fn update_duplicate(&mut self, item: &StreamItem) -> Option<bool> {
         let alpha = self.ctx.alpha();
         let rng = &mut self.rng;
+        let mutations = &mut self.mutations;
         self.entries
             .iter_mut()
             .find(|e| e.rep.within(&item.point, alpha))
@@ -188,6 +198,7 @@ impl FixedRateWindowSampler {
                 if rng.random_range(0..e.count) == 0 {
                     e.reservoir = item.point.clone();
                 }
+                *mutations += 1;
                 e.accepted
             })
     }
@@ -200,10 +211,12 @@ impl FixedRateWindowSampler {
         if self.ctx.hash_sampled(h, self.level) {
             self.entries
                 .push(WindowGroupEntry::new(&item.point, h, item.stamp, true));
+            self.mutations += 1;
             ProcessOutcome::Accepted
         } else if self.ctx.any_adjacent_sampled(&item.point, self.level) {
             self.entries
                 .push(WindowGroupEntry::new(&item.point, h, item.stamp, false));
+            self.mutations += 1;
             ProcessOutcome::Rejected
         } else {
             ProcessOutcome::Ignored
@@ -252,7 +265,17 @@ impl FixedRateWindowSampler {
     /// Resets the sampler to the empty state, keeping its rate
     /// (`ALG_j <- (⊥, ⊥, ⊥, R_j)`, Algorithm 3 line 9).
     pub fn clear(&mut self) {
+        if !self.entries.is_empty() {
+            self.mutations += 1;
+        }
         self.entries.clear();
+    }
+
+    /// Monotone dirty counter: bumped by every operation that changed the
+    /// tracked entries. Two equal readings bracket a span with no content
+    /// change — the copy-on-write snapshot reuse condition.
+    pub(crate) fn mutations(&self) -> u64 {
+        self.mutations
     }
 
     /// Words of memory used by the entries.
@@ -278,6 +301,7 @@ impl FixedRateWindowSampler {
             "entries must stay ordered by representative arrival"
         );
         self.entries.push(entry);
+        self.mutations += 1;
     }
 
     /// Algorithm 4 (`Split`): promotes the oldest prefix of this level to
@@ -309,6 +333,7 @@ impl FixedRateWindowSampler {
             }
         }
         self.entries = kept;
+        self.mutations += 1;
         // Refilter the promoted prefix at the finer rate. Fact 1b: an
         // accepted entry can stay accepted or degrade; a rejected entry
         // can never become accepted.
@@ -342,11 +367,18 @@ impl FixedRateWindowSampler {
     /// Keeps only the entries satisfying the predicate (Algorithm 3 uses
     /// this to pull a just-refreshed rejected group out of its level).
     pub(crate) fn retain_entries<F: FnMut(&WindowGroupEntry) -> bool>(&mut self, f: F) {
+        let before = self.entries.len();
         self.entries.retain(f);
+        if self.entries.len() != before {
+            self.mutations += 1;
+        }
     }
 
     /// Moves every entry out (the cheap `into_summary` path).
     pub(crate) fn take_entries(&mut self) -> Vec<WindowGroupEntry> {
+        if !self.entries.is_empty() {
+            self.mutations += 1;
+        }
         std::mem::take(&mut self.entries)
     }
 }
@@ -408,6 +440,7 @@ impl FixedRateWindowSampler {
         self.entries = state.entries;
         self.rng = state.rng.restore();
         self.seen = state.seen;
+        self.mutations += 1;
         Ok(())
     }
 }
@@ -474,6 +507,9 @@ impl Checkpointable for FixedRateWindowSampler {
 
 impl DistinctSampler for FixedRateWindowSampler {
     type Summary = WindowSummary;
+
+    /// Expiry changes the summary as the clock moves, without new items.
+    const TIME_SENSITIVE: bool = true;
 
     fn process(&mut self, item: &StreamItem) -> ProcessOutcome {
         FixedRateWindowSampler::process(self, item)

@@ -38,7 +38,7 @@ use crate::checkpoint::{checkpoint_err, Checkpointable, RngState};
 use crate::config::{SamplerConfig, SamplerContext};
 use crate::error::RdsError;
 use crate::infinite::{GroupRecord, ProcessOutcome};
-use crate::sampler::{window_entry_record, DistinctSampler, WindowSummary};
+use crate::sampler::{window_entry_record, DistinctSampler, EntryChunk, WindowSummary};
 use crate::sw_fixed::{FixedRateLevelState, FixedRateWindowSampler, WindowGroupEntry};
 use serde::{Deserialize, Serialize};
 use rand::rngs::StdRng;
@@ -108,6 +108,12 @@ pub struct SlidingWindowSampler {
     overflow_errors: u64,
     split_failures: u64,
     space: SpaceMeter,
+    /// Per-level copy-on-write snapshot cache: the entry chunk published
+    /// for a level at the [`FixedRateWindowSampler::mutations`] reading it
+    /// was built from. A level whose counter is unchanged re-publishes its
+    /// `Arc` chunk without copying a single entry. Lazily sized; never
+    /// serialized.
+    summary_cache: Vec<Option<(u64, EntryChunk)>>,
 }
 
 impl SlidingWindowSampler {
@@ -166,6 +172,7 @@ impl SlidingWindowSampler {
             overflow_errors: 0,
             split_failures: 0,
             space: SpaceMeter::new(),
+            summary_cache: Vec::new(),
         })
     }
 
@@ -486,6 +493,9 @@ impl Checkpointable for SlidingWindowSampler {
 impl DistinctSampler for SlidingWindowSampler {
     type Summary = WindowSummary;
 
+    /// Expiry changes the summary as the clock moves, without new items.
+    const TIME_SENSITIVE: bool = true;
+
     fn process(&mut self, item: &StreamItem) -> ProcessOutcome {
         SlidingWindowSampler::process(self, item)
     }
@@ -533,6 +543,39 @@ impl DistinctSampler for SlidingWindowSampler {
             })
             .collect();
         WindowSummary::from_parts(self.ctx.cfg().clone(), entries)
+    }
+
+    /// Rebuilds only the per-level chunks whose [`FixedRateWindowSampler`]
+    /// mutation counter moved since the previous call; untouched levels
+    /// contribute their previously published `Arc` chunk as-is. Always
+    /// equal to [`Self::summary`] (the chunks flatten to the same entry
+    /// sequence: levels in order, accepted entries in arrival order).
+    fn summary_cow(&mut self) -> WindowSummary {
+        if self.summary_cache.len() != self.levels.len() {
+            self.summary_cache = vec![None; self.levels.len()];
+        }
+        let mut chunks = Vec::new();
+        for (l, lvl) in self.levels.iter().enumerate() {
+            let muts = lvl.mutations();
+            let chunk = match &self.summary_cache[l] {
+                Some((stamp, chunk)) if *stamp == muts => chunk.clone(),
+                _ => {
+                    let built: EntryChunk = Arc::new(
+                        lvl.entries()
+                            .iter()
+                            .filter(|e| e.accepted)
+                            .map(|e| (l as u32, e.clone()))
+                            .collect(),
+                    );
+                    self.summary_cache[l] = Some((muts, built.clone()));
+                    built
+                }
+            };
+            if !chunk.is_empty() {
+                chunks.push(chunk);
+            }
+        }
+        WindowSummary::from_chunks(self.ctx.cfg().clone(), chunks)
     }
 
     fn into_summary(mut self) -> WindowSummary {

@@ -102,6 +102,11 @@ struct Shard<S: DistinctSampler> {
     tx: Sender<Cmd<S>>,
     buf: Vec<StreamItem>,
     routed: u64,
+    /// Whether the worker received state-changing commands (batches,
+    /// inspections) since this handle last cached its summary. Clean
+    /// shards skip the snapshot round trip entirely — the engine-level
+    /// dirty bit of the copy-on-write publication path.
+    dirty: bool,
 }
 
 /// Deterministic point-to-shard router: the cell of a coarse random grid,
@@ -155,6 +160,16 @@ pub struct ShardedEngine<S: DistinctSampler = RobustL0Sampler> {
     seen: u64,
     last_stamp: Stamp,
     draws: u64,
+    /// Last summary received from each shard, reused verbatim while the
+    /// shard stays clean (no round trip, no copy — the per-shard
+    /// summaries are `Arc`-backed).
+    summary_cache: Vec<Option<S::Summary>>,
+    /// The engine clock the cached summaries were advanced to; a moved
+    /// clock invalidates them for time-sensitive sampler families.
+    snapshot_stamp: Option<Stamp>,
+    /// The reduce of the cached per-shard summaries, valid while every
+    /// shard is clean — makes a quiet engine's publication `O(1)`.
+    merged_cache: Option<S::Summary>,
 }
 
 impl std::fmt::Debug for Router {
@@ -211,7 +226,7 @@ where
                         Cmd::Snapshot(reply, now) => {
                             sampler.advance(now);
                             // receiver may have given up; ignore
-                            let _ = reply.send(sampler.summary());
+                            let _ = reply.send(sampler.summary_cow());
                         }
                         Cmd::Inspect(f) => f(&mut sampler),
                     }
@@ -222,9 +237,11 @@ where
                 tx,
                 buf: Vec::with_capacity(DEFAULT_BATCH_SIZE),
                 routed: 0,
+                dirty: true,
             });
             handles.push(handle);
         }
+        let summary_cache = (0..n_shards).map(|_| None).collect();
         Ok(Self {
             cfg: cfg.clone(),
             router,
@@ -234,6 +251,9 @@ where
             seen: 0,
             last_stamp: Stamp::at(0),
             draws: 0,
+            summary_cache,
+            snapshot_stamp: None,
+            merged_cache: None,
         })
     }
 
@@ -274,6 +294,7 @@ where
         shard.buf.push(item);
         if shard.buf.len() >= self.batch_size {
             let batch = std::mem::replace(&mut shard.buf, Vec::with_capacity(self.batch_size));
+            shard.dirty = true;
             shard
                 .tx
                 .send(Cmd::Batch(batch))
@@ -305,6 +326,7 @@ where
             if !shard.buf.is_empty() {
                 let batch =
                     std::mem::replace(&mut shard.buf, Vec::with_capacity(self.batch_size));
+                shard.dirty = true;
                 shard
                     .tx
                     .send(Cmd::Batch(batch))
@@ -325,10 +347,25 @@ where
     ///
     /// Call [`Self::flush`] first when the snapshot must cover every
     /// ingested item.
-    pub fn shard_summaries(&mut self) -> Vec<S::Summary> {
+    ///
+    /// Copy-on-write: a shard that received nothing since its last
+    /// summary (and, for time-sensitive families, whose clock did not
+    /// move) is served from this handle's cache without a worker round
+    /// trip; dirty shards reply with `Arc`-sharing summaries rebuilt only
+    /// for their changed levels — snapshot cost is proportional to what
+    /// changed, not to total state size.
+    pub fn shard_summaries(&mut self) -> Vec<S::Summary>
+    where
+        S::Summary: Clone,
+    {
         let now = self.last_stamp;
+        let clock_moved = S::TIME_SENSITIVE && self.snapshot_stamp != Some(now);
         let mut pending = Vec::with_capacity(self.shards.len());
-        for shard in &self.shards {
+        for (i, shard) in self.shards.iter().enumerate() {
+            if !shard.dirty && !clock_moved && self.summary_cache[i].is_some() {
+                pending.push(None);
+                continue;
+            }
             let (reply_tx, reply_rx) = mpsc::channel();
             shard
                 .tx
@@ -336,14 +373,32 @@ where
                 // lint:allow(L1) a send fails only when the worker hung
                 // up, which means it already panicked
                 .expect("shard worker terminated");
-            pending.push(reply_rx);
+            pending.push(Some(reply_rx));
         }
-        pending
-            .into_iter()
-            // lint:allow(L1) recv fails only when the worker dropped the
-            // reply sender mid-request, i.e. it panicked
-            .map(|rx| rx.recv().expect("shard worker terminated"))
-            .collect()
+        self.snapshot_stamp = Some(now);
+        let mut out = Vec::with_capacity(self.shards.len());
+        for (i, rx) in pending.into_iter().enumerate() {
+            let summary = match rx {
+                Some(rx) => {
+                    // lint:allow(L1) recv fails only when the worker
+                    // dropped the reply sender mid-request, i.e. it
+                    // panicked
+                    let s = rx.recv().expect("shard worker terminated");
+                    self.summary_cache[i] = Some(s.clone());
+                    self.shards[i].dirty = false;
+                    self.merged_cache = None;
+                    s
+                }
+                None => match &self.summary_cache[i] {
+                    Some(cached) => cached.clone(),
+                    // lint:allow(L1) unreachable: a shard is only skipped
+                    // when its cache slot is occupied (checked above)
+                    None => unreachable!("skipped shard has a cached summary"),
+                },
+            };
+            out.push(summary);
+        }
+        out
     }
 
     /// Merges the current shard states into one summary — the
@@ -352,27 +407,47 @@ where
     /// running; unlike the pre-split API, nothing is flushed implicitly:
     /// items still buffered in this handle are *not* covered until
     /// [`Self::flush`] ships them.
-    pub fn snapshot(&mut self) -> S::Summary {
-        Self::reduce(self.shard_summaries())
+    pub fn snapshot(&mut self) -> S::Summary
+    where
+        S::Summary: Clone,
+    {
+        let summaries = self.shard_summaries();
+        if let Some(cached) = &self.merged_cache {
+            // Every shard was served from cache, so the previous reduce
+            // is still exact — a quiet engine publishes in O(1).
+            return cached.clone();
+        }
+        let merged = Self::reduce(summaries);
+        self.merged_cache = Some(merged.clone());
+        merged
     }
 
     /// The merged robust F0 estimate over the union of the shards (over
     /// flushed items only; see [`Self::snapshot`]).
-    pub fn f0_estimate(&mut self) -> f64 {
+    pub fn f0_estimate(&mut self) -> f64
+    where
+        S::Summary: Clone,
+    {
         self.snapshot().f0_estimate()
     }
 
     /// Draws one robust ℓ0-sample over the flushed stream: the owned
     /// record of a uniformly random sampled entity. `None` iff nothing
     /// reached the workers (or, for window backends, nothing is live).
-    pub fn query(&mut self) -> Option<GroupRecord> {
+    pub fn query(&mut self) -> Option<GroupRecord>
+    where
+        S::Summary: Clone,
+    {
         self.draws += 1;
         self.snapshot().query_record(self.draws)
     }
 
     /// Draws up to `k` distinct sampled entities, owned (over flushed
     /// items only; see [`Self::snapshot`]).
-    pub fn query_k(&mut self, k: usize) -> Vec<GroupRecord> {
+    pub fn query_k(&mut self, k: usize) -> Vec<GroupRecord>
+    where
+        S::Summary: Clone,
+    {
         self.draws += 1;
         self.snapshot().query_k(k, self.draws)
     }
@@ -467,7 +542,11 @@ where
     pub fn checkpoint(&mut self) -> EngineCheckpoint<S::State> {
         self.flush();
         let mut pending = Vec::with_capacity(self.shards.len());
-        for shard in &self.shards {
+        for shard in &mut self.shards {
+            // The closure gets `&mut` access to the sampler; assume it
+            // mutated (checkpoint capture does not, but correctness over
+            // cleverness for the escape hatch).
+            shard.dirty = true;
             let (reply_tx, reply_rx) = mpsc::channel();
             shard
                 .tx

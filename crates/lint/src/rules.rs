@@ -58,8 +58,10 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "L6",
-        "no Mutex/RwLock acquisition inside Snapshot/summary read impls (PR 4: \
-         lock-free frozen reader contract)",
+        "no Mutex/RwLock acquisition inside Snapshot/summary read impls or \
+         SnapshotCell, and no lock or full-summary clone inside the publication \
+         path (freeze/RdsWriter::publish) — O(changes) copy-on-write contract \
+         (PR 4/7)",
     ),
     (
         "L7",
@@ -649,10 +651,119 @@ fn rule_l5(ctx: &mut Ctx<'_>) {
     }
 }
 
-/// L6: lock-free reader contract — no lock types or `.lock()` calls
-/// inside impl blocks of the frozen snapshot/summary types.
+/// Reports every lock type, lock-acquisition call and (optionally)
+/// full-summary `.clone()` in `toks[lo..=hi]`, attributing it to
+/// `site` in the message. Shared by the L6 scans over frozen reader
+/// impls, `SnapshotCell` impls and the publication path.
+fn l6_scan_range(ctx: &mut Ctx<'_>, lo: usize, hi: usize, site: &str, summary_clones: bool) {
+    let toks = ctx.tokens;
+    for m in lo..=hi.min(toks.len() - 1) {
+        if ctx.in_test[m] {
+            continue;
+        }
+        let t = &toks[m];
+        let method_call = |name: &str| {
+            t.is_ident(name)
+                && m > 0
+                && toks[m - 1].is_punct(".")
+                && m + 1 < toks.len()
+                && toks[m + 1].is_punct("(")
+        };
+        let lock_type = t.kind == TokenKind::Ident && (t.text == "Mutex" || t.text == "RwLock");
+        let lock_call = method_call("lock") || method_call("read") || method_call("write");
+        if lock_type || lock_call {
+            ctx.emit(
+                "L6",
+                &t.clone(),
+                format!(
+                    "`{}` inside {site}: readers are lock-free and publication swaps \
+                     one atomic pointer — no lock is ever acquired here (PR 4/7 \
+                     contract)",
+                    t.text
+                ),
+            );
+            continue;
+        }
+        if summary_clones && m >= 2 && method_call("clone") {
+            // the receiver: the identifier (or callee) just before `.`
+            let mut j = m - 2;
+            if toks[j].is_punct(")") {
+                let mut depth = 0i32;
+                loop {
+                    if toks[j].is_punct(")") {
+                        depth += 1;
+                    } else if toks[j].is_punct("(") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if j == 0 {
+                        break;
+                    }
+                    j -= 1;
+                }
+                j = j.saturating_sub(1);
+            }
+            let recv = &toks[j];
+            if recv.kind == TokenKind::Ident && recv.text.to_lowercase().contains("summary") {
+                ctx.emit(
+                    "L6",
+                    &t.clone(),
+                    format!(
+                        "`{}.clone()` inside {site}: a full-summary deep copy defeats \
+                         O(changes) publication; Arc-share untouched levels instead \
+                         (PR 7 contract)",
+                        recv.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Scans the body of every `fn {name}` between `lo` and `hi` with the
+/// publication-path checks (locks *and* full-summary clones).
+fn l6_scan_fn_bodies(ctx: &mut Ctx<'_>, lo: usize, hi: usize, name: &str, site: &str) {
+    let toks = ctx.tokens;
+    let mut i = lo;
+    while i + 1 < hi.min(toks.len()) {
+        if !(toks[i].is_ident("fn") && toks[i + 1].is_ident(name)) {
+            i += 1;
+            continue;
+        }
+        // the body runs from the first `{` after the signature
+        let mut open = None;
+        for (m, t) in toks.iter().enumerate().take(hi.min(toks.len())).skip(i + 2) {
+            if t.is_punct("{") {
+                open = Some(m);
+                break;
+            }
+            if t.is_punct(";") {
+                break; // a trait method signature has no body
+            }
+        }
+        let Some(open) = open else {
+            i += 2;
+            continue;
+        };
+        let close = matching(toks, open, "{", "}");
+        l6_scan_range(ctx, open, close, site, true);
+        i = close + 1;
+    }
+}
+
+/// L6: lock-free publication contract — no lock types or acquisition
+/// calls (`.lock()`/`.read()`/`.write()`) inside impl blocks of the
+/// frozen snapshot/summary types or `SnapshotCell`, and no lock
+/// acquisition *or full-summary `.clone()`* inside the copy-on-write
+/// publication path (`fn freeze`, `RdsWriter::publish`,
+/// `SnapshotCell`): publication must stay O(changes) + one atomic swap.
 fn rule_l6(ctx: &mut Ctx<'_>) {
     let toks = ctx.tokens;
+    // Free-standing `fn freeze` anywhere in the file (the facade's
+    // snapshot builder) gets the full publication-path scan.
+    l6_scan_fn_bodies(ctx, 0, toks.len(), "freeze", "fn freeze");
     let mut i = 0usize;
     while i < toks.len() {
         if !toks[i].is_ident("impl") {
@@ -710,32 +821,25 @@ fn rule_l6(ctx: &mut Ctx<'_>) {
             }
         }
         let close = matching(toks, open, "{", "}");
-        if target.is_some_and(|n| LOCK_FREE_READ_TYPES.contains(&n)) {
-            for m in open..=close {
-                if ctx.in_test[m] {
-                    continue;
-                }
-                let t = &toks[m];
-                let lock_type =
-                    t.kind == TokenKind::Ident && (t.text == "Mutex" || t.text == "RwLock");
-                let lock_call = t.is_ident("lock")
-                    && m > 0
-                    && toks[m - 1].is_punct(".")
-                    && m + 1 < toks.len()
-                    && toks[m + 1].is_punct("(");
-                if lock_type || lock_call {
-                    let target_name = target.unwrap_or("?").to_string();
-                    ctx.emit(
-                        "L6",
-                        &t.clone(),
-                        format!(
-                            "`{}` inside impl {target_name}: snapshots are frozen plain \
-                             data, readers must never block (PR 4 contract)",
-                            t.text
-                        ),
-                    );
-                }
+        match target {
+            // The lock-free cell itself: locks and summary deep-clones
+            // are both contract violations anywhere in its impls.
+            Some("SnapshotCell") => {
+                l6_scan_range(ctx, open, close, "impl SnapshotCell", true);
             }
+            // The writer's publish path: only `fn publish` bodies are
+            // publication; other writer methods may lock freely.
+            Some("RdsWriter") => {
+                l6_scan_fn_bodies(ctx, open, close, "publish", "RdsWriter::publish");
+            }
+            // Frozen reader types: readers query them concurrently with
+            // `&self`, so no lock is ever acquired (clones are fine —
+            // `Arc`-backed levels make them cheap by construction).
+            Some(n) if LOCK_FREE_READ_TYPES.contains(&n) => {
+                let site = format!("impl {n}");
+                l6_scan_range(ctx, open, close, &site, false);
+            }
+            _ => {}
         }
         i = close + 1;
     }

@@ -30,7 +30,7 @@ impl MergedSummary {
     }
 }
 
-// guard: the writer side may lock all it wants
+// guard: the writer side may lock all it wants (not RdsWriter)
 pub struct WriterCell {
     cell: Mutex<u64>,
 }
@@ -41,4 +41,48 @@ impl WriterCell {
             *g = v;
         }
     }
+}
+
+// publication path: the lock-free cell, freeze, and RdsWriter::publish
+pub struct SnapshotCell {
+    slot: u64,
+}
+
+impl SnapshotCell {
+    pub fn bad_load(&self, lock: &RwLock<u64>) -> u64 {
+        match lock.read() {
+            Ok(v) => *v,
+            Err(_) => self.slot,
+        }
+    }
+    pub fn bad_store(&mut self, summary: &MergedSummary) {
+        let _deep = summary.clone();
+        self.slot += 1;
+    }
+}
+
+pub fn freeze(window_summary: &MergedSummary) -> MergedSummary {
+    window_summary.clone()
+}
+
+pub struct RdsWriter {
+    current: MergedSummary,
+}
+
+impl RdsWriter {
+    pub fn publish(&mut self) -> MergedSummary {
+        self.summary().clone()
+    }
+    fn summary(&self) -> &MergedSummary {
+        &self.current
+    }
+    // guard: clones outside `publish` are not publication
+    pub fn checkpoint_copy(&self) -> MergedSummary {
+        self.summary().clone()
+    }
+}
+
+// guard: summary clones outside freeze/publish/SnapshotCell are fine
+pub fn merge_all(summary: &MergedSummary) -> MergedSummary {
+    summary.clone()
 }

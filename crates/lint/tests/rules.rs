@@ -103,11 +103,15 @@ fn l5_flags_literal_construction_but_not_patterns() {
 }
 
 #[test]
-fn l6_flags_locks_only_inside_frozen_reader_impls() {
+fn l6_flags_locks_in_frozen_impls_and_the_publication_path() {
     let f = scan_as("l6_cases.rs", CORE_PATH);
-    assert_eq!(lines_of(&f, "L6"), vec![11, 25], "{f:?}");
-    // the writer-side impl locks freely: findings stay at exactly two
-    assert_eq!(f.len(), 2, "{f:?}");
+    // 11/25/26: locks inside frozen reader impls; 52/53: locks inside
+    // impl SnapshotCell; 59/65/74: full-summary clones inside
+    // SnapshotCell, fn freeze and RdsWriter::publish
+    assert_eq!(lines_of(&f, "L6"), vec![11, 25, 26, 52, 53, 59, 65, 74], "{f:?}");
+    // guards: WriterCell::publish locks freely (not RdsWriter), and
+    // summary clones outside the publication path never fire
+    assert_eq!(f.len(), 8, "{f:?}");
 }
 
 #[test]

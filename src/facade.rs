@@ -45,9 +45,10 @@ use rds_core::{
 use rds_engine::{EngineCheckpoint, ShardedEngine};
 use rds_geometry::Point;
 use rds_stream::{Stamp, StreamItem, Window};
+use parking_lot::AtomicArc;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, PoisonError, RwLock};
+use std::sync::Arc;
 
 /// Which concrete pipeline serves the writer. One variant per
 /// (window, sharding) combination; all four speak [`DistinctSampler`] /
@@ -171,34 +172,31 @@ impl Snapshot {
     }
 }
 
-/// The shared slot a writer publishes into and readers load from. The
-/// lock is held only to swap/clone an `Arc` — nanoseconds — so readers
-/// never block ingestion and the writer never waits on a query in
-/// progress (queries run on the reader's own `Arc` after the load).
+/// The shared slot a writer publishes into and readers load from: a
+/// lock-free epoch pointer ([`AtomicArc`]). Readers obtain the current
+/// snapshot with a single atomic pointer load (plus a pin/unpin pair for
+/// reclamation) and never block; the writer publishes with one atomic
+/// swap and never takes a lock — there is no lock to poison, so a
+/// panicking thread can never leave the cell torn or readers stuck
+/// (snapshots are swapped in whole or not at all).
 #[derive(Debug)]
 struct SnapshotCell {
-    current: RwLock<Arc<Snapshot>>,
+    current: AtomicArc<Snapshot>,
 }
 
 impl SnapshotCell {
     fn new(initial: Snapshot) -> Self {
         Self {
-            current: RwLock::new(Arc::new(initial)),
+            current: AtomicArc::new(Arc::new(initial)),
         }
     }
 
     fn load(&self) -> Arc<Snapshot> {
-        self.current
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clone()
+        self.current.load()
     }
 
     fn store(&self, snapshot: Snapshot) {
-        *self
-            .current
-            .write()
-            .unwrap_or_else(PoisonError::into_inner) = Arc::new(snapshot);
+        self.current.store(Arc::new(snapshot));
     }
 }
 
@@ -207,12 +205,18 @@ impl SnapshotCell {
 /// the epoch-0 snapshot of [`RdsBuilder::build_split`]. Window backends
 /// are advanced to `now` first so quiet streams still expire; engine
 /// backends flush so the snapshot covers every ingested item.
+/// Copy-on-write: every path delegates to the backend's
+/// [`DistinctSampler::summary_cow`] machinery, which `Arc`-shares the
+/// candidate sets of everything untouched since the previous snapshot —
+/// publication cost is proportional to what changed, not to state size
+/// (and no full-summary clone or lock acquisition happens here; rds-lint
+/// rule L6 enforces that invariant).
 fn freeze(backend: &mut Backend, now: Stamp) -> SnapshotSummary {
     match backend {
-        Backend::Single(s) => SnapshotSummary::Infinite(DistinctSampler::summary(s.as_ref())),
+        Backend::Single(s) => SnapshotSummary::Infinite(s.summary_cow()),
         Backend::Window(s) => {
             DistinctSampler::advance(s.as_mut(), now);
-            SnapshotSummary::Window(DistinctSampler::summary(s.as_ref()))
+            SnapshotSummary::Window(s.summary_cow())
         }
         Backend::Engine(e) => {
             e.flush();
@@ -561,11 +565,19 @@ impl RdsWriter {
     /// next published snapshot never serves them (a no-op for the
     /// infinite window). Stamps must be non-decreasing; an older `now` is
     /// ignored.
+    ///
+    /// Under [`PublishCadence::EveryN`], an advance that moves the clock
+    /// of a window backend counts as one tick (the counter counts
+    /// *state-changing events*, not just items): a quiet windowed stream
+    /// that only advances still republishes every `n` events, so readers
+    /// never serve arbitrarily stale expiry state between publishes.
     pub fn advance(&mut self, now: Stamp) {
         let moved = now > self.last_stamp;
         self.last_stamp = self.last_stamp.max(now);
         let now = self.last_stamp;
-        if moved && matches!(self.backend, Backend::Window(_) | Backend::WindowEngine(_)) {
+        let window_moved =
+            moved && matches!(self.backend, Backend::Window(_) | Backend::WindowEngine(_));
+        if window_moved {
             // Window content may have changed (expiry) without an item.
             self.advanced_since_publish = true;
         }
@@ -580,16 +592,27 @@ impl RdsWriter {
             Backend::Engine(e) => e.advance(now),
             Backend::WindowEngine(e) => e.advance(now),
         }
+        if window_moved {
+            self.since_publish += 1;
+            if let PublishCadence::EveryN(n) = self.cadence {
+                if self.since_publish >= n.max(1) {
+                    self.publish();
+                }
+            }
+        }
     }
 
     /// Publishes a fresh [`Snapshot`] covering every processed item and
     /// returns its epoch. Readers see it on their next query; snapshots
     /// they already hold stay valid (they are immutable).
     ///
-    /// This is the only point where the writer does read-side work:
-    /// sharded backends flush their batch buffers and merge the per-shard
-    /// summaries here, single-process backends clone their candidate
-    /// sets.
+    /// This is the only point where the writer does read-side work, and
+    /// it is copy-on-write: sharded backends flush their batch buffers
+    /// and re-merge only when a shard actually changed; single-process
+    /// backends `Arc`-share every candidate set untouched since the
+    /// previous publish. A publish with nothing new is `O(1)`; one after
+    /// `k` changed levels copies those levels only — never the whole
+    /// state. The snapshot swap itself is one lock-free atomic store.
     pub fn publish(&mut self) -> u64 {
         let summary = freeze(&mut self.backend, self.last_stamp);
         self.epoch += 1;
@@ -1434,6 +1457,46 @@ mod tests {
         assert_eq!(reader.epoch(), 1, "64th item triggers the publication");
         assert_eq!(reader.seen(), 64);
         assert_eq!(reader.f0_estimate(), 7.0);
+    }
+
+    #[test]
+    fn every_n_cadence_republishes_windowed_expiry_on_quiet_advances() {
+        // Regression (windowed-expiry staleness): `advance` calls that
+        // expire window entries used to never tick the `EveryN` counter,
+        // so a stream that went quiet left readers serving long-expired
+        // entries forever. Clock movement on a window backend now counts
+        // as a cadence tick like any other state-changing event.
+        let (mut writer, reader) = base()
+            .window(Window::Time(10))
+            .publish_every(4)
+            .build_split()
+            .expect("valid");
+        for g in 0..4u64 {
+            writer.process_item(StreamItem::new(
+                Point::new(vec![g as f64 * 10.0]),
+                Stamp::new(g, 0),
+            ));
+        }
+        assert_eq!(reader.epoch(), 1, "4 items trigger the first publication");
+        assert_eq!(reader.f0_estimate(), 4.0);
+        // The stream goes quiet: only the clock moves, far past the
+        // window, expiring everything. Three advances are below the
+        // cadence; the fourth must republish without any new item.
+        for t in 0..3u64 {
+            writer.advance(Stamp::new(4 + t, 101 + t));
+            assert_eq!(reader.epoch(), 1, "advance {t}: below the cadence");
+        }
+        writer.advance(Stamp::new(8, 105));
+        assert_eq!(reader.epoch(), 2, "the 4th quiet advance republishes");
+        assert_eq!(reader.f0_estimate(), 0.0, "readers see the expiry");
+        // Infinite backends are untouched: advances never expire
+        // anything there, so they must not tick the cadence either.
+        let (mut writer, reader) = base().publish_every(4).build_split().expect("valid");
+        writer.process(grouped_point(0, 2));
+        for t in 0..8u64 {
+            writer.advance(Stamp::new(10 + t, 10 + t));
+        }
+        assert_eq!(reader.epoch(), 0, "quiet advances on an infinite window are no-ops");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use proptest::prelude::*;
 use robust_distinct_sampling::geometry::Point;
 use robust_distinct_sampling::stream::Window;
-use robust_distinct_sampling::{PublishCadence, Rds};
+use robust_distinct_sampling::{PublishCadence, Rds, Snapshot};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Well-separated entities (spacing 10, jitter < alpha/2 = 0.25) so
@@ -148,6 +148,142 @@ fn windowed_split_serves_live_estimates_concurrently() {
     assert_eq!(reader.seen(), 8192);
 }
 
+#[test]
+fn panicking_writer_leaves_readers_a_coherent_snapshot() {
+    // Regression: the snapshot slot used to be a `std::sync::RwLock`
+    // with `PoisonError` recovery paths — a panicking writer poisoned
+    // the lock and every reader path had to unwrap the poison. The slot
+    // is now a lock-free epoch pointer with nothing to poison: a writer
+    // that dies mid-stream leaves readers exactly the last *published*
+    // snapshot, coherent and fully queryable, never a torn or
+    // stale-epoch view.
+    const N: u64 = 6_000;
+    const ENTITIES: u64 = 100;
+    let (mut writer, reader) = Rds::builder()
+        .dim(1)
+        .alpha(0.5)
+        .seed(31)
+        .expected_len(N)
+        .count_accuracy(0.3) // exact counting: torn state is detectable
+        .shards(2)
+        .publish_every(256)
+        .build_split()
+        .expect("valid");
+
+    // Keep the injected panic out of the test output without touching
+    // anyone else's: forward everything that isn't ours.
+    let original = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let ours = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("injected writer failure"));
+        if !ours {
+            original(info);
+        }
+    }));
+
+    let done = AtomicBool::new(false);
+    let observed = std::thread::scope(|scope| {
+        let observer = {
+            let reader = reader.clone();
+            let done = &done;
+            scope.spawn(move || {
+                let mut last_epoch = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let snap = reader.snapshot();
+                    assert!(snap.epoch() >= last_epoch, "stale epoch served");
+                    last_epoch = snap.epoch();
+                    assert_eq!(
+                        snap.f0_estimate(),
+                        snap.seen().min(ENTITIES) as f64,
+                        "torn snapshot at epoch {}",
+                        snap.epoch()
+                    );
+                }
+                last_epoch
+            })
+        };
+        let writer_thread = scope.spawn(move || {
+            for i in 0..N {
+                writer.process(entity_point(i, ENTITIES));
+            }
+            writer.publish();
+            panic!("injected writer failure");
+        });
+        let crashed = writer_thread.join();
+        assert!(crashed.is_err(), "the writer must have panicked");
+        done.store(true, Ordering::Relaxed);
+        observer.join().expect("observer saw a torn or stale snapshot")
+    });
+    drop(std::panic::take_hook()); // restore the default hook
+
+    // After the crash the cell still serves the final published state.
+    assert!(observed >= 1, "the observer never saw a publication");
+    let snap = reader.snapshot();
+    assert_eq!(snap.seen(), N);
+    assert_eq!(snap.f0_estimate(), ENTITIES as f64);
+    assert!(snap.query_at(1).is_some(), "final snapshot is queryable");
+    assert_eq!(reader.snapshot().epoch(), snap.epoch(), "epoch is stable");
+}
+
+#[test]
+fn lock_free_cell_stress_is_epoch_monotone_with_no_torn_reads() {
+    // Seeded repeated runs against the lock-free snapshot cell: a
+    // writer publishing every 64 items races two readers that assert
+    // (a) the epoch never moves backwards and (b) every snapshot is
+    // internally consistent — under exact counting, `f0` must equal
+    // `min(seen, entities)` in *every* observed snapshot, so any torn
+    // publication (summary from one epoch, counters from another)
+    // fails loudly.
+    for seed in [3u64, 17, 59] {
+        const N: u64 = 6_000;
+        const ENTITIES: u64 = 60;
+        let (mut writer, reader) = Rds::builder()
+            .dim(1)
+            .alpha(0.5)
+            .seed(seed)
+            .expected_len(N)
+            .count_accuracy(0.3)
+            .shards(2)
+            .publish_every(64)
+            .build_split()
+            .expect("valid");
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let reader = reader.clone();
+                let done = &done;
+                scope.spawn(move || {
+                    let mut last_epoch = 0u64;
+                    while !done.load(Ordering::Relaxed) {
+                        let snap = reader.snapshot();
+                        assert!(
+                            snap.epoch() >= last_epoch,
+                            "seed {seed}: epoch regressed to {}",
+                            snap.epoch()
+                        );
+                        last_epoch = snap.epoch();
+                        assert_eq!(
+                            snap.f0_estimate(),
+                            snap.seen().min(ENTITIES) as f64,
+                            "seed {seed}: torn snapshot at epoch {}",
+                            snap.epoch()
+                        );
+                    }
+                });
+            }
+            for i in 0..N {
+                writer.process(entity_point(i, ENTITIES));
+            }
+            writer.publish();
+            done.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(reader.seen(), N, "seed {seed}");
+        assert_eq!(reader.f0_estimate(), ENTITIES as f64, "seed {seed}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -193,5 +329,82 @@ proptest! {
         }
         prop_assert_eq!(reader.f0_estimate(), rds.f0_estimate());
         prop_assert_eq!(reader.seen(), rds.seen());
+    }
+
+    /// Copy-on-write publication is invisible to queries: snapshots in
+    /// a CoW chain `Arc`-share untouched levels with the writer's live
+    /// state *and with each other*, yet every retained epoch must keep
+    /// answering exactly like a from-scratch deep copy taken at that
+    /// epoch — even after the writer mutates far past it. The deep
+    /// copies go through the wire format (which materializes every
+    /// shared level into private storage), so any aliasing bug where a
+    /// later mutation bleeds into an already-published level diverges.
+    #[test]
+    fn cow_snapshot_chain_matches_from_scratch_deep_copies(
+        seed in 0u64..100,
+        n_entities in 2u64..30,
+        steps in 3u64..8,
+        shards in 1usize..4,
+        windowed in 0u8..2,
+    ) {
+        const STEP: u64 = 40;
+        let window = if windowed == 1 {
+            Window::Sequence(1 << 12)
+        } else {
+            Window::Infinite
+        };
+        let builder = || Rds::builder()
+            .dim(1)
+            .alpha(0.5)
+            .seed(seed)
+            .expected_len(512)
+            .window(window)
+            .shards(shards)
+            .publish_cadence(PublishCadence::Manual);
+        let (mut writer, reader) = builder().build_split().unwrap();
+
+        // Build the CoW chain, deep-copying each epoch as it appears.
+        let mut chain: Vec<(u64, std::sync::Arc<Snapshot>, Snapshot)> = Vec::new();
+        for s in 0..steps {
+            for i in s * STEP..(s + 1) * STEP {
+                writer.process(entity_point(i, n_entities));
+            }
+            writer.publish();
+            let snap = reader.snapshot();
+            let deep: Snapshot =
+                serde_json::from_str(&serde_json::to_string(&*snap).unwrap()).unwrap();
+            chain.push(((s + 1) * STEP, snap, deep));
+        }
+        // Mutate well past every retained epoch: different entity
+        // layout, so aliased levels would visibly change.
+        for i in 0..200u64 {
+            writer.process(entity_point(i * 3 + 1, n_entities * 2 + 1));
+        }
+        writer.publish();
+
+        for (k, (prefix, snap, deep)) in chain.iter().enumerate() {
+            // Epoch monotonicity along the chain.
+            prop_assert_eq!(snap.epoch(), (k + 1) as u64);
+            // Retained CoW snapshot == deep copy taken at its epoch.
+            prop_assert_eq!(snap.seen(), deep.seen());
+            prop_assert_eq!(snap.f0_estimate(), deep.f0_estimate());
+            for draw in [1u64, 5, 11] {
+                let a = snap.query_k_at(3, draw);
+                let b = deep.query_k_at(3, draw);
+                prop_assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b.iter()) {
+                    prop_assert_eq!(&x.rep, &y.rep);
+                    prop_assert_eq!(x.count, y.count);
+                    prop_assert_eq!(x.cell_hash, y.cell_hash);
+                }
+            }
+            // And both equal a from-scratch run over the same prefix.
+            let mut rds = builder().build().unwrap();
+            for i in 0..*prefix {
+                rds.process(entity_point(i, n_entities));
+            }
+            prop_assert_eq!(snap.seen(), rds.seen());
+            prop_assert_eq!(snap.f0_estimate(), rds.f0_estimate());
+        }
     }
 }

@@ -1,10 +1,12 @@
 //! Offline vendored shim for the `parking_lot` API surface this workspace
 //! uses: a [`Mutex`] whose `lock` returns the guard directly (no poison
-//! `Result`), backed by `std::sync::Mutex`.
+//! `Result`), backed by `std::sync::Mutex`, plus the lock-free
+//! [`AtomicArc`] swap cell backing the facade's snapshot publication.
 
 #![warn(missing_docs)]
 
-use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex as StdMutex, MutexGuard as StdMutexGuard};
 
 /// A mutual-exclusion primitive with `parking_lot`'s panic-transparent API.
 ///
@@ -43,9 +45,119 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A lock-free shared-pointer cell: readers obtain the current
+/// [`Arc`] with a handful of atomic operations and **never block**, not
+/// even while a writer is mid-[`store`](AtomicArc::store); the writer
+/// publishes by swapping a raw pointer and never acquires a lock.
+///
+/// # Protocol
+///
+/// Reclamation is epoch-parity pin counting. The cell keeps the current
+/// value as a raw `Arc` pointer plus a monotone epoch counter and two
+/// pin counters indexed by epoch parity:
+///
+/// * A **reader** pins the current parity, re-checks the epoch (retrying
+///   if a writer flipped it mid-pin), loads the pointer, bumps the
+///   `Arc`'s strong count to take its own reference, and unpins.
+/// * The **writer** swaps the pointer, flips the epoch (so later readers
+///   pin the other parity), then waits for the *old* parity's pin count
+///   to drain before dropping the previous `Arc`. It only ever waits for
+///   readers already inside their constant-time critical section — a
+///   bounded wait that cannot be extended by new readers.
+///
+/// The wait-to-drop runs on the writer; readers are oblivious to it.
+/// Stores are designed for a single publisher (the split facade's writer
+/// handle); concurrent `store` calls must be serialized by the caller.
+pub struct AtomicArc<T> {
+    ptr: AtomicPtr<T>,
+    epoch: AtomicUsize,
+    pins: [AtomicUsize; 2],
+}
+
+impl<T> AtomicArc<T> {
+    /// Wraps `value` in a new cell.
+    pub fn new(value: Arc<T>) -> Self {
+        Self {
+            ptr: AtomicPtr::new(Arc::into_raw(value).cast_mut()),
+            epoch: AtomicUsize::new(0),
+            pins: [AtomicUsize::new(0), AtomicUsize::new(0)],
+        }
+    }
+
+    /// Returns the current value — a single pointer load bracketed by a
+    /// pin/unpin pair; never blocks, never takes a lock.
+    pub fn load(&self) -> Arc<T> {
+        loop {
+            let parity = self.epoch.load(Ordering::SeqCst) & 1;
+            self.pins[parity].fetch_add(1, Ordering::SeqCst);
+            if self.epoch.load(Ordering::SeqCst) & 1 != parity {
+                // A writer flipped the epoch between the two loads; our
+                // pin lands on a parity it may already have drained.
+                // Retry on the new parity.
+                self.pins[parity].fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            let raw = self.ptr.load(Ordering::SeqCst);
+            // SAFETY: `raw` came from `Arc::into_raw` and is kept alive
+            // while we hold the pin — a writer that swapped it out waits
+            // for this parity's pin count to drain before dropping it.
+            let arc = unsafe {
+                Arc::increment_strong_count(raw);
+                Arc::from_raw(raw)
+            };
+            self.pins[parity].fetch_sub(1, Ordering::SeqCst);
+            return arc;
+        }
+    }
+
+    /// Publishes `value` and drops the cell's reference to the previous
+    /// value once in-flight readers of it have finished. Lock-free: the
+    /// publication itself is one atomic swap (readers observe the new
+    /// value immediately); only the cleanup spin-waits, and only for
+    /// readers already mid-`load`.
+    pub fn store(&self, value: Arc<T>) {
+        let fresh = Arc::into_raw(value).cast_mut();
+        let old = self.ptr.swap(fresh, Ordering::SeqCst);
+        // Flip the parity: readers arriving from here on pin the other
+        // counter and can only observe `fresh`.
+        let old_parity = self.epoch.fetch_add(1, Ordering::SeqCst) & 1;
+        // Readers still pinned on the old parity may be about to bump
+        // `old`'s strong count; wait them out (their critical section is
+        // a few instructions — this is a bounded spin, not a lock).
+        while self.pins[old_parity].load(Ordering::SeqCst) != 0 {
+            std::hint::spin_loop();
+        }
+        // SAFETY: `old` came from `Arc::into_raw` (via `new` or an
+        // earlier `store`), was swapped out exactly once, and no reader
+        // can reach it anymore.
+        drop(unsafe { Arc::from_raw(old) });
+    }
+}
+
+impl<T> Drop for AtomicArc<T> {
+    fn drop(&mut self) {
+        let raw = *self.ptr.get_mut();
+        // SAFETY: the cell owns one strong reference to the current
+        // value; `&mut self` means no reader or writer is in flight.
+        drop(unsafe { Arc::from_raw(raw) });
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for AtomicArc<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicArc").field(&self.load()).finish()
+    }
+}
+
+// SAFETY: the cell hands out `Arc<T>` clones across threads, exactly
+// like `Arc<T>` itself — the same bounds apply.
+unsafe impl<T: Send + Sync> Send for AtomicArc<T> {}
+// SAFETY: see above; all interior mutation is via atomics.
+unsafe impl<T: Send + Sync> Sync for AtomicArc<T> {}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{AtomicArc, Mutex};
     use std::sync::Arc;
     use std::thread;
 
@@ -73,5 +185,63 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn atomic_arc_load_store_round_trip() {
+        let cell = AtomicArc::new(Arc::new(1u64));
+        assert_eq!(*cell.load(), 1);
+        cell.store(Arc::new(2));
+        assert_eq!(*cell.load(), 2);
+        // The previous value was dropped; the current one is shared.
+        let held = cell.load();
+        cell.store(Arc::new(3));
+        assert_eq!(*held, 2, "a held Arc outlives the store that replaced it");
+        assert_eq!(*cell.load(), 3);
+    }
+
+    #[test]
+    fn atomic_arc_concurrent_readers_see_monotone_values() {
+        let cell = Arc::new(AtomicArc::new(Arc::new(0u64)));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                thread::spawn(move || {
+                    let mut last = 0u64;
+                    for _ in 0..20_000 {
+                        let v = *cell.load();
+                        assert!(v >= last, "observed value went backwards");
+                        last = v;
+                    }
+                })
+            })
+            .collect();
+        for v in 1..=1_000u64 {
+            cell.store(Arc::new(v));
+        }
+        for h in readers {
+            h.join().unwrap();
+        }
+        assert_eq!(*cell.load(), 1_000);
+    }
+
+    #[test]
+    fn atomic_arc_drops_every_value_exactly_once() {
+        struct Counted(Arc<std::sync::atomic::AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        {
+            let cell = AtomicArc::new(Arc::new(Counted(drops.clone())));
+            for _ in 0..10 {
+                cell.store(Arc::new(Counted(drops.clone())));
+            }
+            assert_eq!(drops.load(std::sync::atomic::Ordering::SeqCst), 10);
+        }
+        // Cell drop releases the final value.
+        assert_eq!(drops.load(std::sync::atomic::Ordering::SeqCst), 11);
     }
 }
