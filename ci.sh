@@ -23,7 +23,7 @@ echo "==> cargo doc --no-deps (warnings denied; public surface stays documented)
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p robust-distinct-sampling -p rds-core -p rds-engine -p rds-cli \
     -p rds-geometry -p rds-hashing -p rds-stream -p rds-metrics \
-    -p rds-datasets -p rds-baselines
+    -p rds-datasets -p rds-baselines -p rds-server
 
 echo "==> benches compile"
 cargo bench -p rds-bench --no-run
@@ -85,6 +85,47 @@ echo "==> merge/uniformity/window-boundary/conformance test suite"
 cargo test -q --test distributed_props --test uniformity --test sliding_window_bounds \
     --test trait_conformance
 cargo test -q -p rds-engine
+
+echo "==> HTTP server robustness + e2e suites"
+cargo test -q -p rds-server
+cargo test -q --release --test server_e2e
+
+echo "==> HTTP server smoke (serve on an ephemeral port, load, drain; emits BENCH_server.json)"
+cargo build -q --release -p rds-bench --bin loadgen
+SRV_DIR=$(mktemp -d)
+target/release/rds serve --addr 127.0.0.1:0 --dim 2 --alpha 0.5 \
+    --seed 42 --publish-every 256 > "$SRV_DIR/serve.out" 2>"$SRV_DIR/serve.err" &
+SRV_PID=$!
+SRV_ADDR=""
+for _ in $(seq 1 100); do
+    SRV_ADDR=$(sed -n 's/^rds-server listening on //p' "$SRV_DIR/serve.out")
+    [ -n "$SRV_ADDR" ] && break
+    kill -0 "$SRV_PID" 2>/dev/null || { cat "$SRV_DIR/serve.err"; exit 1; }
+    sleep 0.1
+done
+[ -n "$SRV_ADDR" ] || { echo "server never announced its address"; kill "$SRV_PID"; exit 1; }
+# the loadgen readiness-polls /healthz, fires the mixed workload, posts
+# /admin/shutdown, and exits nonzero on any 5xx / dropped connection /
+# failed drain — that exit code is the gate
+RDS_BENCH_FAST=1 RDS_BENCH_OUT="$PWD/BENCH_server.json" \
+    target/release/loadgen --addr "$SRV_ADDR" --shutdown
+wait "$SRV_PID" || { echo "server exited nonzero after shutdown"; exit 1; }
+rm -rf "$SRV_DIR"
+test -s BENCH_server.json || { echo "BENCH_server.json missing"; exit 1; }
+python3 <<'EOF'
+import json, sys
+with open("BENCH_server.json") as fh:
+    report = json.load(fh)
+for cls in ("ingest", "query", "f0"):
+    stats = report[cls]
+    if stats["requests"] <= 0:
+        sys.exit(f"no {cls} requests were recorded")
+    print(f"    {cls}: {stats['requests_per_sec']:,.0f} req/s "
+          f"p50 {stats['p50_micros']}us p99 {stats['p99_micros']}us")
+if report["status_5xx"] or report["io_errors"]:
+    sys.exit(f"server smoke saw {report['status_5xx']} 5xx responses and "
+             f"{report['io_errors']} socket errors")
+EOF
 
 echo "==> examples run"
 for ex in quickstart f0_monitor tweet_window video_dedup; do

@@ -287,9 +287,173 @@ fn parse_num<T: std::str::FromStr>(s: &str, name: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("{name}: invalid number {s}"))
 }
 
+/// Parses `serve` arguments (everything after the `serve` word) into a
+/// [`rds_server::ServerConfig`].
+///
+/// `--dim` and `--alpha` are required unless `--restore PATH` is given,
+/// in which case the checkpoint's config echo is authoritative and the
+/// stream-configuration flags are rejected (mirroring `checkpoint
+/// restore`); `--publish-every` stays honored either way.
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed input.
+pub fn parse_serve(args: &[String]) -> Result<rds_server::ServerConfig, String> {
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut threads: Option<usize> = None;
+    let mut max_body: Option<usize> = None;
+    let mut queue_depth: Option<usize> = None;
+    let mut read_timeout: Option<u64> = None;
+    let mut dim: Option<usize> = None;
+    let mut alpha: Option<f64> = None;
+    let mut window_len: Option<u64> = None;
+    let mut time_based = false;
+    let mut shards: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut expected_len: Option<u64> = None;
+    let mut k: Option<usize> = None;
+    let mut eps: Option<f64> = None;
+    let mut publish_every: Option<u64> = None;
+    let mut restore: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} expects a value"))
+        };
+        match a.as_str() {
+            "--addr" => addr = val("--addr")?.clone(),
+            "--threads" => threads = Some(parse_num(val("--threads")?, "--threads")?),
+            "--max-body-bytes" => {
+                max_body = Some(parse_num(val("--max-body-bytes")?, "--max-body-bytes")?);
+            }
+            "--queue-depth" => {
+                queue_depth = Some(parse_num(val("--queue-depth")?, "--queue-depth")?);
+            }
+            "--read-timeout-ms" => {
+                read_timeout = Some(parse_num(val("--read-timeout-ms")?, "--read-timeout-ms")?);
+            }
+            "--dim" => dim = Some(parse_num(val("--dim")?, "--dim")?),
+            "--alpha" => alpha = Some(parse_num(val("--alpha")?, "--alpha")?),
+            "--window" => window_len = Some(parse_num(val("--window")?, "--window")?),
+            "--time" => time_based = true,
+            "--shards" => shards = Some(parse_num(val("--shards")?, "--shards")?),
+            "--seed" => seed = Some(parse_num(val("--seed")?, "--seed")?),
+            "--expected-len" => {
+                expected_len = Some(parse_num(val("--expected-len")?, "--expected-len")?);
+            }
+            "--k" => k = Some(parse_num(val("--k")?, "--k")?),
+            "--eps" => eps = Some(parse_num(val("--eps")?, "--eps")?),
+            "--publish-every" => {
+                publish_every = Some(parse_num(val("--publish-every")?, "--publish-every")?);
+            }
+            "--restore" => restore = Some(val("--restore")?.clone()),
+            other => return Err(format!("unknown serve option {other}\n{}", usage())),
+        }
+    }
+
+    let backend = if let Some(path) = restore {
+        if dim.is_some()
+            || alpha.is_some()
+            || window_len.is_some()
+            || time_based
+            || shards.is_some()
+            || seed.is_some()
+            || expected_len.is_some()
+            || k.is_some()
+            || eps.is_some()
+        {
+            return Err(
+                "serve --restore reads the sampler configuration from the \
+                 file's config echo; --dim/--alpha/--window/--time/--shards/\
+                 --seed/--expected-len/--k/--eps do not apply \
+                 (--publish-every still does)"
+                    .into(),
+            );
+        }
+        let mut b = rds_server::BackendConfig::new(0, 0.0);
+        b.restore_from = Some(path);
+        b
+    } else {
+        let dim = dim.ok_or("serve needs --dim (or --restore)".to_string())?;
+        let alpha = alpha.ok_or("serve needs --alpha (or --restore)".to_string())?;
+        if alpha <= 0.0 {
+            return Err("--alpha must be positive".into());
+        }
+        let mut b = rds_server::BackendConfig::new(dim, alpha);
+        if let Some(w) = window_len {
+            b.window = if time_based {
+                Window::Time(w)
+            } else {
+                Window::Sequence(w)
+            };
+        } else if time_based {
+            return Err("--time needs --window".into());
+        }
+        if let Some(s) = shards {
+            if s == 0 {
+                return Err("--shards must be at least 1".into());
+            }
+            b.shards = s;
+        }
+        if let Some(s) = seed {
+            b.seed = s;
+        }
+        if let Some(m) = expected_len {
+            b.expected_len = m;
+        }
+        b.k = k;
+        b.eps = eps;
+        b
+    };
+    let mut backend = backend;
+    backend.publish_every = publish_every;
+    let mut cfg = rds_server::ServerConfig::new(backend);
+    cfg.addr = addr;
+    if let Some(t) = threads {
+        if t == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        cfg.threads = t;
+    }
+    if let Some(m) = max_body {
+        cfg.max_body_bytes = m;
+    }
+    if let Some(q) = queue_depth {
+        cfg.queue_depth = q;
+    }
+    if let Some(r) = read_timeout {
+        cfg.read_timeout_ms = r;
+    }
+    Ok(cfg)
+}
+
+/// Binds the HTTP server and announces the resolved address on `out`
+/// (flushed before returning, so scripts can poll the line even when
+/// stdout is a pipe). The caller joins the returned handle; the process
+/// then runs until `POST /admin/shutdown`.
+///
+/// # Errors
+///
+/// [`CliError::Config`] when the backend configuration is rejected,
+/// [`CliError::Runtime`] when the address cannot be bound.
+pub fn run_serve<W: std::io::Write>(
+    cfg: rds_server::ServerConfig,
+    out: &mut W,
+) -> Result<rds_server::ServerHandle, CliError> {
+    let handle = rds_server::bind(cfg).map_err(|e| match e {
+        rds_server::ServerError::Config(e) => CliError::Config(e),
+        rds_server::ServerError::Io(e) => CliError::Runtime(format!("bind: {e}")),
+    })?;
+    writeln!(out, "rds-server listening on {}", handle.addr())
+        .and_then(|()| out.flush())
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    Ok(handle)
+}
+
 /// The usage string.
 pub fn usage() -> String {
-    "usage: rds <sample|count|heavy|snapshot|checkpoint> --alpha A [options] < points.csv\n\
+    "usage: rds <sample|count|heavy|snapshot|checkpoint|serve> --alpha A [options] < points.csv\n\
      \n\
      Points arrive on stdin, one per line, comma- or whitespace-separated\n\
      coordinates. With --time, the LAST column is the item's timestamp.\n\
@@ -309,6 +473,14 @@ pub fn usage() -> String {
      \x20 checkpoint restore <path>  restore the state, resume ingesting\n\
      \x20                       stdin (may be empty), print f0 + --k\n\
      \x20                       samples; config comes from the file\n\
+     \x20 serve                 serve the sampler over HTTP (no stdin);\n\
+     \x20                       needs --dim D --alpha A, or --restore\n\
+     \x20                       <path> to boot from a checkpoint. Extra\n\
+     \x20                       flags: --addr H:P (default 127.0.0.1:8080;\n\
+     \x20                       port 0 = ephemeral), --threads N,\n\
+     \x20                       --publish-every N, --max-body-bytes B,\n\
+     \x20                       --queue-depth Q, --read-timeout-ms T.\n\
+     \x20                       Runs until POST /admin/shutdown.\n\
      options:\n\
      \x20 --alpha A          near-duplicate distance threshold (required)\n\
      \x20 --k N              number of distinct samples (sample; default 1)\n\
@@ -1067,6 +1239,78 @@ mod tests {
         let mut out = Vec::new();
         let err = run(&cli, Cursor::new(""), &mut out).expect_err("no points");
         assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let cfg = parse_serve(&args(
+            "--addr 127.0.0.1:0 --dim 3 --alpha 0.5 --threads 2 --seed 7 \
+             --publish-every 50 --window 100 --time --max-body-bytes 2048",
+        ))
+        .expect("valid");
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.max_body_bytes, 2048);
+        assert_eq!(cfg.backend.dim, 3);
+        assert_eq!(cfg.backend.seed, 7);
+        assert_eq!(cfg.backend.window, Window::Time(100));
+        assert_eq!(cfg.backend.publish_every, Some(50));
+        assert!(cfg.backend.restore_from.is_none());
+    }
+
+    #[test]
+    fn serve_usage_errors_at_parse_time() {
+        // dim + alpha are required without --restore
+        assert!(parse_serve(&args("--alpha 0.5")).is_err());
+        assert!(parse_serve(&args("--dim 2")).is_err());
+        assert!(parse_serve(&args("--dim 2 --alpha 0.0")).is_err());
+        assert!(parse_serve(&args("--dim 2 --alpha 0.5 --threads 0")).is_err());
+        assert!(parse_serve(&args("--dim 2 --alpha 0.5 --time")).is_err());
+        assert!(parse_serve(&args("--dim 2 --alpha 0.5 --frobnicate 1")).is_err());
+        // restore is exclusive with the stream-configuration flags...
+        for bad in [
+            "--restore /tmp/x.chk --dim 2",
+            "--restore /tmp/x.chk --alpha 0.5",
+            "--restore /tmp/x.chk --seed 3",
+            "--restore /tmp/x.chk --shards 2",
+        ] {
+            let err = parse_serve(&args(bad)).expect_err("invalid");
+            assert!(err.contains("config echo"), "error for `{bad}`: {err}");
+        }
+        // ...but the serving cadence stays configurable
+        let cfg = parse_serve(&args("--restore /tmp/x.chk --publish-every 10"))
+            .expect("valid");
+        assert_eq!(cfg.backend.restore_from.as_deref(), Some("/tmp/x.chk"));
+        assert_eq!(cfg.backend.publish_every, Some(10));
+    }
+
+    #[test]
+    fn run_serve_announces_the_resolved_address_and_serves() {
+        let cfg = parse_serve(&args("--addr 127.0.0.1:0 --dim 2 --alpha 0.5 --threads 1"))
+            .expect("valid");
+        let mut out = Vec::new();
+        let handle = run_serve(cfg, &mut out).expect("binds");
+        let text = String::from_utf8(out).expect("utf8");
+        let addr = handle.addr();
+        assert!(
+            text.contains(&format!("rds-server listening on {addr}")),
+            "announcement: {text}"
+        );
+        let (status, _) =
+            rds_server::client::request_once(addr, "GET", "/healthz", None).expect("healthz");
+        assert_eq!(status, 200);
+        handle.shutdown_and_join();
+    }
+
+    #[test]
+    fn run_serve_config_errors_are_typed_not_panics() {
+        let cfg = parse_serve(&args("--addr 127.0.0.1:0 --dim 0 --alpha 0.5"))
+            .expect("parses; the facade validates dim");
+        let mut out = Vec::new();
+        let Err(err) = run_serve(cfg, &mut out) else {
+            panic!("dim 0 must be rejected");
+        };
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]

@@ -18,6 +18,30 @@ fn main() -> ExitCode {
         print!("{}", rds_cli::usage());
         return ExitCode::SUCCESS;
     }
+    // `serve` takes no stream input: bind, announce, run until
+    // `POST /admin/shutdown` drains the threads.
+    if args.first().map(String::as_str) == Some("serve") {
+        let cfg = match rds_cli::parse_serve(&args[1..]) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                let err = rds_cli::CliError::Usage(e);
+                eprintln!("{err}");
+                return ExitCode::from(err.exit_code());
+            }
+        };
+        let mut stdout = std::io::stdout().lock();
+        return match rds_cli::run_serve(cfg, &mut stdout) {
+            Ok(handle) => {
+                handle.join();
+                eprintln!("rds-server stopped");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::from(e.exit_code())
+            }
+        };
+    }
     let cli = match rds_cli::parse_cli(&args) {
         Ok(cli) => cli,
         Err(e) => {

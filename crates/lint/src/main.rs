@@ -20,7 +20,7 @@ fn usage() {
         "usage: rds-lint [--root <dir>] [--report <path>] [--list]\n\
          \n\
          Scans every first-party .rs file in the workspace for violations\n\
-         of the repo's invariant lints (L1..L7), prints\n\
+         of the repo's invariant lints (L1..L8), prints\n\
          file:line:col: rule-id message diagnostics, and writes a\n\
          machine-readable JSON report (default: <root>/LINT_report.json)."
     );

@@ -1,4 +1,4 @@
-//! The rule engine: seven repo-specific lints over the lexed token
+//! The rule engine: eight repo-specific lints over the lexed token
 //! stream, with `#[cfg(test)]`/`#[test]` region tracking and the
 //! `// lint:allow(<rule>) <justification>` escape hatch.
 //!
@@ -12,7 +12,7 @@ use crate::lexer::{lex, Comment, Token, TokenKind};
 /// One diagnostic: `path:line:col: rule message`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
-    /// The rule id (`L1`..`L7`, or `L0` for a malformed allow comment).
+    /// The rule id (`L1`..`L8`, or `L0` for a malformed allow comment).
     pub rule: &'static str,
     /// Workspace-relative path of the offending file.
     pub path: String,
@@ -68,6 +68,12 @@ pub const RULES: &[(&str, &str)] = &[
         "no lossy `as` casts of stamp/epoch/seen/word-accounting values to narrower \
          integers (use try_into or a checked helper)",
     ),
+    (
+        "L8",
+        "no .unwrap()/.expect()/panic!/unreachable!/indexing-by-literal in non-test \
+         rds-server code (PR 8: a malformed request is a 4xx envelope, never a dead \
+         worker thread)",
+    ),
 ];
 
 /// The file blessed to contain raw filesystem writes: the atomic
@@ -110,6 +116,7 @@ enum CrateKind {
     Engine,
     Umbrella,
     Cli,
+    Server,
     Other,
 }
 
@@ -120,6 +127,8 @@ fn crate_kind(path: &str) -> CrateKind {
         CrateKind::Engine
     } else if path.starts_with("crates/cli/") {
         CrateKind::Cli
+    } else if path.starts_with("crates/server/") {
+        CrateKind::Server
     } else if path.starts_with("crates/") {
         CrateKind::Other
     } else {
@@ -357,10 +366,17 @@ pub fn check_file(path: &str, source: &str) -> Vec<Finding> {
         rule_l3(&mut ctx);
         rule_l7(&mut ctx);
     }
+    if lib_scope && kind == CrateKind::Server {
+        rule_l8(&mut ctx);
+    }
     if lib_scope
         && matches!(
             kind,
-            CrateKind::Core | CrateKind::Engine | CrateKind::Umbrella | CrateKind::Cli
+            CrateKind::Core
+                | CrateKind::Engine
+                | CrateKind::Umbrella
+                | CrateKind::Cli
+                | CrateKind::Server
         )
         && path != BLESSED_WRITE_MODULE
     {
@@ -412,8 +428,11 @@ pub fn check_file(path: &str, source: &str) -> Vec<Finding> {
     findings
 }
 
-/// L1: panic-free serving path.
-fn rule_l1(ctx: &mut Ctx<'_>) {
+/// The shared panic-free scan behind L1 (core/engine/facade) and L8
+/// (rds-server): flags `.unwrap()`/`.expect()`, the aborting macros and
+/// indexing-by-literal, attributing each hit to `rule` with the
+/// rule-specific `remedy` clause.
+fn rule_panic_free(ctx: &mut Ctx<'_>, rule: &'static str, remedy: &str) {
     let toks = ctx.tokens;
     for i in 0..toks.len() {
         if ctx.in_test[i] {
@@ -425,26 +444,18 @@ fn rule_l1(ctx: &mut Ctx<'_>) {
             let next_paren = i + 1 < toks.len() && toks[i + 1].is_punct("(");
             if prev_dot && next_paren && (t.text == "unwrap" || t.text == "expect") {
                 ctx.emit(
-                    "L1",
+                    rule,
                     &toks[i].clone(),
-                    format!(
-                        ".{}() can panic on the serving path; return a typed RdsError \
-                         (or document the invariant with lint:allow(L1))",
-                        t.text
-                    ),
+                    format!(".{}() can panic on the serving path; {remedy}", t.text),
                 );
                 continue;
             }
             let next_bang = i + 1 < toks.len() && toks[i + 1].is_punct("!");
             if next_bang && PANIC_MACROS.contains(&t.text.as_str()) {
                 ctx.emit(
-                    "L1",
+                    rule,
                     &toks[i].clone(),
-                    format!(
-                        "{}! aborts the serving path; return a typed RdsError \
-                         (or document the invariant with lint:allow(L1))",
-                        t.text
-                    ),
+                    format!("{}! aborts the serving path; {remedy}", t.text),
                 );
                 continue;
             }
@@ -462,7 +473,7 @@ fn rule_l1(ctx: &mut Ctx<'_>) {
                 || prev.is_punct("]");
             if indexable {
                 ctx.emit(
-                    "L1",
+                    rule,
                     &toks[i + 1].clone(),
                     format!(
                         "indexing by literal `[{}]` panics when the container is shorter; \
@@ -473,6 +484,25 @@ fn rule_l1(ctx: &mut Ctx<'_>) {
             }
         }
     }
+}
+
+/// L1: panic-free serving path in core/engine/facade code.
+fn rule_l1(ctx: &mut Ctx<'_>) {
+    rule_panic_free(
+        ctx,
+        "L1",
+        "return a typed RdsError (or document the invariant with lint:allow(L1))",
+    );
+}
+
+/// L8: panic-free request handling in rds-server — a worker thread that
+/// dies on a malformed request takes every queued connection with it.
+fn rule_l8(ctx: &mut Ctx<'_>) {
+    rule_panic_free(
+        ctx,
+        "L8",
+        "answer a 4xx error envelope (or document the invariant with lint:allow(L8))",
+    );
 }
 
 /// L2: all durable writes go through the blessed atomic helper.

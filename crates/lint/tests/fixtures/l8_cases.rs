@@ -1,0 +1,39 @@
+// L8 fixture: panicking constructs on the rds-server request path, plus
+// the guards that must NOT fire.
+
+pub fn bad_unwrap(body: Option<String>) -> String {
+    body.unwrap()
+}
+
+pub fn bad_expect(header: Option<u64>) -> u64 {
+    header.expect("content-length present")
+}
+
+pub fn bad_panic(route: &str) {
+    panic!("no handler for {route}");
+}
+
+pub fn bad_index(parts: &[&str]) -> &str {
+    parts[0]
+}
+
+// guard: a documented invariant is allowed through the escape hatch
+pub fn allowed_unwrap(status: Option<u16>) -> u16 {
+    status.unwrap() // lint:allow(L8) set unconditionally two lines above
+}
+
+// guard: .get() + error mapping is the sanctioned spelling
+pub fn good_get(parts: &[&str]) -> Option<&str> {
+    parts.get(0).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    // guard: test regions may panic freely
+    #[test]
+    fn in_tests_unwrap_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        panic!("even this");
+    }
+}

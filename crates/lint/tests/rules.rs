@@ -123,6 +123,43 @@ fn l7_flags_narrowing_casts_of_protected_names_only() {
 }
 
 #[test]
+fn l8_flags_panicking_constructs_on_the_server_request_path() {
+    let f = scan_as("l8_cases.rs", "crates/server/src/handlers/ingest.rs");
+    assert_eq!(lines_of(&f, "L8"), vec![5, 9, 13, 17], "{f:?}");
+    // the allow comment, the .get() spelling and the test mod are guards
+    assert_eq!(f.len(), 4, "{f:?}");
+    // the remedy clause names the envelope contract, not RdsError
+    assert!(
+        f.iter()
+            .filter(|x| x.line != 17) // the indexing message is rule-neutral
+            .all(|x| x.message.contains("4xx error envelope")),
+        "{f:?}"
+    );
+}
+
+#[test]
+fn l8_is_scoped_to_the_server_crate_and_l1_stays_off_it() {
+    // the same content elsewhere is L1 territory (or silent), never L8
+    assert!(lines_of(&scan_as("l8_cases.rs", CORE_PATH), "L8").is_empty());
+    assert!(scan_as("l8_cases.rs", "crates/hashing/src/lib.rs").is_empty());
+    // server test trees and the http robustness suite may panic freely
+    assert!(scan_as("l8_cases.rs", "crates/server/tests/http_robustness.rs").is_empty());
+    // L1 does not double-report the server crate
+    let server = scan_as("l1_cases.rs", "crates/server/src/http.rs");
+    assert!(lines_of(&server, "L1").is_empty(), "{server:?}");
+    assert_eq!(lines_of(&server, "L8").len(), 5, "{server:?}");
+}
+
+#[test]
+fn l2_covers_the_server_crate() {
+    // a server handler writing raw files would bypass the atomic helper
+    assert_eq!(
+        lines_of(&scan_as("l2_cases.rs", "crates/server/src/handlers/admin.rs"), "L2").len(),
+        4
+    );
+}
+
+#[test]
 fn lexer_edges_hide_everything_except_the_live_violation() {
     let f = scan_as("lexer_edges.rs", CORE_PATH);
     // raw/nested-raw/byte strings, block comments, lifetimes, char

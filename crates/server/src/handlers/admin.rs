@@ -1,0 +1,91 @@
+//! Write-side and lifecycle endpoints: `/advance`, `/checkpoint/*`,
+//! `/healthz`, `/admin/shutdown`.
+
+use super::{parse_body, parse_body_or_default, submit, Outcome};
+use crate::api_types::{
+    self, AdvanceRequest, AdvanceResponse, CheckpointRequest, CheckpointResponse, HealthResponse,
+    ShutdownRequest, ShutdownResponse,
+};
+use crate::http::{HttpError, Request};
+use crate::{Cmd, Shared};
+
+pub(crate) fn advance(req: &Request, shared: &Shared) -> Result<Outcome, HttpError> {
+    let body: AdvanceRequest = parse_body_or_default(req)?;
+    let ack = submit(shared, |reply| Cmd::Advance {
+        seq: body.seq,
+        time: body.time,
+        reply,
+    })?;
+    Ok(Outcome::ok(api_types::to_json(&AdvanceResponse {
+        epoch: ack.epoch,
+        seen: ack.seen,
+    })))
+}
+
+fn checkpoint_path(req: &Request) -> Result<String, HttpError> {
+    let body: CheckpointRequest = parse_body(req)?;
+    if body.path.trim().is_empty() {
+        return Err(HttpError::new(
+            400,
+            "invalid_param",
+            "`path` must not be empty",
+        ));
+    }
+    Ok(body.path)
+}
+
+pub(crate) fn checkpoint_save(req: &Request, shared: &Shared) -> Result<Outcome, HttpError> {
+    let path = checkpoint_path(req)?;
+    let ack = submit(shared, |reply| Cmd::Checkpoint {
+        path: path.clone(),
+        reply,
+    })?;
+    Ok(Outcome::ok(api_types::to_json(&CheckpointResponse {
+        path,
+        epoch: ack.epoch,
+        seen: ack.seen,
+    })))
+}
+
+pub(crate) fn checkpoint_restore(req: &Request, shared: &Shared) -> Result<Outcome, HttpError> {
+    let path = checkpoint_path(req)?;
+    let ack = submit(shared, |reply| Cmd::Restore {
+        path: path.clone(),
+        reply,
+    })?;
+    Ok(Outcome::ok(api_types::to_json(&CheckpointResponse {
+        path,
+        epoch: ack.epoch,
+        seen: ack.seen,
+    })))
+}
+
+pub(crate) fn healthz(shared: &Shared) -> Result<Outcome, HttpError> {
+    let snap = shared.reader.load().snapshot();
+    Ok(Outcome::ok(api_types::to_json(&HealthResponse {
+        status: "ok".to_string(),
+        epoch: snap.epoch(),
+        seen: snap.seen(),
+        dim: shared.dim as u64,
+    })))
+}
+
+/// Graceful stop: the writer does a final publish (and optional
+/// checkpoint), replies, and exits; the 200 goes out before the
+/// listener stops accepting.
+pub(crate) fn shutdown(req: &Request, shared: &Shared) -> Result<Outcome, HttpError> {
+    let body: ShutdownRequest = parse_body_or_default(req)?;
+    let ack = submit(shared, |reply| Cmd::Shutdown {
+        checkpoint_path: body.checkpoint_path,
+        reply,
+    })?;
+    Ok(Outcome {
+        status: 200,
+        body: api_types::to_json(&ShutdownResponse {
+            status: "shutting_down".to_string(),
+            epoch: ack.epoch,
+            seen: ack.seen,
+        }),
+        shutdown: true,
+    })
+}

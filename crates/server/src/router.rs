@@ -1,0 +1,93 @@
+//! Route table: exact-match paths to handler identities, with typed
+//! 404/405 rejections.
+
+use crate::http::HttpError;
+
+/// Every endpoint the server exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `POST /ingest` — batched points into the writer.
+    Ingest,
+    /// `GET|POST /query` — one sampled group.
+    Query,
+    /// `GET|POST /query_k` — k sampled groups.
+    QueryK,
+    /// `GET|POST /f0` — distinct-group estimate.
+    F0,
+    /// `POST /advance` — move the stream clock.
+    Advance,
+    /// `POST /checkpoint/save` — durable container to a path.
+    CheckpointSave,
+    /// `POST /checkpoint/restore` — swap in a container's state.
+    CheckpointRestore,
+    /// `GET /healthz` — readiness probe.
+    Healthz,
+    /// `POST /admin/shutdown` — final publish, optional checkpoint,
+    /// drain.
+    Shutdown,
+}
+
+/// Resolves `method path`; unknown paths are `404 not_found`, known
+/// paths with the wrong method are `405 method_not_allowed` naming the
+/// methods that would work.
+pub fn route(method: &str, path: &str) -> Result<Route, HttpError> {
+    let (route, allowed): (Route, &[&str]) = match path {
+        "/ingest" => (Route::Ingest, &["POST"]),
+        "/query" => (Route::Query, &["GET", "POST"]),
+        "/query_k" => (Route::QueryK, &["GET", "POST"]),
+        "/f0" => (Route::F0, &["GET", "POST"]),
+        "/advance" => (Route::Advance, &["POST"]),
+        "/checkpoint/save" => (Route::CheckpointSave, &["POST"]),
+        "/checkpoint/restore" => (Route::CheckpointRestore, &["POST"]),
+        "/healthz" => (Route::Healthz, &["GET"]),
+        "/admin/shutdown" => (Route::Shutdown, &["POST"]),
+        _ => {
+            return Err(HttpError::new(
+                404,
+                "not_found",
+                format!("no route for `{path}`"),
+            ))
+        }
+    };
+    if allowed.contains(&method) {
+        Ok(route)
+    } else {
+        Err(HttpError::new(
+            405,
+            "method_not_allowed",
+            format!("`{path}` allows {}", allowed.join(", ")),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_every_endpoint() {
+        assert_eq!(route("POST", "/ingest"), Ok(Route::Ingest));
+        assert_eq!(route("GET", "/query"), Ok(Route::Query));
+        assert_eq!(route("POST", "/query_k"), Ok(Route::QueryK));
+        assert_eq!(route("GET", "/f0"), Ok(Route::F0));
+        assert_eq!(route("POST", "/advance"), Ok(Route::Advance));
+        assert_eq!(route("POST", "/checkpoint/save"), Ok(Route::CheckpointSave));
+        assert_eq!(
+            route("POST", "/checkpoint/restore"),
+            Ok(Route::CheckpointRestore)
+        );
+        assert_eq!(route("GET", "/healthz"), Ok(Route::Healthz));
+        assert_eq!(route("POST", "/admin/shutdown"), Ok(Route::Shutdown));
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_wrong_method_is_405() {
+        let e = route("GET", "/nope").expect_err("404");
+        assert_eq!((e.status, e.code), (404, "not_found"));
+        let e = route("GET", "/ingest").expect_err("405");
+        assert_eq!((e.status, e.code), (405, "method_not_allowed"));
+        assert!(e.message.contains("POST"), "{}", e.message);
+        let e = route("POST", "/healthz").expect_err("405");
+        assert_eq!((e.status, e.code), (405, "method_not_allowed"));
+    }
+}
