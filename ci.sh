@@ -23,7 +23,7 @@ echo "==> cargo doc --no-deps (warnings denied; public surface stays documented)
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p robust-distinct-sampling -p rds-core -p rds-engine -p rds-cli \
     -p rds-geometry -p rds-hashing -p rds-stream -p rds-metrics \
-    -p rds-datasets -p rds-baselines -p rds-server
+    -p rds-datasets -p rds-baselines -p rds-server -p rds-tenant
 
 echo "==> benches compile"
 cargo bench -p rds-bench --no-run
@@ -126,6 +126,56 @@ if report["status_5xx"] or report["io_errors"]:
     sys.exit(f"server smoke saw {report['status_5xx']} 5xx responses and "
              f"{report['io_errors']} socket errors")
 EOF
+
+echo "==> tenant registry suites (eviction invisibility, crash matrix, HTTP e2e)"
+cargo test -q -p rds-tenant
+cargo test -q --release --test tenant_e2e
+
+echo "==> multi-tenant smoke bench (budget bound + eviction invisibility)"
+# Fast mode writes to a scratch path: the committed BENCH_tenants.json
+# is the full 1M-tenant run and must not be clobbered by the smoke.
+TEN_OUT=$(mktemp)
+RDS_BENCH_FAST=1 RDS_BENCH_OUT="$TEN_OUT" \
+    cargo bench -p rds-bench --bench tenants
+python3 - "$TEN_OUT" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    report = json.load(fh)
+resident = report["zipf_steady_state"]["max_resident_words"]
+budget = report["budget_words"]
+print(f"    {report['key_space']:,} tenants: max resident {resident:,} "
+      f"/ budget {budget:,} words; {report['spills']:,} spills, "
+      f"{report['restores']:,} restores")
+if resident > budget or not report["resident_bounded_by_budget"]:
+    sys.exit(f"resident_words {resident} exceeded the budget {budget}")
+if not report["retouch_bit_identical"]:
+    sys.exit("a re-touched (spilled) tenant diverged from the "
+             "eviction-free control")
+if report["spills"] <= 0:
+    sys.exit("the smoke never evicted; the budget gate proved nothing")
+EOF
+rm -f "$TEN_OUT"
+
+echo "==> multi-tenant serve smoke (rds serve --tenants, zipf traffic, drain)"
+TEN_DIR=$(mktemp -d)
+target/release/rds serve --addr 127.0.0.1:0 --dim 2 --alpha 0.5 \
+    --seed 42 --publish-every 256 \
+    --tenants --budget-words 1048576 --spill-dir "$TEN_DIR/spill" \
+    > "$TEN_DIR/serve.out" 2>"$TEN_DIR/serve.err" &
+TEN_PID=$!
+TEN_ADDR=""
+for _ in $(seq 1 100); do
+    TEN_ADDR=$(sed -n 's/^rds-server listening on //p' "$TEN_DIR/serve.out")
+    [ -n "$TEN_ADDR" ] && break
+    kill -0 "$TEN_PID" 2>/dev/null || { cat "$TEN_DIR/serve.err"; exit 1; }
+    sleep 0.1
+done
+[ -n "$TEN_ADDR" ] || {
+    echo "tenant server never announced its address"; kill "$TEN_PID"; exit 1; }
+RDS_BENCH_FAST=1 RDS_BENCH_OUT="$TEN_DIR/BENCH_server_tenants.json" \
+    target/release/loadgen --addr "$TEN_ADDR" --tenants 200 --shutdown
+wait "$TEN_PID" || { echo "tenant server exited nonzero after shutdown"; exit 1; }
+rm -rf "$TEN_DIR"
 
 echo "==> examples run"
 for ex in quickstart f0_monitor tweet_window video_dedup; do

@@ -10,11 +10,21 @@
 //! clean-shutdown gate. `RDS_BENCH_FAST=1` shrinks the request counts
 //! to a smoke test; `RDS_BENCH_OUT` overrides the output path.
 //!
+//! `--tenants N` switches the traffic to the multi-tenant routes: every
+//! request targets `/t/{tenant}/...` with the tenant drawn from a seeded
+//! Zipf(θ=1) distribution over `N` keys ([`rds_stream::ZipfKeys`]), so a
+//! hot head shares connections with a long faulting tail — the realistic
+//! mix for the registry's eviction machinery. A self-hosted server is
+//! then started with tenancy enabled (scratch spill directory, cleaned
+//! up on exit); with `--addr` the remote server must have been started
+//! with `--tenants`.
+//!
 //! Exit code 1 when any request got a 5xx or failed at the socket
 //! level; 2 on usage errors.
 
 use rds_server::client::Conn;
-use rds_server::{bind, BackendConfig, ServerConfig};
+use rds_server::{bind, BackendConfig, ServerConfig, TenancyConfig};
+use rds_stream::ZipfKeys;
 use serde::Serialize;
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
@@ -41,6 +51,8 @@ struct ClassStats {
 #[derive(Serialize)]
 struct ServerBenchReport {
     addr: String,
+    /// Zipf key space of the tenant mix; absent in single-tenant mode.
+    tenant_key_space: Option<u64>,
     writer_conns: usize,
     reader_conns: usize,
     total_requests: u64,
@@ -150,12 +162,14 @@ fn wait_ready(addr: SocketAddr) -> bool {
 struct Opts {
     addr: Option<String>,
     shutdown: bool,
+    tenants: Option<usize>,
 }
 
 fn parse_opts() -> Result<Opts, String> {
     let mut opts = Opts {
         addr: None,
         shutdown: false,
+        tenants: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -165,14 +179,44 @@ fn parse_opts() -> Result<Opts, String> {
                 opts.addr = Some(it.next().ok_or("--addr expects HOST:PORT")?.clone());
             }
             "--shutdown" => opts.shutdown = true,
+            "--tenants" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--tenants expects a key-space size")?
+                    .parse()
+                    .map_err(|e| format!("--tenants: {e}"))?;
+                if n == 0 {
+                    return Err("--tenants must be at least 1".into());
+                }
+                opts.tenants = Some(n);
+            }
             other => {
                 return Err(format!(
-                    "unknown option {other}\nusage: loadgen [--addr HOST:PORT] [--shutdown]"
+                    "unknown option {other}\n\
+                     usage: loadgen [--addr HOST:PORT] [--shutdown] [--tenants N]"
                 ))
             }
         }
     }
     Ok(opts)
+}
+
+/// The tenant for one request: Zipf-drawn rank formatted as a valid
+/// tenant id, or `None` for the single-tenant routes.
+fn tenant_path(keys: &mut Option<ZipfKeys>, suffix: &str) -> String {
+    match keys {
+        Some(k) => format!("/t/t{:07}/{suffix}", k.next_key()),
+        None => format!("/{suffix}"),
+    }
+}
+
+/// A per-thread Zipf generator (deterministic: the workload seed is
+/// offset by the connection index so threads draw distinct but
+/// replayable sequences), or `None` in single-tenant mode.
+fn thread_keys(tenants: Option<usize>, thread: u64) -> Option<ZipfKeys> {
+    tenants.map(|n| {
+        ZipfKeys::try_new(n, 1.0, 42 + thread).expect("valid zipf key space")
+    })
 }
 
 fn resolve(addr: &str) -> Result<SocketAddr, String> {
@@ -198,6 +242,7 @@ fn main() -> ExitCode {
 
     // no --addr: self-host on an ephemeral port so the bin stands alone
     let mut local = None;
+    let mut spill_dir = None;
     let addr = match &opts.addr {
         Some(a) => match resolve(a) {
             Ok(addr) => addr,
@@ -210,7 +255,18 @@ fn main() -> ExitCode {
             let mut backend = BackendConfig::new(DIM, 0.5);
             backend.seed = 42;
             backend.publish_every = Some(256);
-            let handle = match bind(ServerConfig::new(backend)) {
+            let mut cfg = ServerConfig::new(backend);
+            if opts.tenants.is_some() {
+                let dir = std::env::temp_dir()
+                    .join(format!("rds-loadgen-spill-{}", std::process::id()));
+                let _ = std::fs::remove_dir_all(&dir);
+                cfg.tenants = Some(TenancyConfig {
+                    budget_words: 1 << 20,
+                    spill_dir: dir.display().to_string(),
+                });
+                spill_dir = Some(dir);
+            }
+            let handle = match bind(cfg) {
                 Ok(h) => h,
                 Err(e) => {
                     eprintln!("failed to start in-process server: {e}");
@@ -226,10 +282,16 @@ fn main() -> ExitCode {
         eprintln!("server at {addr} never answered /healthz");
         return ExitCode::FAILURE;
     }
-    eprintln!(
-        "group server_load ({addr}; {writer_conns} writers x {ingests_per_conn} ingests, \
-         {reader_conns} readers x {reads_per_conn} reads)"
-    );
+    match opts.tenants {
+        Some(n) => eprintln!(
+            "group server_load ({addr}; {writer_conns} writers x {ingests_per_conn} ingests, \
+             {reader_conns} readers x {reads_per_conn} reads; zipf over {n} tenants)"
+        ),
+        None => eprintln!(
+            "group server_load ({addr}; {writer_conns} writers x {ingests_per_conn} ingests, \
+             {reader_conns} readers x {reads_per_conn} reads)"
+        ),
+    }
 
     let tallies = Tallies::default();
     let start = Instant::now();
@@ -237,10 +299,13 @@ fn main() -> ExitCode {
         let mut writers = Vec::new();
         for w in 0..writer_conns {
             let tallies = &tallies;
+            let tenants = opts.tenants;
             writers.push(scope.spawn(move || {
                 let base = w as u64 * ingests_per_conn * BATCH as u64;
-                drive(addr, ingests_per_conn, tallies, |c, i| {
-                    c.request("POST", "/ingest", Some(&ingest_body(base + i * BATCH as u64)))
+                let mut keys = thread_keys(tenants, w as u64);
+                drive(addr, ingests_per_conn, tallies, move |c, i| {
+                    let path = tenant_path(&mut keys, "ingest");
+                    c.request("POST", &path, Some(&ingest_body(base + i * BATCH as u64)))
                 })
             }));
         }
@@ -249,16 +314,20 @@ fn main() -> ExitCode {
         let mut readers = Vec::new();
         for r in 0..reader_conns {
             let tallies = &tallies;
+            let tenants = opts.tenants;
             readers.push(scope.spawn(move || {
                 let mut queries = Vec::new();
                 let mut f0s = Vec::new();
                 let half = reads_per_conn / 2;
+                let mut keys = thread_keys(tenants, 1_000 + r as u64);
                 queries.extend(drive(addr, half, tallies, |c, i| {
                     let seed = r as u64 * 1_000 + i;
-                    c.request("GET", &format!("/query_k?k=8&seed={seed}"), None)
+                    let path = tenant_path(&mut keys, &format!("query_k?k=8&seed={seed}"));
+                    c.request("GET", &path, None)
                 }));
                 f0s.extend(drive(addr, reads_per_conn - half, tallies, |c, _| {
-                    c.request("GET", "/f0", None)
+                    let path = tenant_path(&mut keys, "f0");
+                    c.request("GET", &path, None)
                 }));
                 (queries, f0s)
             }));
@@ -294,10 +363,14 @@ fn main() -> ExitCode {
             handle.shutdown_and_join();
         }
     }
+    if let Some(dir) = &spill_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
 
     let total = (ingest_lat.len() + query_lat.len() + f0_lat.len()) as u64;
     let report = ServerBenchReport {
         addr: addr.to_string(),
+        tenant_key_space: opts.tenants.map(|n| n as u64),
         writer_conns,
         reader_conns,
         total_requests: total,

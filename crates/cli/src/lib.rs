@@ -315,6 +315,9 @@ pub fn parse_serve(args: &[String]) -> Result<rds_server::ServerConfig, String> 
     let mut eps: Option<f64> = None;
     let mut publish_every: Option<u64> = None;
     let mut restore: Option<String> = None;
+    let mut tenants = false;
+    let mut budget_words: Option<usize> = None;
+    let mut spill_dir: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -348,6 +351,11 @@ pub fn parse_serve(args: &[String]) -> Result<rds_server::ServerConfig, String> 
                 publish_every = Some(parse_num(val("--publish-every")?, "--publish-every")?);
             }
             "--restore" => restore = Some(val("--restore")?.clone()),
+            "--tenants" => tenants = true,
+            "--budget-words" => {
+                budget_words = Some(parse_num(val("--budget-words")?, "--budget-words")?);
+            }
+            "--spill-dir" => spill_dir = Some(val("--spill-dir")?.clone()),
             other => return Err(format!("unknown serve option {other}\n{}", usage())),
         }
     }
@@ -425,6 +433,21 @@ pub fn parse_serve(args: &[String]) -> Result<rds_server::ServerConfig, String> 
     if let Some(r) = read_timeout {
         cfg.read_timeout_ms = r;
     }
+    if tenants {
+        let budget_words =
+            budget_words.ok_or("--tenants needs --budget-words N (global space budget)")?;
+        if budget_words == 0 {
+            return Err("--budget-words must be at least 1".into());
+        }
+        let spill_dir =
+            spill_dir.ok_or("--tenants needs --spill-dir PATH (eviction spill directory)")?;
+        cfg.tenants = Some(rds_server::TenancyConfig {
+            budget_words,
+            spill_dir,
+        });
+    } else if budget_words.is_some() || spill_dir.is_some() {
+        return Err("--budget-words/--spill-dir only apply with --tenants".into());
+    }
     Ok(cfg)
 }
 
@@ -480,6 +503,11 @@ pub fn usage() -> String {
      \x20                       port 0 = ephemeral), --threads N,\n\
      \x20                       --publish-every N, --max-body-bytes B,\n\
      \x20                       --queue-depth Q, --read-timeout-ms T.\n\
+     \x20                       Multi-tenant mode: --tenants with\n\
+     \x20                       --budget-words N (global space budget)\n\
+     \x20                       and --spill-dir PATH (eviction spill\n\
+     \x20                       directory) serves keyed streams under\n\
+     \x20                       /t/{tenant}/ingest|query|query_k|f0.\n\
      \x20                       Runs until POST /admin/shutdown.\n\
      options:\n\
      \x20 --alpha A          near-duplicate distance threshold (required)\n\
@@ -1256,6 +1284,44 @@ mod tests {
         assert_eq!(cfg.backend.window, Window::Time(100));
         assert_eq!(cfg.backend.publish_every, Some(50));
         assert!(cfg.backend.restore_from.is_none());
+    }
+
+    #[test]
+    fn parses_serve_tenancy_flags() {
+        let cfg = parse_serve(&args(
+            "--dim 2 --alpha 0.5 --tenants --budget-words 1048576 --spill-dir /tmp/spill",
+        ))
+        .expect("valid");
+        let tc = cfg.tenants.expect("tenancy enabled");
+        assert_eq!(tc.budget_words, 1_048_576);
+        assert_eq!(tc.spill_dir, "/tmp/spill");
+        // single-tenant serve stays the default
+        let cfg = parse_serve(&args("--dim 2 --alpha 0.5")).expect("valid");
+        assert!(cfg.tenants.is_none());
+    }
+
+    #[test]
+    fn serve_tenancy_flags_are_all_or_nothing() {
+        // --tenants needs both the budget and the spill directory
+        assert!(parse_serve(&args("--dim 2 --alpha 0.5 --tenants")).is_err());
+        assert!(
+            parse_serve(&args("--dim 2 --alpha 0.5 --tenants --budget-words 100")).is_err()
+        );
+        assert!(
+            parse_serve(&args("--dim 2 --alpha 0.5 --tenants --spill-dir /tmp/s")).is_err()
+        );
+        assert!(parse_serve(&args(
+            "--dim 2 --alpha 0.5 --tenants --budget-words 0 --spill-dir /tmp/s"
+        ))
+        .is_err());
+        // ...and the tenancy knobs are rejected without --tenants
+        for bad in [
+            "--dim 2 --alpha 0.5 --budget-words 100",
+            "--dim 2 --alpha 0.5 --spill-dir /tmp/s",
+        ] {
+            let err = parse_serve(&args(bad)).expect_err("invalid");
+            assert!(err.contains("--tenants"), "error for `{bad}`: {err}");
+        }
     }
 
     #[test]

@@ -92,6 +92,12 @@ pub enum RdsError {
         /// What was wrong with the container or state.
         reason: String,
     },
+    /// A tenant-layer request was malformed: an empty/overlong/unsafe
+    /// tenant id, or a per-tenant batch whose fields disagree.
+    InvalidTenant {
+        /// What was wrong with the request.
+        reason: String,
+    },
     /// Summaries built from different configurations (different grids or
     /// hash functions) cannot be merged.
     ConfigMismatch {
@@ -107,6 +113,14 @@ impl RdsError {
     /// the core restore paths, the engine and the facade container code.
     pub fn checkpoint(reason: impl Into<String>) -> Self {
         RdsError::Checkpoint {
+            reason: reason.into(),
+        }
+    }
+
+    /// Builds a [`RdsError::InvalidTenant`] — the tenant registry's
+    /// request-validation error.
+    pub fn invalid_tenant(reason: impl Into<String>) -> Self {
+        RdsError::InvalidTenant {
             reason: reason.into(),
         }
     }
@@ -154,6 +168,9 @@ impl fmt::Display for RdsError {
             RdsError::InvalidBatchSize => write!(f, "batch size must be at least 1"),
             RdsError::Checkpoint { ref reason } => {
                 write!(f, "checkpoint rejected: {reason}")
+            }
+            RdsError::InvalidTenant { ref reason } => {
+                write!(f, "invalid tenant request: {reason}")
             }
             RdsError::ConfigMismatch {
                 expected_seed,

@@ -576,6 +576,40 @@ where
         }
     }
 
+    /// Total in-memory footprint across every shard's sampler, in
+    /// machine words — [`DistinctSampler::words`] lifted over the
+    /// sharded engine, the metering hook global space budgets charge.
+    /// Batch buffers are flushed first and the per-shard reads queue
+    /// FIFO behind every in-flight batch, so the figure covers every
+    /// ingested item.
+    pub fn words(&mut self) -> usize {
+        self.flush();
+        let mut pending = Vec::with_capacity(self.shards.len());
+        for shard in &mut self.shards {
+            // The closure gets `&mut` access to the sampler; assume it
+            // mutated (a words() read does not, but correctness over
+            // cleverness for the escape hatch).
+            shard.dirty = true;
+            let (reply_tx, reply_rx) = mpsc::channel();
+            shard
+                .tx
+                .send(Cmd::Inspect(Box::new(move |sampler: &mut S| {
+                    // receiver may have given up; ignore
+                    let _ = reply_tx.send(sampler.words());
+                })))
+                // lint:allow(L1) a send fails only when the worker hung
+                // up, which means it already panicked
+                .expect("shard worker terminated");
+            pending.push(reply_rx);
+        }
+        pending
+            .into_iter()
+            // lint:allow(L1) recv fails only when the worker dropped the
+            // reply sender mid-request, i.e. it panicked
+            .map(|rx| rx.recv().expect("shard worker terminated"))
+            .sum()
+    }
+
     /// Rebuilds an engine from a checkpoint: restores every shard's
     /// sampler from its captured state, re-derives the router from the
     /// embedded configuration, and resumes the engine clock — continued

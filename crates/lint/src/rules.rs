@@ -1,4 +1,4 @@
-//! The rule engine: eight repo-specific lints over the lexed token
+//! The rule engine: nine repo-specific lints over the lexed token
 //! stream, with `#[cfg(test)]`/`#[test]` region tracking and the
 //! `// lint:allow(<rule>) <justification>` escape hatch.
 //!
@@ -12,7 +12,7 @@ use crate::lexer::{lex, Comment, Token, TokenKind};
 /// One diagnostic: `path:line:col: rule message`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
-    /// The rule id (`L1`..`L8`, or `L0` for a malformed allow comment).
+    /// The rule id (`L1`..`L9`, or `L0` for a malformed allow comment).
     pub rule: &'static str,
     /// Workspace-relative path of the offending file.
     pub path: String,
@@ -74,6 +74,12 @@ pub const RULES: &[(&str, &str)] = &[
          rds-server code (PR 8: a malformed request is a 4xx envelope, never a dead \
          worker thread)",
     ),
+    (
+        "L9",
+        "no spill/restore I/O while a registry-wide (map/ring) lock guard is live, and \
+         no panicking constructs in non-test rds-tenant code (PR 9: the tenant path \
+         stays lock-light and panic-free; only per-tenant slot locks may span I/O)",
+    ),
 ];
 
 /// The file blessed to contain raw filesystem writes: the atomic
@@ -117,6 +123,7 @@ enum CrateKind {
     Umbrella,
     Cli,
     Server,
+    Tenant,
     Other,
 }
 
@@ -129,6 +136,8 @@ fn crate_kind(path: &str) -> CrateKind {
         CrateKind::Cli
     } else if path.starts_with("crates/server/") {
         CrateKind::Server
+    } else if path.starts_with("crates/tenant/") {
+        CrateKind::Tenant
     } else if path.starts_with("crates/") {
         CrateKind::Other
     } else {
@@ -369,6 +378,13 @@ pub fn check_file(path: &str, source: &str) -> Vec<Finding> {
     if lib_scope && kind == CrateKind::Server {
         rule_l8(&mut ctx);
     }
+    if lib_scope && kind == CrateKind::Tenant {
+        rule_l9(&mut ctx);
+        // the tenant path is deterministic (seeded per-tenant PRNGs,
+        // word accounting) — the clock/entropy and cast rules apply
+        rule_l3(&mut ctx);
+        rule_l7(&mut ctx);
+    }
     if lib_scope
         && matches!(
             kind,
@@ -377,6 +393,7 @@ pub fn check_file(path: &str, source: &str) -> Vec<Finding> {
                 | CrateKind::Umbrella
                 | CrateKind::Cli
                 | CrateKind::Server
+                | CrateKind::Tenant
         )
         && path != BLESSED_WRITE_MODULE
     {
@@ -503,6 +520,125 @@ fn rule_l8(ctx: &mut Ctx<'_>) {
         "L8",
         "answer a 4xx error envelope (or document the invariant with lint:allow(L8))",
     );
+}
+
+/// Identifier substrings marking a registry-wide lock receiver: the
+/// tenant map and the eviction ring serialize *every* tenant, so
+/// holding one across disk I/O stalls the whole registry.
+const REGISTRY_WIDE_LOCKS: &[&str] = &["map", "ring", "registry"];
+
+/// Spill/restore I/O entry points that must never run under a
+/// registry-wide lock (per-tenant slot locks may span them).
+const SPILL_IO_CALLS: &[&str] = &[
+    "write_container",
+    "read_container",
+    "write_atomic",
+    "read_to_string",
+    "create_dir_all",
+    "spill_slot",
+    "ensure_resident",
+];
+
+/// L9: the tenant registry's locking discipline. Panic-free serving
+/// path (shared scan with L1/L8), plus: a guard let-bound from
+/// `.lock()` on a map/ring/registry receiver must not have any
+/// spill/restore I/O call inside its live range (which ends at the
+/// enclosing block's close or an explicit `drop(guard)`). The scoped
+/// temporary form `{ self.map.lock().len() }` releases at the
+/// expression and is always fine.
+fn rule_l9(ctx: &mut Ctx<'_>) {
+    rule_panic_free(
+        ctx,
+        "L9",
+        "answer a typed RdsError (or document the invariant with lint:allow(L9))",
+    );
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        // a `.lock()` call whose guard is let-bound: the whole RHS is
+        // the lock call, so the statement ends right after the `()`
+        let is_lock = toks[i].is_ident("lock")
+            && i > 0
+            && toks[i - 1].is_punct(".")
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct("(");
+        if !is_lock {
+            continue;
+        }
+        let close = matching(toks, i + 1, "(", ")");
+        if !toks.get(close + 1).map(|t| t.is_punct(";")).unwrap_or(false) {
+            continue; // scoped temporary: released within the expression
+        }
+        // the receiver chain: idents walking back over `recv.field.`
+        let mut j = i - 1;
+        let mut registry_wide = false;
+        while j > 0 {
+            let t = &toks[j - 1];
+            if t.kind == TokenKind::Ident {
+                let lower = t.text.to_lowercase();
+                if REGISTRY_WIDE_LOCKS.iter().any(|p| lower.contains(p)) {
+                    registry_wide = true;
+                }
+                j -= 1;
+            } else if t.is_punct(".") {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if !registry_wide {
+            continue;
+        }
+        // the binding: `let [mut] <guard> = <recv>.lock();`
+        if j == 0 || !toks[j - 1].is_punct("=") {
+            continue;
+        }
+        let Some(guard) = toks.get(j.wrapping_sub(2)) else { continue };
+        if guard.kind != TokenKind::Ident {
+            continue; // destructuring patterns don't bind a lone guard
+        }
+        let guard_name = guard.text.clone();
+        // the guard's live range: scan until the enclosing block closes
+        // or the guard is explicitly dropped
+        let mut depth = 0i32;
+        let mut m = close + 2;
+        while m < toks.len() {
+            let t = &toks[m];
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            } else if t.is_ident("drop")
+                && m + 2 < toks.len()
+                && toks[m + 1].is_punct("(")
+                && toks[m + 2].is_ident(&guard_name)
+            {
+                break;
+            } else if !ctx.in_test[m]
+                && t.kind == TokenKind::Ident
+                && SPILL_IO_CALLS.contains(&t.text.as_str())
+                && m + 1 < toks.len()
+                && toks[m + 1].is_punct("(")
+            {
+                let name = t.text.clone();
+                ctx.emit(
+                    "L9",
+                    &t.clone(),
+                    format!(
+                        "`{name}` while registry-wide guard `{guard_name}` is live: \
+                         spill/restore I/O under the map/ring lock stalls every tenant; \
+                         drop the guard first (only per-tenant slot locks may span I/O)"
+                    ),
+                );
+            }
+            m += 1;
+        }
+    }
 }
 
 /// L2: all durable writes go through the blessed atomic helper.

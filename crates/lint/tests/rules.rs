@@ -151,6 +151,51 @@ fn l8_is_scoped_to_the_server_crate_and_l1_stays_off_it() {
 }
 
 #[test]
+fn l9_flags_spill_io_under_registry_wide_guards_and_tenant_panics() {
+    let f = scan_as("l9_cases.rs", "crates/tenant/src/registry.rs");
+    // 7: write_container under the map guard; 13: spill_slot under the
+    // ring guard; 42: .unwrap() on the tenant path. Guards: I/O after
+    // drop(guard), outside a scoped temporary, under a per-tenant slot
+    // lock, after the guard's block closes, the allow'd expect and the
+    // test mod.
+    assert_eq!(lines_of(&f, "L9"), vec![7, 13, 42], "{f:?}");
+    assert_eq!(f.len(), 3, "{f:?}");
+    // the lock-discipline message names the remedy
+    assert!(
+        f.iter()
+            .filter(|x| x.line != 42)
+            .all(|x| x.message.contains("drop the guard")),
+        "{f:?}"
+    );
+}
+
+#[test]
+fn l9_is_scoped_to_the_tenant_crate() {
+    // the same content in core is L1 territory (the two panics), never L9
+    let core = scan_as("l9_cases.rs", CORE_PATH);
+    assert!(lines_of(&core, "L9").is_empty(), "{core:?}");
+    assert_eq!(lines_of(&core, "L1"), vec![42, 47], "{core:?}");
+    // tenant test trees and unrelated crates stay silent
+    assert!(scan_as("l9_cases.rs", "crates/tenant/tests/registry.rs").is_empty());
+    assert!(scan_as("l9_cases.rs", "crates/hashing/src/lib.rs").is_empty());
+    // L1/L8 do not double-report the tenant crate
+    let tenant = scan_as("l1_cases.rs", "crates/tenant/src/registry.rs");
+    assert!(lines_of(&tenant, "L1").is_empty(), "{tenant:?}");
+    assert!(lines_of(&tenant, "L8").is_empty(), "{tenant:?}");
+    assert_eq!(lines_of(&tenant, "L9").len(), 5, "{tenant:?}");
+}
+
+#[test]
+fn l2_covers_the_tenant_crate() {
+    // raw writes in the tenant crate would bypass the atomic helper the
+    // spill containers depend on
+    assert_eq!(
+        lines_of(&scan_as("l2_cases.rs", "crates/tenant/src/spill.rs"), "L2").len(),
+        4
+    );
+}
+
+#[test]
 fn l2_covers_the_server_crate() {
     // a server handler writing raw files would bypass the atomic helper
     assert_eq!(
@@ -179,6 +224,7 @@ fn fixture_paths_are_exempt_wholesale() {
         "l3_cases.rs",
         "l5_cases.rs",
         "l7_cases.rs",
+        "l9_cases.rs",
     ] {
         let path = format!("crates/lint/tests/fixtures/{name}");
         assert!(scan_as(name, &path).is_empty(), "{name} leaked findings");

@@ -164,6 +164,35 @@ pub struct HealthResponse {
     pub dim: u64,
 }
 
+/// `GET /healthz` response when multi-tenant serving is enabled: the
+/// plain [`HealthResponse`] fields plus the registry gauge. A separate
+/// type (rather than optional fields) keeps the single-tenant response
+/// byte-identical to the pre-tenancy server — the registry fields are
+/// absent, not null, when tenancy is off.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantHealthResponse {
+    /// Always `"ok"` when the server can answer at all.
+    pub status: String,
+    /// Latest published epoch of the global backend.
+    pub epoch: u64,
+    /// Points seen by the global backend's latest snapshot.
+    pub seen: u64,
+    /// Point dimensionality this server ingests.
+    pub dim: u64,
+    /// Tenants known to the registry.
+    pub tenants: u64,
+    /// Tenants currently resident in memory.
+    pub resident: u64,
+    /// Machine words the resident tenants occupy.
+    pub resident_words: u64,
+    /// The global tenant space budget in machine words.
+    pub budget_words: u64,
+    /// Lifetime eviction spills.
+    pub spills: u64,
+    /// Lifetime restores from spill containers.
+    pub restores: u64,
+}
+
 /// The machine-readable half of an error response.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ApiError {
@@ -217,6 +246,7 @@ pub fn error_code(err: &RdsError) -> &'static str {
         RdsError::InvalidShards => "invalid_shards",
         RdsError::InvalidBatchSize => "invalid_batch_size",
         RdsError::Checkpoint { .. } => "checkpoint_rejected",
+        RdsError::InvalidTenant { .. } => "invalid_tenant",
         RdsError::ConfigMismatch { .. } => "config_mismatch",
         _ => "backend_error",
     }

@@ -83,6 +83,22 @@ impl BackendConfig {
     }
 }
 
+/// Multi-tenant serving: when set, the server additionally exposes
+/// `/t/{tenant}/...` routes backed by a [`rds_tenant::TenantRegistry`]
+/// built from the same [`BackendConfig`] knobs (each tenant is its own
+/// single-shard stream; `shards` and `restore_from` apply only to the
+/// global backend, not to tenants).
+#[derive(Debug, Clone)]
+pub struct TenancyConfig {
+    /// Global cap on resident tenant footprint, in machine words
+    /// (`words()`, the paper's space unit). Idle tenants are spilled to
+    /// `spill_dir` when traffic would exceed it.
+    pub budget_words: usize,
+    /// Directory receiving eviction containers; tenants spilled there
+    /// by a previous process restore transparently.
+    pub spill_dir: String,
+}
+
 /// Everything [`crate::bind`] needs: where to listen, how many worker
 /// threads answer requests, per-request limits, and the backend.
 #[derive(Debug, Clone)]
@@ -102,6 +118,9 @@ pub struct ServerConfig {
     pub read_timeout_ms: u64,
     /// The sampler backend served by this process.
     pub backend: BackendConfig,
+    /// Multi-tenant serving, off by default (the `/t/...` routes answer
+    /// 404 when unset and `/healthz` omits registry fields).
+    pub tenants: Option<TenancyConfig>,
 }
 
 impl ServerConfig {
@@ -115,6 +134,7 @@ impl ServerConfig {
             queue_depth: 128,
             read_timeout_ms: 5_000,
             backend,
+            tenants: None,
         }
     }
 }

@@ -62,6 +62,26 @@ pub(crate) fn checkpoint_restore(req: &Request, shared: &Shared) -> Result<Outco
 
 pub(crate) fn healthz(shared: &Shared) -> Result<Outcome, HttpError> {
     let snap = shared.reader.load().snapshot();
+    // With tenancy enabled the probe carries the registry gauge; without
+    // it the response is byte-identical to the pre-tenancy server (the
+    // registry fields are absent, not null).
+    if let Some(reg) = &shared.tenants {
+        let stats = reg.stats();
+        return Ok(Outcome::ok(api_types::to_json(
+            &api_types::TenantHealthResponse {
+                status: "ok".to_string(),
+                epoch: snap.epoch(),
+                seen: snap.seen(),
+                dim: shared.dim as u64,
+                tenants: stats.tenants,
+                resident: stats.resident,
+                resident_words: stats.resident_words,
+                budget_words: stats.budget_words,
+                spills: stats.spills,
+                restores: stats.restores,
+            },
+        )));
+    }
     Ok(Outcome::ok(api_types::to_json(&HealthResponse {
         status: "ok".to_string(),
         epoch: snap.epoch(),

@@ -11,8 +11,14 @@ use rds_geometry::Point;
 /// can induce (and the allocation a hostile batch can demand).
 pub(crate) const MAX_BATCH_POINTS: usize = 65_536;
 
-pub(crate) fn ingest(req: &Request, shared: &Shared) -> Result<Outcome, HttpError> {
-    let body: IngestRequest = parse_body(req)?;
+/// Validates a batch against the caps and the server dimension,
+/// yielding constructed `Point`s. Shared by the global `/ingest` and
+/// the per-tenant `/t/{tenant}/ingest` handlers.
+///
+/// Every coordinate is validated *before* constructing `Point`s:
+/// `Point::new` treats empty/non-finite input as a caller bug and
+/// panics, and a panic is exactly what this path must never do.
+pub(crate) fn validate_batch(body: &IngestRequest, dim: usize) -> Result<Vec<Point>, HttpError> {
     if body.points.len() > MAX_BATCH_POINTS {
         return Err(HttpError::new(
             400,
@@ -36,19 +42,15 @@ pub(crate) fn ingest(req: &Request, shared: &Shared) -> Result<Outcome, HttpErro
             ));
         }
     }
-    // Validate every coordinate *before* constructing `Point`s:
-    // `Point::new` treats empty/non-finite input as a caller bug and
-    // panics, and a panic is exactly what this path must never do.
     let mut points = Vec::with_capacity(body.points.len());
     for (i, coords) in body.points.iter().enumerate() {
-        if coords.len() != shared.dim {
+        if coords.len() != dim {
             return Err(HttpError::new(
                 400,
                 "invalid_point",
                 format!(
-                    "point {i} has {} coordinates; server dimension is {}",
-                    coords.len(),
-                    shared.dim
+                    "point {i} has {} coordinates; server dimension is {dim}",
+                    coords.len()
                 ),
             ));
         }
@@ -61,6 +63,12 @@ pub(crate) fn ingest(req: &Request, shared: &Shared) -> Result<Outcome, HttpErro
         }
         points.push(Point::new(coords.clone()));
     }
+    Ok(points)
+}
+
+pub(crate) fn ingest(req: &Request, shared: &Shared) -> Result<Outcome, HttpError> {
+    let body: IngestRequest = parse_body(req)?;
+    let points = validate_batch(&body, shared.dim)?;
     let ingested = points.len() as u64;
     let times = body.times;
     let ack = submit(shared, |reply| Cmd::Ingest {

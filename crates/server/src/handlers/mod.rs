@@ -10,6 +10,7 @@
 pub(crate) mod admin;
 pub(crate) mod ingest;
 pub(crate) mod query;
+pub(crate) mod tenant;
 
 use crate::api_types::{self, error_code, error_status};
 use crate::http::{self, HttpError, ReadOutcome, Request};
@@ -68,6 +69,10 @@ pub(crate) fn dispatch(req: &Request, shared: &Shared) -> Outcome {
         Route::CheckpointRestore => admin::checkpoint_restore(req, shared),
         Route::Healthz => admin::healthz(shared),
         Route::Shutdown => admin::shutdown(req, shared),
+        Route::TenantIngest(ref id) => tenant::ingest(req, shared, id),
+        Route::TenantQuery(ref id) => tenant::query(req, shared, id, 1),
+        Route::TenantQueryK(ref id) => tenant::query(req, shared, id, 10),
+        Route::TenantF0(ref id) => tenant::f0(shared, id),
     };
     match result {
         Ok(outcome) => outcome,
@@ -168,6 +173,14 @@ pub(crate) fn handle_connection(stream: TcpStream, shared: &Shared) {
                 let write_ok =
                     http::write_response(&mut writer, out.status, &out.body, keep).is_ok();
                 if out.shutdown {
+                    // Best-effort tenant durability on a client-initiated
+                    // shutdown, mirroring ServerHandle::shutdown: park
+                    // every resident sampler on disk so a restart on the
+                    // same spill directory resumes them. A spill failure
+                    // must not block the stop.
+                    if let Some(reg) = &shared.tenants {
+                        let _ = reg.spill_all();
+                    }
                     shared.begin_stop();
                 }
                 if !keep || !write_ok {

@@ -11,8 +11,9 @@ use crate::Shared;
 /// unbounded `k` would be a one-request CPU sink.
 pub(crate) const MAX_K: u64 = 4_096;
 
-/// GET takes `?k=&seed=`; POST takes the same fields as JSON.
-fn params(req: &Request) -> Result<QueryParams, HttpError> {
+/// GET takes `?k=&seed=`; POST takes the same fields as JSON. Shared
+/// with the per-tenant query handlers.
+pub(crate) fn params(req: &Request) -> Result<QueryParams, HttpError> {
     if req.method == "POST" {
         return parse_body_or_default(req);
     }

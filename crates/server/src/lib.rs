@@ -37,7 +37,7 @@ mod handlers;
 pub mod http;
 pub mod router;
 
-pub use config::{BackendConfig, ServerConfig};
+pub use config::{BackendConfig, ServerConfig, TenancyConfig};
 
 use parking_lot::AtomicArc;
 use rds_geometry::Point;
@@ -126,6 +126,11 @@ pub(crate) struct Shared {
     draws: AtomicU64,
     pub(crate) stopping: AtomicBool,
     addr: SocketAddr,
+    /// The multi-tenant registry, when tenancy is enabled. Tenant
+    /// requests run on worker threads against it directly — per-tenant
+    /// serialization is the registry's slot lock, not the global writer
+    /// queue.
+    pub(crate) tenants: Option<Arc<rds_tenant::TenantRegistry>>,
 }
 
 impl Shared {
@@ -263,6 +268,12 @@ impl ServerHandle {
         {
             let _ = rx.recv();
         }
+        // Best-effort durability for tenants: park every resident
+        // sampler on disk so a restart resumes them. A spill failure
+        // must not block shutdown.
+        if let Some(reg) = &self.shared.tenants {
+            let _ = reg.spill_all();
+        }
         self.shared.begin_stop();
     }
 
@@ -300,6 +311,24 @@ impl ServerHandle {
 pub fn bind(cfg: ServerConfig) -> Result<ServerHandle, ServerError> {
     let (writer, reader) = cfg.backend.build_split().map_err(ServerError::Config)?;
     let dim = writer.dim();
+    let tenants = match &cfg.tenants {
+        None => None,
+        Some(tc) => {
+            // Tenants share the backend's sampler knobs; each tenant is
+            // its own single-shard stream (`shards`/`restore_from` are
+            // global-backend concerns).
+            let mut template = rds_tenant::TenantTemplate::new(cfg.backend.dim, cfg.backend.alpha);
+            template.window = cfg.backend.window;
+            template.seed = cfg.backend.seed;
+            template.expected_len = cfg.backend.expected_len;
+            template.k = cfg.backend.k;
+            template.eps = cfg.backend.eps;
+            let registry =
+                rds_tenant::TenantRegistry::new(template, tc.budget_words, tc.spill_dir.as_str())
+                    .map_err(ServerError::Config)?;
+            Some(Arc::new(registry))
+        }
+    };
     let listener = TcpListener::bind(cfg.addr.as_str()).map_err(ServerError::Io)?;
     let addr = listener.local_addr().map_err(ServerError::Io)?;
 
@@ -313,6 +342,7 @@ pub fn bind(cfg: ServerConfig) -> Result<ServerHandle, ServerError> {
         draws: AtomicU64::new(0),
         stopping: AtomicBool::new(false),
         addr,
+        tenants,
     });
 
     let writer_shared = Arc::clone(&shared);

@@ -215,6 +215,131 @@ fn a_malformed_request_does_not_kill_the_worker_for_the_next_client() {
     handle.shutdown_and_join();
 }
 
+fn start_with_tenants(tag: &str) -> (rds_server::ServerHandle, SocketAddr) {
+    let mut backend = BackendConfig::new(2, 0.5);
+    backend.seed = 42;
+    backend.publish_every = Some(1);
+    let mut cfg = ServerConfig::new(backend);
+    cfg.threads = 2;
+    cfg.read_timeout_ms = 2_000;
+    let dir = std::env::temp_dir().join(format!("rds-http-tenants-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    cfg.tenants = Some(rds_server::TenancyConfig {
+        budget_words: 1 << 24,
+        spill_dir: dir.to_string_lossy().into_owned(),
+    });
+    let handle = bind(cfg).expect("bind with tenancy");
+    let addr = handle.addr();
+    (handle, addr)
+}
+
+#[test]
+fn healthz_omits_registry_fields_without_tenancy() {
+    let (handle, addr) = start();
+    let (status, body) = client::request_once(addr, "GET", "/healthz", None).expect("healthz");
+    assert_eq!(status, 200);
+    assert!(
+        !body.contains("budget_words") && !body.contains("tenants"),
+        "single-tenant probe must not carry registry fields: {body}"
+    );
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn healthz_reports_the_registry_gauge_with_tenancy() {
+    let (handle, addr) = start_with_tenants("healthz");
+    let (status, body) = client::request_once(addr, "GET", "/healthz", None).expect("healthz");
+    assert_eq!(status, 200);
+    for field in [
+        "\"tenants\":0",
+        "\"resident\":0",
+        "\"resident_words\":0",
+        "\"budget_words\":16777216",
+        "\"spills\":0",
+        "\"restores\":0",
+    ] {
+        assert!(body.contains(field), "missing {field} in {body}");
+    }
+    let (status, _) = client::request_once(
+        addr,
+        "POST",
+        "/t/acme/ingest",
+        Some("{\"points\": [[1.0, 2.0]]}"),
+    )
+    .expect("tenant ingest");
+    assert_eq!(status, 200);
+    let (_, body) = client::request_once(addr, "GET", "/healthz", None).expect("healthz");
+    assert!(body.contains("\"tenants\":1"), "{body}");
+    assert!(body.contains("\"resident\":1"), "{body}");
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn tenant_routes_404_when_tenancy_is_disabled() {
+    let (handle, addr) = start();
+    let (status, body) = client::request_once(addr, "GET", "/t/acme/f0", None).expect("req");
+    assert_eq!(status, 404);
+    assert_eq!(code_of(&body), "tenancy_disabled");
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn tenant_routes_serve_ingest_and_reads_end_to_end() {
+    let (handle, addr) = start_with_tenants("serve");
+    let (status, body) = client::request_once(
+        addr,
+        "POST",
+        "/t/acme/ingest",
+        Some("{\"points\": [[1.0, 2.0], [5.0, 6.0]]}"),
+    )
+    .expect("ingest");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"ingested\":2"), "{body}");
+    let (status, body) = client::request_once(addr, "GET", "/t/acme/f0", None).expect("f0");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"seen\":2"), "{body}");
+    let (status, body) =
+        client::request_once(addr, "GET", "/t/acme/query_k?k=2&seed=7", None).expect("query_k");
+    assert_eq!(status, 200);
+    assert!(body.contains("records"), "{body}");
+    // a different tenant is a different (empty) stream
+    let (status, body) = client::request_once(addr, "GET", "/t/other/f0", None).expect("f0");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"seen\":0"), "{body}");
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn tenant_request_validation_maps_to_envelopes() {
+    let (handle, addr) = start_with_tenants("validate");
+    // bad tenant id: router extracts it, the registry rejects it
+    let (status, body) = client::request_once(addr, "GET", "/t/bad%20id/f0", None).expect("req");
+    assert_eq!(status, 400, "{body}");
+    assert_eq!(code_of(&body), "invalid_tenant");
+    // wrong dimension inside a tenant batch
+    let (status, body) = client::request_once(
+        addr,
+        "POST",
+        "/t/acme/ingest",
+        Some("{\"points\": [[1.0]]}"),
+    )
+    .expect("req");
+    assert_eq!(status, 400);
+    assert_eq!(code_of(&body), "invalid_point");
+    // wrong method on a tenant route
+    let (status, body) = client::request_once(addr, "GET", "/t/acme/ingest", None).expect("req");
+    assert_eq!(status, 405);
+    assert_eq!(code_of(&body), "method_not_allowed");
+    // unknown tenant verb
+    let (status, body) = client::request_once(addr, "GET", "/t/acme/nope", None).expect("req");
+    assert_eq!(status, 404);
+    assert_eq!(code_of(&body), "not_found");
+    // the server survives all of the above
+    let (status, _) = client::request_once(addr, "GET", "/healthz", None).expect("alive");
+    assert_eq!(status, 200);
+    handle.shutdown_and_join();
+}
+
 #[test]
 fn shutdown_over_http_drains_cleanly() {
     let (handle, addr) = start();

@@ -14,6 +14,10 @@
 
 #![warn(missing_docs)]
 
+mod zipf;
+
+pub use zipf::{ZipfError, ZipfKeys};
+
 use rds_geometry::Point;
 use serde::{Deserialize, Serialize};
 

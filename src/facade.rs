@@ -236,8 +236,11 @@ fn checkpoint_err(reason: impl Into<String>) -> RdsError {
 
 /// FNV-1a over the canonical payload JSON — the container's integrity
 /// check. Not cryptographic; it catches truncation and bit rot, not
-/// adversaries.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// adversaries. Public because every container in the checkpoint family
+/// (writer checkpoints here, tenant spill containers in `rds-tenant`)
+/// shares this one checksum so a mixed-up file fails loudly instead of
+/// parsing.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -660,6 +663,22 @@ impl RdsWriter {
     /// checkpoint's config echo rather than the caller).
     pub fn dim(&self) -> usize {
         self.backend_cfg().dim
+    }
+
+    /// The backend's in-memory footprint in machine words — the paper's
+    /// space-accounting unit ([`DistinctSampler::words`]), and the
+    /// metering hook the multi-tenant registry charges its global budget
+    /// with. Sharded backends are quiesced first (batch buffers flushed,
+    /// the per-shard reads queued FIFO behind in-flight batches), so the
+    /// figure covers every processed item; `&mut` for exactly that
+    /// reason.
+    pub fn words(&mut self) -> usize {
+        match &mut self.backend {
+            Backend::Single(s) => s.words(),
+            Backend::Window(s) => s.words(),
+            Backend::Engine(e) => e.words(),
+            Backend::WindowEngine(e) => e.words(),
+        }
     }
 
     /// The publication cadence in force.

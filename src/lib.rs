@@ -67,7 +67,7 @@
 mod facade;
 
 pub use facade::{
-    PublishCadence, Rds, RdsBuilder, RdsReader, RdsWriter, Snapshot, WriterCheckpoint,
+    fnv1a64, PublishCadence, Rds, RdsBuilder, RdsReader, RdsWriter, Snapshot, WriterCheckpoint,
     CHECKPOINT_FORMAT_VERSION, CHECKPOINT_MAGIC, DEFAULT_PUBLISH_EVERY,
 };
 
