@@ -221,6 +221,11 @@ fn main() {
     };
     let points = stream(n_points, n_entities);
 
+    // Untimed warm-up traversal: a fresh process pays cold-cache and
+    // clock-ramp penalties on its first pass over the stream, which at
+    // the smoke-test workload size would swamp the measured loop.
+    let _ = bench_unsharded(&points, 1);
+
     eprintln!("group engine_ingest ({n_points} points, {n_entities} entities)");
     let unsharded = bench_unsharded(&points, iters);
     eprintln!("  unsharded_baseline: {unsharded:.0} points/sec");

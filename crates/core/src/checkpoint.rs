@@ -165,13 +165,15 @@ pub(crate) fn check_dims<'a>(
     Ok(())
 }
 
-/// Validates a restored rate exponent: levels beyond 63 cannot be
-/// represented by the `2^level` arithmetic, and the samplers never
-/// produce them (the doubling loop caps at 60).
+/// Validates a restored rate exponent: levels beyond
+/// [`MAX_LEVEL`](crate::MAX_LEVEL) cannot be represented by the
+/// `2^level` arithmetic, and the samplers never produce them (the
+/// doubling loops stop at the same cap).
 pub(crate) fn check_level(level: u32) -> Result<(), RdsError> {
-    if level > 63 {
+    if level > crate::MAX_LEVEL {
         return Err(checkpoint_err(format!(
-            "rate exponent {level} out of range (max 63)"
+            "rate exponent {level} out of range (max {})",
+            crate::MAX_LEVEL
         )));
     }
     Ok(())

@@ -3,9 +3,19 @@
 use crate::error::RdsError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rds_geometry::{for_each_adjacent_cell, Grid, Point};
-use rds_hashing::{level_sampled, CellHasher, KWiseHash};
+use rds_geometry::{for_each_adjacent_cell_fold, Grid, Point};
+use rds_hashing::{level_sampled, CellHasher, CellKeyMixer, KWiseHash};
 use serde::{Deserialize, Serialize};
+
+/// Hard cap on the rate exponent `log2 R` shared by every sampler family.
+///
+/// Levels beyond 63 cannot be represented by the `2^level` arithmetic
+/// (`1u64 << level`), so the rate-doubling loops stop here, the
+/// hierarchical window sampler clamps its level count here, and
+/// checkpoint restore rejects anything larger. Reaching the cap in
+/// practice would take an adversarially degenerate hash function — the
+/// threshold analysis keeps real streams at `O(log m)` doublings.
+pub const MAX_LEVEL: u32 = 63;
 
 /// Configuration shared by all samplers in this crate.
 ///
@@ -250,11 +260,26 @@ impl SamplerContext {
         self.cfg.alpha
     }
 
+    /// The cell hasher (key mixer + k-wise hash), exposed so hot paths
+    /// can fold cell keys along the adjacency DFS and batch-hash whole
+    /// key slices.
+    #[inline]
+    pub fn hasher(&self) -> &CellHasher {
+        &self.hasher
+    }
+
+    /// The 64-bit mixer key of `cell(p)`; `scratch` avoids a per-call
+    /// allocation.
+    #[inline]
+    pub fn cell_key(&self, p: &Point, scratch: &mut Vec<i64>) -> u64 {
+        self.grid.cell_of_into(p, scratch);
+        self.hasher.cell_key(scratch)
+    }
+
     /// Hash of `cell(p)`; `scratch` avoids a per-call allocation.
     #[inline]
     pub fn cell_hash(&self, p: &Point, scratch: &mut Vec<i64>) -> u64 {
-        self.grid.cell_of_into(p, scratch);
-        self.hasher.hash_key(self.hasher.cell_key(scratch))
+        self.hasher.hash_key(self.cell_key(p, scratch))
     }
 
     /// Whether a previously computed cell hash is sampled at rate
@@ -266,12 +291,19 @@ impl SamplerContext {
 
     /// Whether some cell of `adj(p)` is sampled at rate `2^-level`
     /// (the `∃ C ∈ adj(p): h_R(C) = 0` test of Algorithms 1 and 2),
-    /// using the early-exiting `SearchAdj` DFS.
+    /// using the early-exiting `SearchAdj` DFS. The cell keys are folded
+    /// incrementally along the DFS, so shared coordinate prefixes are
+    /// mixed once instead of once per enumerated cell; the result is
+    /// bit-identical to keying each cell from scratch.
     pub fn any_adjacent_sampled(&self, p: &Point, level: u32) -> bool {
-        for_each_adjacent_cell(&self.grid, p, self.cfg.alpha, |cell| {
-            let h = self.hasher.hash_key(self.hasher.cell_key(cell));
-            level_sampled(h, level)
-        })
+        for_each_adjacent_cell_fold(
+            &self.grid,
+            p,
+            self.cfg.alpha,
+            self.hasher.mixer().fold_init(self.cfg.dim),
+            CellKeyMixer::fold_step,
+            |_cell, key| self.hasher.key_sampled(key, level),
+        )
     }
 
     /// Words of memory attributable to the context (grid offset + hash

@@ -76,8 +76,8 @@ impl RobustL0Sampler {
     pub fn site_summary(&self) -> SiteSummary {
         SiteSummary {
             level: self.level(),
-            acc: self.accept_set().to_vec(),
-            rej: self.reject_set().to_vec(),
+            acc: self.accept_set(),
+            rej: self.reject_set(),
             config_seed: self.context().cfg().seed,
         }
     }

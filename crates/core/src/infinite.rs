@@ -9,16 +9,28 @@
 //! entries. At query time a uniformly random element of `Sacc` is
 //! returned — Theorem 2.4 shows this is a uniform sample over groups with
 //! probability `1 - 1/m`.
+//!
+//! Both sets live in one cell-indexed [`CandidateStore`] (struct-of-arrays
+//! columns plus an open-addressing table keyed by `cell(rep)`), so the
+//! per-arrival membership test probes only the buckets of the grid cells
+//! within `alpha` of the point — enumerated by the same pruned DFS that
+//! drives the `adj(p)` sampling test — instead of scanning every stored
+//! record. Batches additionally evaluate the k-wise cell hash level in
+//! one coefficient-major pass over all arrivals. Every decision, every
+//! PRNG draw, and the serialized state are bit-identical to the original
+//! linear-scan bookkeeping.
 
 use crate::checkpoint::{check_dims, check_level, Checkpointable, RngState};
-use crate::config::{SamplerConfig, SamplerContext};
+use crate::config::{SamplerConfig, SamplerContext, MAX_LEVEL};
 use crate::distributed::MergedSummary;
 use crate::error::RdsError;
 use crate::sampler::DistinctSampler;
+use crate::store::CandidateStore;
 use rand::rngs::StdRng;
-use rand::seq::{IndexedRandom, SliceRandom};
-use rand::{RngExt, SeedableRng};
-use rds_geometry::Point;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rds_geometry::{for_each_adjacent_cell_fold_with, AdjacencyScratch, Point};
+use rds_hashing::CellKeyMixer;
 use rds_metrics::SpaceMeter;
 use rds_stream::StreamItem;
 use serde::{Deserialize, Serialize};
@@ -36,23 +48,6 @@ pub struct GroupRecord {
     /// A uniformly random member of the group (reservoir sampling, the
     /// "random point as group representative" extension of Section 2.3).
     pub reservoir: Point,
-}
-
-impl GroupRecord {
-    fn new(rep: Point, cell_hash: u64) -> Self {
-        let reservoir = rep.clone();
-        Self {
-            rep,
-            cell_hash,
-            count: 1,
-            reservoir,
-        }
-    }
-
-    fn words(&self) -> usize {
-        // rep + reservoir coordinates, hash, count
-        2 * self.rep.words() + 2
-    }
 }
 
 /// Tally of [`ProcessOutcome`]s over one [`RobustL0Sampler::process_batch`]
@@ -135,15 +130,20 @@ pub struct RobustL0Sampler {
     /// `log2 R`: cells are sampled when the low `level` bits of their hash
     /// are zero.
     level: u32,
-    /// Accept set: records of sampled groups.
-    acc: Vec<GroupRecord>,
-    /// Reject set: records of rejected groups.
-    rej: Vec<GroupRecord>,
+    /// Both candidate sets, cell-indexed (see [`CandidateStore`]).
+    store: CandidateStore,
     /// `|Sacc|` bound that triggers rate doubling.
     threshold: usize,
     seen: u64,
     rate_doublings: u32,
     scratch: Vec<i64>,
+    /// Arrival-path scratch for the adjacent-cell DFS (cell coordinates
+    /// and per-dimension bounds), reused across points.
+    adj_scratch: AdjacencyScratch,
+    /// Batch-path scratch: the mixer keys of one batch's cells.
+    batch_keys: Vec<u64>,
+    /// Batch-path scratch: the k-wise hashes of `batch_keys`.
+    batch_hashes: Vec<u64>,
     rng: StdRng,
     space: SpaceMeter,
     /// Cached copy-on-write summary, cleared whenever a candidate set
@@ -185,12 +185,14 @@ impl RobustL0Sampler {
         Ok(Self {
             ctx,
             level: 0,
-            acc: Vec::new(),
-            rej: Vec::new(),
+            store: CandidateStore::new(),
             threshold,
             seen: 0,
             rate_doublings: 0,
             scratch: Vec::new(),
+            adj_scratch: AdjacencyScratch::new(),
+            batch_keys: Vec::new(),
+            batch_hashes: Vec::new(),
             rng,
             space: SpaceMeter::new(),
             summary_cache: None,
@@ -199,60 +201,145 @@ impl RobustL0Sampler {
 
     /// Feeds one stream point (the body of Algorithm 1's arrival loop).
     pub fn process(&mut self, p: &Point) -> ProcessOutcome {
-        let outcome = self.process_inner(p);
+        let outcome = self.process_point(p, None);
         self.space.observe(self.words());
         outcome
     }
 
-    /// Feeds a batch of stream points, amortizing the space-metering sweep
-    /// (an `O(|Sacc| + |Srej|)` walk otherwise paid per point) over the
-    /// whole batch. The sampler state after the call is identical to
+    /// Feeds a batch of stream points: each k-wise cell hash level is
+    /// evaluated in one coefficient-major pass over the whole batch, and
+    /// the space-metering sweep (otherwise paid per point) is amortized
+    /// over the batch. The sampler state after the call is identical to
     /// calling [`Self::process`] on every point in order; only the peak
     /// recorded by [`Self::peak_words`] is coarser (observed once per
     /// batch instead of once per point).
     pub fn process_batch(&mut self, points: &[Point]) -> BatchStats {
+        self.process_batch_keyed(points.iter())
+    }
+
+    /// The shared batch path. While the stream has been mostly distinct so
+    /// far (at least half of the seen points started new groups), pass 1
+    /// folds every point's cell into its mixer key, pass 2 hashes all keys
+    /// in one batched Horner sweep (bit-identical to hashing them one by
+    /// one), pass 3 replays the sequential arrival loop with the
+    /// precomputed `(key, hash)` pairs. Once duplicates dominate, most
+    /// precomputed hashes would go unused (a duplicate never consumes its
+    /// hash), so the batch falls back to the per-point path, which hashes
+    /// lazily on a duplicate-probe miss. The precomputation is pure — no
+    /// RNG draw, no stored state — so the arrival decisions are exactly
+    /// those of per-point processing either way.
+    fn process_batch_keyed<'a, I>(&mut self, points: I) -> BatchStats
+    where
+        I: Iterator<Item = &'a Point> + Clone,
+    {
         let mut stats = BatchStats::default();
-        for p in points {
-            stats.record(self.process_inner(p));
+        let mostly_distinct = self.store.len() as u64 * 2 >= self.seen;
+        if mostly_distinct {
+            let mut keys = std::mem::take(&mut self.batch_keys);
+            let mut hashes = std::mem::take(&mut self.batch_hashes);
+            keys.clear();
+            for p in points.clone() {
+                keys.push(self.ctx.cell_key(p, &mut self.scratch));
+            }
+            self.ctx.hasher().hash_keys_slice(&keys, &mut hashes);
+            for ((p, &key), &hash) in points.zip(keys.iter()).zip(hashes.iter()) {
+                stats.record(self.process_point(p, Some((key, hash))));
+            }
+            self.batch_keys = keys;
+            self.batch_hashes = hashes;
+        } else {
+            for p in points {
+                stats.record(self.process_point(p, None));
+            }
         }
         self.space.observe(self.words());
         stats
     }
 
-    /// One arrival, without the space-meter sweep.
-    fn process_inner(&mut self, p: &Point) -> ProcessOutcome {
+    /// One arrival, without the space-meter sweep. `own` carries the
+    /// point's precomputed `(cell key, cell hash)` on the batch path;
+    /// `None` computes them on demand (and the hash only when the point
+    /// turns out to start a new group, exactly like the pre-batch code).
+    fn process_point(&mut self, p: &Point, own: Option<(u64, u64)>) -> ProcessOutcome {
         self.seen += 1;
         let alpha = self.ctx.alpha();
 
         // Line 4: if p belongs to a tracked candidate group, update its
-        // bookkeeping (count + reservoir, Section 2.3) and skip it.
-        if let Some(rec) = self
-            .acc
-            .iter_mut()
-            .chain(self.rej.iter_mut())
-            .find(|r| r.rep.within(p, alpha))
-        {
-            rec.count += 1;
+        // bookkeeping (count + reservoir, Section 2.3) and skip it. Any
+        // record within alpha of p has its cell within alpha of p, so
+        // probing the store buckets of the DFS-enumerated adjacent cells
+        // sees every match; the minimum chain rank reproduces the
+        // accept-then-reject first-match order of the old linear scan.
+        //
+        // `|adj(p)|` grows exponentially with the dimension, so the
+        // enumeration carries a cell budget: past it (high-dimensional
+        // grids where the cell index stops paying for itself) the probe
+        // aborts and the linear chain scan answers instead — same record
+        // either way, both compute the first chain-order match.
+        const PROBE_CELL_BUDGET: usize = 64;
+        let mut best: Option<(u64, u32)> = None;
+        let mut own_key: Option<u64> = None;
+        let truncated = {
+            let grid = self.ctx.grid();
+            let hasher = self.ctx.hasher();
+            let store = &self.store;
+            let adj_scratch = &mut self.adj_scratch;
+            let mut visited = 0usize;
+            for_each_adjacent_cell_fold_with(
+                grid,
+                p,
+                alpha,
+                hasher.mixer().fold_init(grid.dim()),
+                CellKeyMixer::fold_step,
+                |_cell, key| {
+                    if own_key.is_none() {
+                        // The DFS visits cell(p) first.
+                        own_key = Some(key);
+                    }
+                    visited += 1;
+                    if visited > PROBE_CELL_BUDGET {
+                        return true;
+                    }
+                    store.probe_best(key, p, alpha, &mut best);
+                    false
+                },
+                adj_scratch,
+            )
+        };
+        if truncated {
+            best = self.store.scan_best(p, alpha);
+        }
+        if let Some((_, slot)) = best {
+            let count = self.store.bump_count(slot);
             // Reservoir sampling: replace with probability 1/count.
-            if self.rng.random_range(0..rec.count) == 0 {
-                rec.reservoir = p.clone();
+            if self.rng.word_below(count) == 0 {
+                self.store.set_reservoir(slot, p);
             }
             self.summary_cache = None;
             return ProcessOutcome::Duplicate;
         }
 
         // p is the first point of its group among the candidates.
-        let h = self.ctx.cell_hash(p, &mut self.scratch);
+        let (key, h) = if let Some(kh) = own {
+            kh
+        } else if let Some(k) = own_key {
+            (k, self.ctx.hasher().hash_key(k))
+        } else {
+            // Unreachable (the DFS always visits cell(p)); recompute from
+            // scratch rather than assume it.
+            let k = self.ctx.cell_key(p, &mut self.scratch);
+            (k, self.ctx.hasher().hash_key(k))
+        };
         let outcome = if self.ctx.hash_sampled(h, self.level) {
             // Line 6: the group's first point fell into a sampled cell.
-            self.acc.push(GroupRecord::new(p.clone(), h));
+            self.store.push_acc(key, h, p.clone());
             self.summary_cache = None;
             ProcessOutcome::Accepted
         } else if self.ctx.any_adjacent_sampled(p, self.level) {
             // Line 8: some adjacent cell is sampled; remember the group as
             // rejected so later points of it are never mistaken for first
             // points.
-            self.rej.push(GroupRecord::new(p.clone(), h));
+            self.store.push_rej(key, h, p.clone());
             self.summary_cache = None;
             ProcessOutcome::Rejected
         } else {
@@ -262,42 +349,29 @@ impl RobustL0Sampler {
         // Lines 10-12: halve the sample rate while the accept set is too
         // large (the level cap only guards against adversarial hash
         // degeneracies).
-        while self.acc.len() > self.threshold && self.level < 60 {
+        while self.store.acc_len() > self.threshold && self.level < MAX_LEVEL {
             self.double_rate();
         }
         outcome
     }
 
     /// Doubles `R` and refilters both sets under the new rate.
+    ///
+    /// Groups whose own cell survives stay accepted (Fact 1b: survivors
+    /// are a subset, never new cells); demoted groups stay rejected while
+    /// some adjacent cell is still sampled, appended after the surviving
+    /// reject records in accept order — the exact order the old
+    /// retain-then-push bookkeeping produced.
     fn double_rate(&mut self) {
         self.level += 1;
         self.rate_doublings += 1;
         self.summary_cache = None;
         let level = self.level;
-        // Groups whose own cell survives stay accepted (Fact 1b:
-        // survivors are a subset, never new cells).
-        let mut demoted: Vec<GroupRecord> = Vec::new();
-        self.acc.retain_mut(|rec| {
-            if rds_hashing::level_sampled(rec.cell_hash, level) {
-                true
-            } else {
-                demoted.push(rec.clone());
-                false
-            }
-        });
-        // A demoted group stays rejected if some adjacent cell is still
-        // sampled; otherwise it is dropped entirely (it would have been
-        // ignored had the rate been this low from the start).
-        for rec in demoted {
-            if self.ctx.any_adjacent_sampled(&rec.rep, level) {
-                self.rej.push(rec);
-            }
-        }
-        // Rejected groups stay only while they still witness a sampled
-        // adjacent cell.
-        let ctx = &self.ctx;
-        self.rej
-            .retain(|rec| ctx.any_adjacent_sampled(&rec.rep, level));
+        let Self { store, ctx, .. } = self;
+        store.retain_after_doubling(
+            |cell_hash| rds_hashing::level_sampled(cell_hash, level),
+            |rep| ctx.any_adjacent_sampled(rep, level),
+        );
     }
 
     /// Draws one robust ℓ0-sample: the representative (first point) of a
@@ -307,20 +381,30 @@ impl RobustL0Sampler {
     /// ([`DistinctSampler::query_record`], [`DistinctSampler::query_k`])
     /// return owned records.
     pub fn query(&mut self) -> Option<&Point> {
-        self.acc.choose(&mut self.rng).map(|r| &r.rep)
+        let n = self.store.acc_len();
+        if n == 0 {
+            return None;
+        }
+        let pick = self.rng.word_below(n as u64);
+        Some(self.store.rep(self.store.acc_slot(pick as usize)))
     }
 
     /// Like [`Self::query`] but returns a uniformly random *member* of the
     /// sampled group instead of its first point (Section 2.3, reservoir
     /// extension).
     pub fn query_random_member(&mut self) -> Option<&Point> {
-        self.acc.choose(&mut self.rng).map(|r| &r.reservoir)
+        let n = self.store.acc_len();
+        if n == 0 {
+            return None;
+        }
+        let pick = self.rng.word_below(n as u64);
+        Some(self.store.reservoir(self.store.acc_slot(pick as usize)))
     }
 
     /// The estimate `|Sacc| * R` of the number of distinct groups
     /// (Section 5's infinite-window F0 estimator reads this).
     pub fn f0_estimate(&self) -> f64 {
-        self.acc.len() as f64 * (1u64 << self.level) as f64
+        self.store.acc_len() as f64 * (1u64 << self.level) as f64
     }
 
     /// Number of points processed.
@@ -338,14 +422,17 @@ impl RobustL0Sampler {
         self.rate_doublings
     }
 
-    /// Current accept set (representatives of sampled groups).
-    pub fn accept_set(&self) -> &[GroupRecord] {
-        &self.acc
+    /// Current accept set (representatives of sampled groups),
+    /// materialized in insertion order. The records live in the
+    /// cell-indexed store; this clones them into the classic record
+    /// vector.
+    pub fn accept_set(&self) -> Vec<GroupRecord> {
+        self.store.acc_records()
     }
 
-    /// Current reject set.
-    pub fn reject_set(&self) -> &[GroupRecord] {
-        &self.rej
+    /// Current reject set, materialized in insertion order.
+    pub fn reject_set(&self) -> Vec<GroupRecord> {
+        self.store.rej_records()
     }
 
     /// The `|Sacc|` threshold in force.
@@ -353,22 +440,11 @@ impl RobustL0Sampler {
         self.threshold
     }
 
-    /// Current footprint in machine words (context + both candidate sets).
+    /// Current footprint in machine words (context + both candidate
+    /// sets). `O(1)`: every stored record holds two points of the
+    /// configured dimension plus two bookkeeping words.
     pub fn words(&self) -> usize {
-        let records: usize = self
-            .acc
-            .iter()
-            .chain(self.rej.iter())
-            .map(GroupRecord::words)
-            .sum();
-        // Every live record carries two points of at least one coordinate
-        // plus two bookkeeping words; a total below that floor means the
-        // accounting under-reports space.
-        debug_assert!(
-            records >= 4 * (self.acc.len() + self.rej.len()),
-            "words() accounting fell below the per-record floor"
-        );
-        self.ctx.words() + records + 4
+        self.ctx.words() + self.store.words(self.ctx.cfg().dim) + 4
     }
 
     /// Peak footprint observed so far (the paper's `pSpace`).
@@ -382,10 +458,10 @@ impl RobustL0Sampler {
     }
 
     /// Consumes the sampler, handing out both candidate sets without
-    /// cloning (the cheap path behind
+    /// cloning any point (the cheap path behind
     /// [`Self::into_site_summary`](crate::distributed) extraction).
     pub(crate) fn into_sets(self) -> (Vec<GroupRecord>, Vec<GroupRecord>) {
-        (self.acc, self.rej)
+        self.store.into_records()
     }
 }
 
@@ -393,7 +469,8 @@ impl RobustL0Sampler {
 /// sets, the rate exponent, the threshold, the arrival counter, and the
 /// exact PRNG position. The grid and hash function are deterministic
 /// functions of the embedded [`SamplerConfig`] and are rebuilt on
-/// restore, not stored.
+/// restore, not stored — as is the store's cell index (the mixer keys are
+/// a deterministic function of the grid and the representatives).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RobustL0State {
     cfg: SamplerConfig,
@@ -432,8 +509,8 @@ impl Checkpointable for RobustL0Sampler {
             cfg: self.ctx.cfg().clone(),
             threshold: self.threshold,
             level: self.level,
-            acc: self.acc.clone(),
-            rej: self.rej.clone(),
+            acc: self.store.acc_records(),
+            rej: self.store.rej_records(),
             seen: self.seen,
             rate_doublings: self.rate_doublings,
             rng: RngState::capture(&self.rng),
@@ -455,8 +532,12 @@ impl Checkpointable for RobustL0Sampler {
         )?;
         let mut s = Self::try_with_threshold(state.cfg, state.threshold)?;
         s.level = state.level;
-        s.acc = state.acc;
-        s.rej = state.rej;
+        let mut scratch = Vec::new();
+        let ctx = &s.ctx;
+        let store = CandidateStore::from_records(state.acc, state.rej, |rep| {
+            ctx.cell_key(rep, &mut scratch)
+        });
+        s.store = store;
         s.seen = state.seen;
         s.rate_doublings = state.rate_doublings;
         s.rng = state.rng.restore();
@@ -481,23 +562,25 @@ impl DistinctSampler for RobustL0Sampler {
     /// The amortized batch path of [`RobustL0Sampler::process_batch`],
     /// lifted to stream items.
     fn process_batch(&mut self, items: &[StreamItem]) -> BatchStats {
-        let mut stats = BatchStats::default();
-        for item in items {
-            stats.record(self.process_inner(&item.point));
-        }
-        self.space.observe(self.words());
-        stats
+        self.process_batch_keyed(items.iter().map(|item| &item.point))
     }
 
     fn query_record(&mut self) -> Option<GroupRecord> {
-        self.acc.choose(&mut self.rng).cloned()
+        let n = self.store.acc_len();
+        if n == 0 {
+            return None;
+        }
+        let pick = self.rng.word_below(n as u64);
+        Some(self.store.record_at(self.store.acc_slot(pick as usize)))
     }
 
     fn query_k(&mut self, k: usize) -> Vec<GroupRecord> {
-        let mut idx: Vec<usize> = (0..self.acc.len()).collect();
+        let mut idx: Vec<usize> = (0..self.store.acc_len()).collect();
         idx.shuffle(&mut self.rng);
         idx.truncate(k);
-        idx.into_iter().map(|i| self.acc[i].clone()).collect()
+        idx.into_iter()
+            .map(|i| self.store.record_at(self.store.acc_slot(i)))
+            .collect()
     }
 
     fn f0_estimate(&self) -> f64 {
@@ -516,8 +599,8 @@ impl DistinctSampler for RobustL0Sampler {
         MergedSummary::from_parts(
             self.ctx.cfg().clone(),
             self.level,
-            self.acc.clone(),
-            self.rej.clone(),
+            self.store.acc_records(),
+            self.store.rej_records(),
         )
     }
 
@@ -686,7 +769,9 @@ mod tests {
             .expected_len(pts.len() as u64).build().unwrap();
         let mut s = RobustL0Sampler::try_new(cfg).unwrap();
         feed(&mut s, &pts);
-        let all: Vec<&GroupRecord> = s.accept_set().iter().chain(s.reject_set().iter()).collect();
+        let acc = s.accept_set();
+        let rej = s.reject_set();
+        let all: Vec<&GroupRecord> = acc.iter().chain(rej.iter()).collect();
         for i in 0..all.len() {
             for j in (i + 1)..all.len() {
                 assert!(
@@ -856,12 +941,20 @@ mod tests {
         assert_eq!(batched.seen(), one.seen());
         assert_eq!(batched.level(), one.level());
         assert_eq!(batched.f0_estimate(), one.f0_estimate());
-        assert_eq!(batched.accept_set().len(), one.accept_set().len());
-        for (a, b) in batched.accept_set().iter().zip(one.accept_set()) {
+        let batched_acc = batched.accept_set();
+        let one_acc = one.accept_set();
+        assert_eq!(batched_acc.len(), one_acc.len());
+        for (a, b) in batched_acc.iter().zip(one_acc.iter()) {
             assert_eq!(a.rep, b.rep);
             assert_eq!(a.count, b.count);
             assert_eq!(a.cell_hash, b.cell_hash);
         }
+        // The RNG positions agree too: reservoir draws happened in the
+        // same order with the same word consumption.
+        assert_eq!(
+            RngState::capture(&batched.rng),
+            RngState::capture(&one.rng)
+        );
     }
 
     #[test]
@@ -871,6 +964,35 @@ mod tests {
         assert_eq!(stats, BatchStats::default());
         assert_eq!(s.seen(), 0);
         assert!(s.query().is_none());
+    }
+
+    #[test]
+    fn doubling_stops_at_the_level_cap() {
+        // An over-full accept set pinned at MAX_LEVEL: the doubling loop
+        // must stop at the cap instead of spinning or overflowing the
+        // 2^level arithmetic.
+        let cfg = SamplerConfig::builder(1, 0.5).seed(3).build().unwrap();
+        let mut base = RobustL0Sampler::try_with_threshold(cfg, 1).unwrap();
+        base.process(&Point::new(vec![0.0]));
+        let mut state = base.checkpoint_state();
+        state.level = MAX_LEVEL;
+        let far = |x: f64| GroupRecord {
+            rep: Point::new(vec![x]),
+            cell_hash: 1,
+            count: 1,
+            reservoir: Point::new(vec![x]),
+        };
+        state.acc = vec![far(0.0), far(100.0), far(200.0)];
+        state.rej = Vec::new();
+        let mut s = RobustL0Sampler::try_from_state(state).unwrap();
+        assert_eq!(s.level(), MAX_LEVEL);
+        s.process(&Point::new(vec![300.0]));
+        assert_eq!(s.level(), MAX_LEVEL, "level must never exceed the cap");
+        assert!(s.accept_set().len() > s.threshold());
+        assert_eq!(
+            s.f0_estimate(),
+            s.accept_set().len() as f64 * (1u64 << MAX_LEVEL) as f64
+        );
     }
 
     #[test]

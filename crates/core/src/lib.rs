@@ -12,6 +12,7 @@ mod error;
 mod heavy;
 mod infinite;
 mod sampler;
+mod store;
 mod sw_fixed;
 mod f0;
 mod jl_adapter;
@@ -21,12 +22,13 @@ pub mod persist;
 mod sw_hier;
 
 pub use checkpoint::{Checkpointable, RngState};
-pub use config::{SamplerConfig, SamplerConfigBuilder, SamplerContext};
+pub use config::{SamplerConfig, SamplerConfigBuilder, SamplerContext, MAX_LEVEL};
 pub use distributed::{DistributedSampling, MergedSummary, SiteSummary};
 pub use error::RdsError;
 pub use heavy::{HeavyGroup, RobustHeavyHitters};
 pub use infinite::{BatchStats, GroupRecord, ProcessOutcome, RobustL0Sampler, RobustL0State};
 pub use sampler::{DistinctSampler, SamplerSummary, WindowSummary};
+pub use store::CandidateStore;
 pub use sw_fixed::{
     FixedRateLevelState, FixedRateWindowSampler, FixedRateWindowState, WindowGroupEntry,
 };

@@ -330,7 +330,7 @@ impl<P: LshPartitioner> MetricRobustSampler<P> {
         } else {
             MetricProcessOutcome::Ignored
         };
-        while self.acc.len() > self.threshold && self.level < 60 {
+        while self.acc.len() > self.threshold && self.level < crate::MAX_LEVEL {
             self.double_rate();
         }
         outcome

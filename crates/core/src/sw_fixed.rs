@@ -21,7 +21,7 @@ use crate::infinite::{GroupRecord, ProcessOutcome};
 use crate::sampler::{window_entry_record, DistinctSampler, WindowSummary};
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
-use rand::{RngExt, SeedableRng};
+use rand::SeedableRng;
 use rds_geometry::Point;
 use rds_stream::{Stamp, StreamItem, Window};
 use std::sync::Arc;
@@ -195,7 +195,9 @@ impl FixedRateWindowSampler {
                 e.last = item.point.clone();
                 e.last_stamp = item.stamp;
                 e.count += 1;
-                if rng.random_range(0..e.count) == 0 {
+                // One next_u64 via the word-at-a-time draw; identical
+                // arithmetic and state evolution to random_range(0..count).
+                if rng.word_below(e.count) == 0 {
                     e.reservoir = item.point.clone();
                 }
                 *mutations += 1;

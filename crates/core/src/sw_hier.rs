@@ -152,11 +152,11 @@ impl SlidingWindowSampler {
             return Err(RdsError::InvalidThreshold);
         }
         let seed = cfg.seed;
-        // ceil(log2 w) clamped to [1, 63]: at w = u64::MAX the unclamped
-        // value is 64, which `level_sampled` (shift by `level`) and the
-        // `2^l` in `f0_estimate` cannot represent — and a rate of 2^-63
-        // is already unreachable for any physical stream.
-        let top = (64 - (w - 1).leading_zeros()).clamp(1, 63);
+        // ceil(log2 w) clamped to [1, MAX_LEVEL]: at w = u64::MAX the
+        // unclamped value is 64, which `level_sampled` (shift by `level`)
+        // and the `2^l` in `f0_estimate` cannot represent — and a rate of
+        // 2^-MAX_LEVEL is already unreachable for any physical stream.
+        let top = (64 - (w - 1).leading_zeros()).clamp(1, crate::MAX_LEVEL);
         let ctx = Arc::new(SamplerContext::new(cfg));
         let levels = (0..=top)
             .map(|l| FixedRateWindowSampler::with_context(ctx.clone(), window, l, seed))

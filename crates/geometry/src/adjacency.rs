@@ -97,6 +97,177 @@ where
     false
 }
 
+/// Like [`for_each_adjacent_cell`], but threads a caller-defined fold value
+/// down the DFS: entering depth `i` with carry `acc` and choosing cell
+/// coordinate `c_i` continues with `step(acc, c_i)`, and `visit` receives
+/// the fully folded value alongside the cell coordinates.
+///
+/// When `step` is a per-coordinate hash fold (e.g. a seeded SplitMix64
+/// avalanche), the fold value at a leaf *is* the cell's key, and prefixes
+/// are shared along the DFS tree — visiting `k` cells costs `O(k)` fold
+/// steps instead of `O(k · d)` from re-keying each cell from scratch. The
+/// enumeration order, pruning, and early-exit contract are exactly those of
+/// [`for_each_adjacent_cell`]; the first visited cell is always `cell(p)`.
+///
+/// # Panics
+///
+/// Panics if `grid.side() < alpha`, as in [`for_each_adjacent_cell`].
+pub fn for_each_adjacent_cell_fold<S, F>(
+    grid: &Grid,
+    p: &Point,
+    alpha: f64,
+    init: u64,
+    step: S,
+    visit: F,
+) -> bool
+where
+    S: FnMut(u64, i64) -> u64,
+    F: FnMut(&[i64], u64) -> bool,
+{
+    let mut scratch = AdjacencyScratch::new();
+    for_each_adjacent_cell_fold_with(grid, p, alpha, init, step, visit, &mut scratch)
+}
+
+/// Reusable buffers for [`for_each_adjacent_cell_fold_with`]: the DFS cell
+/// coordinates and the per-dimension `(base, down, up)` bounds, sized on
+/// first use. Holding one of these on the sampler keeps the per-point
+/// arrival path free of heap allocation.
+#[derive(Clone, Debug, Default)]
+pub struct AdjacencyScratch {
+    cell: Vec<i64>,
+    dims: Vec<(i64, f64, f64)>,
+}
+
+impl AdjacencyScratch {
+    /// Empty scratch; buffers grow to the grid dimension on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`for_each_adjacent_cell_fold`] with caller-owned scratch buffers: no
+/// allocation per call, and the per-dimension grid coordinate and boundary
+/// costs are computed once per point instead of once per DFS node re-entry.
+/// Enumeration order, pruning, folded keys, and the early-exit contract are
+/// exactly those of [`for_each_adjacent_cell_fold`].
+///
+/// # Panics
+///
+/// Panics if `grid.side() < alpha`, as in [`for_each_adjacent_cell`].
+pub fn for_each_adjacent_cell_fold_with<S, F>(
+    grid: &Grid,
+    p: &Point,
+    alpha: f64,
+    init: u64,
+    mut step: S,
+    mut visit: F,
+    scratch: &mut AdjacencyScratch,
+) -> bool
+where
+    S: FnMut(u64, i64) -> u64,
+    F: FnMut(&[i64], u64) -> bool,
+{
+    assert!(
+        grid.side() >= alpha,
+        "SearchAdj DFS requires side >= alpha (side={}, alpha={}); use adjacent_cells_bfs",
+        grid.side(),
+        alpha
+    );
+    let dim = grid.dim();
+    debug_assert_eq!(p.dim(), dim, "dimension mismatch");
+    scratch.cell.clear();
+    scratch.cell.resize(dim, 0);
+    scratch.dims.clear();
+    let side = grid.side();
+    for depth in 0..dim {
+        // The exact node expressions of the recursive formulation, hoisted:
+        // every re-entry of a depth recomputed the same three values.
+        let g = grid.grid_coord(p, depth);
+        let base = g.floor() as i64;
+        let down = (g - g.floor()) * side;
+        let up = (g.floor() + 1.0 - g) * side;
+        scratch.dims.push((base, down, up));
+    }
+    let limit_sq = alpha * alpha;
+    if dim == 2 {
+        // The planar case (the common deployment regime), with the DFS
+        // unrolled into two nested branch loops. Same branch order
+        // (stay, lower, upper), same pruning comparisons on the same
+        // accumulated costs, same fold calls at the same tree positions
+        // — only the recursion frames are gone. Pruned subtrees skip
+        // their fold step; the step is pure, so that is unobservable.
+        let (b0, d0, u0) = scratch.dims[0];
+        let (b1, d1, u1) = scratch.dims[1];
+        let cell = &mut scratch.cell[..2];
+        for (c0, cost0) in [(b0, 0.0), (b0 - 1, d0 * d0), (b0 + 1, u0 * u0)] {
+            if cost0 > limit_sq {
+                continue;
+            }
+            cell[0] = c0;
+            let f0 = step(init, c0);
+            for (c1, cost1) in [(b1, 0.0), (b1 - 1, d1 * d1), (b1 + 1, u1 * u1)] {
+                if cost0 + cost1 > limit_sq {
+                    continue;
+                }
+                cell[1] = c1;
+                if visit(cell, step(f0, c1)) {
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+    let mut state = FoldSearchState {
+        dim,
+        limit_sq,
+        dims: &scratch.dims,
+        cell: &mut scratch.cell,
+        step: &mut step,
+        visit: &mut visit,
+    };
+    search_fold(&mut state, 0, 0.0, init)
+}
+
+struct FoldSearchState<'a, S, F> {
+    dim: usize,
+    limit_sq: f64,
+    dims: &'a [(i64, f64, f64)],
+    cell: &'a mut [i64],
+    step: &'a mut S,
+    visit: &'a mut F,
+}
+
+fn search_fold<S, F>(st: &mut FoldSearchState<'_, S, F>, depth: usize, acc_sq: f64, acc: u64) -> bool
+where
+    S: FnMut(u64, i64) -> u64,
+    F: FnMut(&[i64], u64) -> bool,
+{
+    if acc_sq > st.limit_sq {
+        return false;
+    }
+    if depth == st.dim {
+        return (st.visit)(st.cell, acc);
+    }
+    let (base, down, up) = st.dims[depth];
+
+    st.cell[depth] = base;
+    let folded = (st.step)(acc, base);
+    if search_fold(st, depth + 1, acc_sq, folded) {
+        return true;
+    }
+    st.cell[depth] = base - 1;
+    let folded = (st.step)(acc, base - 1);
+    if search_fold(st, depth + 1, acc_sq + down * down, folded) {
+        return true;
+    }
+    st.cell[depth] = base + 1;
+    let folded = (st.step)(acc, base + 1);
+    if search_fold(st, depth + 1, acc_sq + up * up, folded) {
+        return true;
+    }
+    false
+}
+
 /// Collects `adj(p)` using the pruned DFS ([`for_each_adjacent_cell`]).
 ///
 /// The cell containing `p` itself is always part of the result (it is at
@@ -227,6 +398,66 @@ mod tests {
         });
         assert!(stopped);
         assert_eq!(visited, 2);
+    }
+
+    #[test]
+    fn fold_dfs_visits_same_cells_in_same_order_with_folded_keys() {
+        // The fold variant must enumerate exactly the cells of the plain
+        // DFS, in the same order, and the carried value at each leaf must
+        // equal folding the leaf's coordinates from scratch.
+        let step = |acc: u64, c: i64| {
+            acc.rotate_left(7) ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        };
+        let mut rng = StdRng::seed_from_u64(77);
+        for dim in 1..=4usize {
+            for _ in 0..40 {
+                let side = rng.random_range(0.5..2.0);
+                let alpha = rng.random_range(0.01..side);
+                let g = Grid::random(dim, side, &mut rng);
+                let p = Point::new((0..dim).map(|_| rng.random_range(-5.0..5.0)).collect());
+                let plain = adjacent_cells(&g, &p, alpha);
+                let mut folded: Vec<(Vec<i64>, u64)> = Vec::new();
+                for_each_adjacent_cell_fold(&g, &p, alpha, 0xABCD, step, |c, key| {
+                    folded.push((c.to_vec(), key));
+                    false
+                });
+                assert_eq!(folded.len(), plain.len());
+                for (got, want) in folded.iter().zip(plain.iter()) {
+                    assert_eq!(&got.0[..], &want[..], "cell order diverged");
+                    let scratch = got.0.iter().fold(0xABCD, |a, &c| step(a, c));
+                    assert_eq!(got.1, scratch, "fold carry diverged from re-fold");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fold_dfs_early_exit_matches_plain_dfs() {
+        let g = Grid::with_offset(2, 1.0, vec![0.0, 0.0]);
+        let p = Point::new(vec![1.0001, 1.0001]);
+        let mut visited = 0usize;
+        let stopped =
+            for_each_adjacent_cell_fold(&g, &p, 0.9, 0, |a, c| a ^ c as u64, |_: &[i64], _| {
+                visited += 1;
+                visited == 2
+            });
+        assert!(stopped);
+        assert_eq!(visited, 2);
+    }
+
+    #[test]
+    fn fold_dfs_first_visit_is_own_cell() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for _ in 0..50 {
+            let g = Grid::random(3, 1.0, &mut rng);
+            let p = Point::new((0..3).map(|_| rng.random_range(-4.0..4.0)).collect());
+            let mut first: Option<Vec<i64>> = None;
+            for_each_adjacent_cell_fold(&g, &p, 0.8, 0, |a, _| a, |c: &[i64], _| {
+                first = Some(c.to_vec());
+                true
+            });
+            assert_eq!(first.as_deref(), Some(&*g.cell_of(&p)));
+        }
     }
 
     #[test]

@@ -20,7 +20,10 @@ mod grid;
 mod jl;
 mod point;
 
-pub use adjacency::{adjacent_cells, adjacent_cells_bfs, for_each_adjacent_cell};
+pub use adjacency::{
+    adjacent_cells, adjacent_cells_bfs, for_each_adjacent_cell, for_each_adjacent_cell_fold,
+    for_each_adjacent_cell_fold_with, AdjacencyScratch,
+};
 pub use grid::{CellCoord, Grid};
 pub use jl::{standard_normal, JlProjection};
 pub use point::{Ball, Point};

@@ -23,9 +23,24 @@ use std::fmt;
 /// assert_eq!(p.distance(&q), 5.0);
 /// assert_eq!(p.dim(), 2);
 /// ```
-#[derive(Clone, PartialEq, Serialize)]
+#[derive(PartialEq, Serialize)]
 pub struct Point {
     coords: Box<[f64]>,
+}
+
+impl Clone for Point {
+    fn clone(&self) -> Self {
+        Self {
+            coords: self.coords.clone(),
+        }
+    }
+
+    // Reservoir replacement overwrites points of identical dimension in a
+    // tight loop; reusing the existing allocation keeps that path off the
+    // allocator (the derive's clone_from would reallocate every time).
+    fn clone_from(&mut self, source: &Self) {
+        self.coords.clone_from(&source.coords);
+    }
 }
 
 // Deserialization is manual (same wire shape as the derive would emit) so

@@ -27,6 +27,18 @@ pub fn max_sampled_level(hash_value: u64, max_level: u32) -> u32 {
     (hash_value.trailing_zeros()).min(max_level)
 }
 
+/// Slice-in/slice-out batch variant of [`level_sampled`]: appends one bit
+/// per hash to `out` (cleared first), all evaluated at the same `level`.
+///
+/// `out[i] == level_sampled(hashes[i], level)` — one pass over the batch
+/// where the per-point path would branch per arrival.
+pub fn level_sampled_slice(hashes: &[u64], level: u32, out: &mut Vec<bool>) {
+    debug_assert!(level < 64, "level out of range");
+    let mask = (1u64 << level) - 1;
+    out.clear();
+    out.extend(hashes.iter().map(|&h| h & mask == 0));
+}
+
 /// Hashes grid cells (integer coordinate vectors) and answers sampling
 /// queries at any power-of-two rate.
 ///
@@ -98,6 +110,22 @@ impl CellHasher {
     #[inline]
     pub fn key_sampled(&self, key: u64, level: u32) -> bool {
         level_sampled(self.hash_key(key), level)
+    }
+
+    /// Batch variant of [`CellHasher::hash_key`]: hashes a whole slice of
+    /// cell keys in one coefficient-major pass (see
+    /// [`KWiseHash::hash_slice`]), appending to `out` (cleared first).
+    /// Bit-identical to hashing each key individually.
+    pub fn hash_keys_slice(&self, keys: &[u64], out: &mut Vec<u64>) {
+        self.hash.hash_slice(keys, out);
+    }
+
+    /// The key mixer, exposed so hot paths can fold cell keys
+    /// incrementally along the adjacency DFS
+    /// (see [`CellKeyMixer::fold_init`]).
+    #[inline]
+    pub fn mixer(&self) -> &CellKeyMixer {
+        &self.mixer
     }
 
     /// Words of memory used by the function description.
@@ -182,5 +210,39 @@ mod tests {
         let key = hasher.cell_key(&cell);
         assert_eq!(hasher.hash_cell(&cell), hasher.hash_key(key));
         assert_eq!(hasher.sampled(&cell, 3), hasher.key_sampled(key, 3));
+    }
+
+    #[test]
+    fn batch_paths_agree_with_scalar_paths() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let hasher = CellHasher::new(16, &mut rng);
+        let keys: Vec<u64> = (0..37i64).map(|i| hasher.cell_key(&[i, -i, 3])).collect();
+        let mut hashes = Vec::new();
+        hasher.hash_keys_slice(&keys, &mut hashes);
+        assert_eq!(
+            hashes,
+            keys.iter().map(|&k| hasher.hash_key(k)).collect::<Vec<_>>()
+        );
+        for level in [0u32, 1, 3, 7] {
+            let mut bits = Vec::new();
+            level_sampled_slice(&hashes, level, &mut bits);
+            assert_eq!(
+                bits,
+                hashes.iter().map(|&h| level_sampled(h, level)).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn mixer_accessor_folds_to_cell_key() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let hasher = CellHasher::new(8, &mut rng);
+        let cell = [4i64, -5, 6];
+        let folded = cell
+            .iter()
+            .fold(hasher.mixer().fold_init(cell.len()), |a, &c| {
+                crate::CellKeyMixer::fold_step(a, c)
+            });
+        assert_eq!(folded, hasher.cell_key(&cell));
     }
 }

@@ -46,11 +46,31 @@ impl CellKeyMixer {
     /// Folds `coords` into a 64-bit key.
     #[inline]
     pub fn key(&self, coords: &[i64]) -> u64 {
-        let mut acc = splitmix64(self.seed ^ (coords.len() as u64));
+        let mut acc = self.fold_init(coords.len());
         for &c in coords {
-            acc = splitmix64(acc ^ (c as u64));
+            acc = Self::fold_step(acc, c);
         }
         acc
+    }
+
+    /// The fold carry before any coordinate is absorbed, for a cell of
+    /// `dim` coordinates. Together with [`CellKeyMixer::fold_step`] this
+    /// exposes the key computation incrementally:
+    /// `key(c) == c.iter().fold(fold_init(c.len()), |a, &x| fold_step(a, x))`.
+    ///
+    /// Callers enumerating many cells that share coordinate prefixes (the
+    /// adjacency DFS) reuse partial carries instead of re-folding every
+    /// cell from its first coordinate.
+    #[inline]
+    pub fn fold_init(&self, dim: usize) -> u64 {
+        splitmix64(self.seed ^ (dim as u64))
+    }
+
+    /// Absorbs one coordinate into a fold carry (see
+    /// [`CellKeyMixer::fold_init`]).
+    #[inline]
+    pub fn fold_step(acc: u64, coord: i64) -> u64 {
+        splitmix64(acc ^ (coord as u64))
     }
 }
 
@@ -94,6 +114,17 @@ mod tests {
             for y in -20i64..20 {
                 assert!(seen.insert(m.key(&[x, y])), "collision at ({x},{y})");
             }
+        }
+    }
+
+    #[test]
+    fn incremental_fold_matches_one_shot_key() {
+        let m = CellKeyMixer::new(0xFEED);
+        for coords in [vec![], vec![3], vec![1, -2, 3], vec![i64::MIN, i64::MAX, 0, 7]] {
+            let folded = coords
+                .iter()
+                .fold(m.fold_init(coords.len()), |a, &c| CellKeyMixer::fold_step(a, c));
+            assert_eq!(folded, m.key(&coords));
         }
     }
 

@@ -1,4 +1,4 @@
-//! The rule engine: nine repo-specific lints over the lexed token
+//! The rule engine: ten repo-specific lints over the lexed token
 //! stream, with `#[cfg(test)]`/`#[test]` region tracking and the
 //! `// lint:allow(<rule>) <justification>` escape hatch.
 //!
@@ -12,7 +12,7 @@ use crate::lexer::{lex, Comment, Token, TokenKind};
 /// One diagnostic: `path:line:col: rule message`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
-    /// The rule id (`L1`..`L9`, or `L0` for a malformed allow comment).
+    /// The rule id (`L1`..`L10`, or `L0` for a malformed allow comment).
     pub rule: &'static str,
     /// Workspace-relative path of the offending file.
     pub path: String,
@@ -79,6 +79,13 @@ pub const RULES: &[(&str, &str)] = &[
         "no spill/restore I/O while a registry-wide (map/ring) lock guard is live, and \
          no panicking constructs in non-test rds-tenant code (PR 9: the tenant path \
          stays lock-light and panic-free; only per-tenant slot locks may span I/O)",
+    ),
+    (
+        "L10",
+        "no HashMap/BTreeMap and no per-point heap allocation inside the rds-core \
+         arrival hot path (fn process/process_inner/process_point) — duplicate \
+         detection goes through the cell-indexed CandidateStore and scratch buffers \
+         live on the sampler (PR 10: cell-indexed store data-layout pass)",
     ),
 ];
 
@@ -401,6 +408,7 @@ pub fn check_file(path: &str, source: &str) -> Vec<Finding> {
     }
     if lib_scope && kind == CrateKind::Core {
         rule_l4(&mut ctx);
+        rule_l10(&mut ctx);
     }
     if lib_scope && path != BLESSED_CHECKPOINT_MODULE {
         rule_l5(&mut ctx);
@@ -1006,6 +1014,136 @@ fn rule_l6(ctx: &mut Ctx<'_>) {
                 l6_scan_range(ctx, open, close, &site, false);
             }
             _ => {}
+        }
+        i = close + 1;
+    }
+}
+
+/// Fn names forming the per-point arrival hot path in rds-core: a map
+/// lookup or heap allocation in one of these bodies runs once per
+/// stream point.
+const HOT_PATH_FNS: &[&str] = &["process", "process_inner", "process_point"];
+
+/// Map types with no place on the arrival path: the cell-indexed
+/// `CandidateStore` is the blessed per-point index.
+const HOT_PATH_MAP_TYPES: &[&str] = &["HashMap", "BTreeMap"];
+
+/// Allocation entry points flagged inside hot-path bodies. `.clone()`
+/// is deliberately absent: representatives and reservoirs must be
+/// stored, and those clones are per-new-group, not per-point.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+const ALLOC_PATH_TYPES: &[&str] = &["Vec", "String", "Box", "VecDeque"];
+const ALLOC_PATH_FNS: &[&str] = &["new", "with_capacity", "from"];
+const ALLOC_METHODS: &[&str] = &["collect", "to_vec", "to_owned", "to_string"];
+
+/// L10: the arrival hot path allocates nothing and consults no std map
+/// — duplicate detection goes through the cell-indexed store and every
+/// scratch buffer is preallocated on the sampler, so processing a point
+/// costs O(probe) with no allocator traffic (PR 10 contract). Scans the
+/// bodies of core fns named `process`/`process_inner`/`process_point`;
+/// cold paths (`double_rate`, queries, checkpointing) may allocate
+/// freely.
+fn rule_l10(ctx: &mut Ctx<'_>) {
+    let toks = ctx.tokens;
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        let is_hot = toks[i].is_ident("fn")
+            && toks[i + 1].kind == TokenKind::Ident
+            && HOT_PATH_FNS.contains(&toks[i + 1].text.as_str());
+        if !is_hot || ctx.in_test[i] {
+            i += 1;
+            continue;
+        }
+        let fn_name = toks[i + 1].text.clone();
+        // body: skip to the parameter list, then the first `{ … }` (a
+        // `;` first means a bodyless trait method)
+        let mut params_open = i + 2;
+        while params_open < toks.len() && !toks[params_open].is_punct("(") {
+            params_open += 1;
+        }
+        let params_end = matching(toks, params_open, "(", ")");
+        let mut body_open = None;
+        for (m, t) in toks.iter().enumerate().skip(params_end + 1) {
+            if t.is_punct("{") {
+                body_open = Some(m);
+                break;
+            }
+            if t.is_punct(";") {
+                break;
+            }
+        }
+        let Some(open) = body_open else {
+            i = params_end + 1;
+            continue;
+        };
+        let close = matching(toks, open, "{", "}");
+        for m in open..=close.min(toks.len().saturating_sub(1)) {
+            if ctx.in_test[m] {
+                continue;
+            }
+            let t = &toks[m];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let next_is = |s: &str| toks.get(m + 1).map(|n| n.is_punct(s)).unwrap_or(false);
+            if HOT_PATH_MAP_TYPES.contains(&t.text.as_str()) {
+                ctx.emit(
+                    "L10",
+                    &t.clone(),
+                    format!(
+                        "`{}` inside fn {fn_name}: the arrival path indexes groups \
+                         through the cell-keyed CandidateStore, never a std map \
+                         (PR 10 contract)",
+                        t.text
+                    ),
+                );
+                continue;
+            }
+            if next_is("!") && ALLOC_MACROS.contains(&t.text.as_str()) {
+                ctx.emit(
+                    "L10",
+                    &t.clone(),
+                    format!(
+                        "`{}!` allocates once per point inside fn {fn_name}; hoist \
+                         the buffer onto the sampler (PR 10 contract)",
+                        t.text
+                    ),
+                );
+                continue;
+            }
+            let path_alloc = ALLOC_PATH_TYPES.contains(&t.text.as_str())
+                && next_is("::")
+                && toks
+                    .get(m + 2)
+                    .map(|n| n.kind == TokenKind::Ident && ALLOC_PATH_FNS.contains(&n.text.as_str()))
+                    .unwrap_or(false);
+            if path_alloc {
+                ctx.emit(
+                    "L10",
+                    &t.clone(),
+                    format!(
+                        "`{}::{}` allocates once per point inside fn {fn_name}; hoist \
+                         the buffer onto the sampler (PR 10 contract)",
+                        t.text, toks[m + 2].text
+                    ),
+                );
+                continue;
+            }
+            let method_alloc = m > 0
+                && toks[m - 1].is_punct(".")
+                && next_is("(")
+                && ALLOC_METHODS.contains(&t.text.as_str());
+            if method_alloc {
+                ctx.emit(
+                    "L10",
+                    &t.clone(),
+                    format!(
+                        "`.{}()` allocates once per point inside fn {fn_name}; reuse \
+                         a scratch buffer on the sampler (PR 10 contract)",
+                        t.text
+                    ),
+                );
+            }
         }
         i = close + 1;
     }

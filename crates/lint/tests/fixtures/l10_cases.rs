@@ -1,0 +1,44 @@
+//! L10 fixture: std maps and per-point heap allocation inside the core
+//! arrival hot path. Lines are load-bearing.
+
+fn process(&mut self, item: &StreamItem) -> ProcessOutcome {
+    let mut groups = HashMap::new();
+    let mut order = BTreeMap::new();
+    let mut demoted = Vec::new();
+    let keys = vec![cell_key(&item.point)];
+    ProcessOutcome::Ignored
+}
+
+fn process_inner(&mut self, p: &Point) -> ProcessOutcome {
+    let label = format!("cell-{p:?}");
+    let kept: Vec<u64> = self.keys.iter().copied().collect();
+    self.store.push_acc(0, 0, p.clone());
+    ProcessOutcome::Ignored
+}
+
+fn process_point(&mut self, p: &Point, own: Option<(u64, u64)>) -> ProcessOutcome {
+    let boxed = Box::new(own);
+    let copied = self.scratch.to_vec();
+    ProcessOutcome::Ignored
+}
+
+fn process_batch_keyed(&mut self, points: &[Point]) {
+    let mut keys = Vec::new();
+    let labels: Vec<String> = points.iter().map(|p| format!("{p:?}")).collect();
+}
+
+fn double_rate(&mut self) {
+    let mut demoted = Vec::new();
+    let keep: Vec<bool> = self.rej.iter().map(|_| true).collect();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hot_path_tests_may_allocate() {
+        fn process(xs: &mut Vec<u64>) {
+            let mut m = HashMap::new();
+            m.insert(0u64, xs.to_vec());
+        }
+    }
+}

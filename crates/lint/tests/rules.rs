@@ -186,6 +186,35 @@ fn l9_is_scoped_to_the_tenant_crate() {
 }
 
 #[test]
+fn l10_flags_maps_and_allocation_in_hot_path_fns_only() {
+    let f = scan_as("l10_cases.rs", CORE_PATH);
+    // 5/6: std maps; 7: Vec::new; 8: vec!; 13: format!; 14: .collect();
+    // 20: Box::new; 21: .to_vec(). Guards: the p.clone() on the hot
+    // path, the allocating process_batch_keyed and double_rate bodies
+    // (cold/amortized paths, not in the scanned name set) and the test
+    // mod.
+    assert_eq!(lines_of(&f, "L10"), vec![5, 6, 7, 8, 13, 14, 20, 21], "{f:?}");
+    assert_eq!(f.len(), 8, "{f:?}");
+    // the map message names the blessed index, the allocation messages
+    // name the remedy
+    assert!(
+        f.iter().all(|x| {
+            x.message.contains("CandidateStore") || x.message.contains("the sampler")
+        }),
+        "{f:?}"
+    );
+}
+
+#[test]
+fn l10_is_scoped_to_core_library_code() {
+    // the same content outside rds-core, or in any test tree, is silent
+    assert!(lines_of(&scan_as("l10_cases.rs", "crates/engine/src/lib.rs"), "L10").is_empty());
+    assert!(scan_as("l10_cases.rs", "crates/hashing/src/lib.rs").is_empty());
+    assert!(scan_as("l10_cases.rs", "crates/core/tests/hot_path.rs").is_empty());
+    assert!(scan_as("l10_cases.rs", "crates/core/benches/speed.rs").is_empty());
+}
+
+#[test]
 fn l2_covers_the_tenant_crate() {
     // raw writes in the tenant crate would bypass the atomic helper the
     // spill containers depend on
@@ -225,6 +254,7 @@ fn fixture_paths_are_exempt_wholesale() {
         "l5_cases.rs",
         "l7_cases.rs",
         "l9_cases.rs",
+        "l10_cases.rs",
     ] {
         let path = format!("crates/lint/tests/fixtures/{name}");
         assert!(scan_as(name, &path).is_empty(), "{name} leaked findings");

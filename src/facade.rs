@@ -549,13 +549,44 @@ impl RdsWriter {
     /// exactly one epoch bump, an empty batch produces none (there is
     /// nothing new to publish, and readers comparing epochs would
     /// otherwise see phantom updates).
+    ///
+    /// The infinite-window single-process backend forwards the points in
+    /// chunks through the sampler's batched arrival path (one hash sweep
+    /// per chunk instead of one per point) — the resulting sampler state
+    /// is identical to per-point feeding. Under
+    /// [`PublishCadence::EveryN`] the per-point path is kept, because a
+    /// publish may fall due in the middle of a batch.
     pub fn process_batch<I>(&mut self, points: I)
     where
         I: IntoIterator<Item = Point>,
     {
+        const CHUNK: usize = 256;
         let before = self.fed;
-        for p in points {
-            self.process(p);
+        let chunkable = matches!(self.backend, Backend::Single(_))
+            && !matches!(self.cadence, PublishCadence::EveryN(_));
+        if chunkable {
+            let mut points = points.into_iter();
+            let mut buf: Vec<Point> = Vec::with_capacity(CHUNK);
+            loop {
+                buf.clear();
+                buf.extend(points.by_ref().take(CHUNK));
+                if buf.is_empty() {
+                    break;
+                }
+                if let Backend::Single(s) = &mut self.backend {
+                    s.process_batch(&buf);
+                }
+                // Same bookkeeping as per-point feeding: arrival-index
+                // stamps are monotone, so only the chunk's last one can
+                // advance the clock.
+                self.fed += buf.len() as u64;
+                self.last_stamp = self.last_stamp.max(Stamp::at(self.fed - 1));
+                self.since_publish += buf.len() as u64;
+            }
+        } else {
+            for p in points {
+                self.process(p);
+            }
         }
         if self.cadence == PublishCadence::EveryBatch && self.fed > before {
             self.publish();

@@ -21,12 +21,9 @@ fn points_exactly_on_cell_boundaries() {
     }
     assert!(s.query().is_some());
     // each lattice point is its own group: candidates are pairwise far
-    let all: Vec<&Point> = s
-        .accept_set()
-        .iter()
-        .chain(s.reject_set().iter())
-        .map(|r| &r.rep)
-        .collect();
+    let acc = s.accept_set();
+    let rej = s.reject_set();
+    let all: Vec<&Point> = acc.iter().chain(rej.iter()).map(|r| &r.rep).collect();
     for i in 0..all.len().min(80) {
         for j in (i + 1)..all.len().min(80) {
             assert!(!all[i].within(all[j], 1.0));

@@ -36,12 +36,9 @@ fn sampler_accepts_chains_without_duplicating_regions() {
     for p in &pts {
         s.process(p);
     }
-    let reps: Vec<&Point> = s
-        .accept_set()
-        .iter()
-        .chain(s.reject_set().iter())
-        .map(|r| &r.rep)
-        .collect();
+    let acc = s.accept_set();
+    let rej = s.reject_set();
+    let reps: Vec<&Point> = acc.iter().chain(rej.iter()).map(|r| &r.rep).collect();
     for i in 0..reps.len() {
         for j in (i + 1)..reps.len() {
             assert!(!reps[i].within(reps[j], alpha));

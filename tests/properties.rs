@@ -91,12 +91,9 @@ proptest! {
             }
         }
         prop_assert!(s.accept_set().len() <= s.threshold());
-        let reps: Vec<&Point> = s
-            .accept_set()
-            .iter()
-            .chain(s.reject_set().iter())
-            .map(|r| &r.rep)
-            .collect();
+        let acc = s.accept_set();
+        let rej = s.reject_set();
+        let reps: Vec<&Point> = acc.iter().chain(rej.iter()).map(|r| &r.rep).collect();
         for i in 0..reps.len() {
             for j in (i + 1)..reps.len() {
                 prop_assert!(!reps[i].within(reps[j], alpha));

@@ -213,6 +213,22 @@ pub mod rngs {
         pub fn from_state(s: [u64; 4]) -> Self {
             Self { s }
         }
+
+        /// Word-at-a-time uniform draw in `[0, n)`: consumes exactly one
+        /// `next_u64` via the same Lemire widening multiply that backs
+        /// `random_range(0..n)`, skipping the generic range plumbing.
+        ///
+        /// This is the hot-path entry for reservoir draws and nested cell
+        /// sampling: for any `n > 0`,
+        /// `rng.word_below(n) == rng.random_range(0..n)` and the generator
+        /// lands on the same [`StdRng::state`] afterwards, so samplers may
+        /// mix both calls freely without perturbing checkpointed PRNG
+        /// positions.
+        #[inline]
+        pub fn word_below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
     }
 
     impl Rng for StdRng {
@@ -342,6 +358,26 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn word_below_matches_random_range_and_state() {
+        let mut a = StdRng::seed_from_u64(21);
+        let mut b = StdRng::seed_from_u64(21);
+        for n in [1u64, 2, 3, 17, 1 << 20, u64::MAX / 3] {
+            for _ in 0..64 {
+                assert_eq!(a.word_below(n), b.random_range(0..n));
+                assert_eq!(a.state(), b.state(), "PRNG positions diverged at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn word_below_one_is_always_zero() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..100 {
+            assert_eq!(rng.word_below(1), 0);
+        }
     }
 
     #[test]
